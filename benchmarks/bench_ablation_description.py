@@ -1,0 +1,147 @@
+"""Ablation — the design choices DESIGN.md calls out.
+
+Two ablations of the mapping pipeline:
+
+* **description stage**: the paper trades accuracy for interpretability
+  by describing PAM clusters with a CART tree.  Sweep the leaf budget
+  (``prune_leaf_factor``) and report fidelity vs region count — the
+  curve that justifies the default (2 × k).
+* **dependency discretization**: the MI dependency graph can bin numeric
+  columns equal-frequency (default) or equal-width.  Compare theme
+  recovery under both on skewed data — the reason equal-frequency is the
+  default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import pairwise_distances
+from repro.cluster.pam import pam
+from repro.core.preprocess import preprocess
+from repro.datasets.lofar import lofar
+from repro.datasets.synthetic import planted_themes
+from repro.stats.discretize import discretize_column
+from repro.stats.entropy import shannon_entropy
+from repro.stats.mutual_info import MISSING_BIN, normalized_mutual_information
+from repro.tree.cart import CartParams, fit_tree
+from repro.tree.prune import prune_for_legibility
+
+COLUMNS = ("Flux150MHz", "SpectralIndex", "AngularSize", "Variability")
+
+
+@pytest.fixture(scope="module")
+def clustered_sample():
+    table = lofar(n_rows=6000).sample(1500, rng=np.random.default_rng(0))
+    space = preprocess(table, columns=COLUMNS)
+    clustering = pam(pairwise_distances(space.matrix), 4)
+    return table, clustering
+
+
+def test_ablation_leaf_budget(benchmark, clustered_sample, report):
+    table, clustering = clustered_sample
+    tree = fit_tree(
+        table,
+        clustering.labels,
+        feature_names=COLUMNS,
+        params=CartParams(max_depth=8, min_samples_leaf=2, min_samples_split=4),
+    )
+
+    def sweep():
+        rows = []
+        for factor in (1, 2, 3, 4):
+            # min_accuracy=1.0 disables the opportunistic cleanup phase so
+            # the sweep isolates the hard leaf cap.
+            pruned = prune_for_legibility(
+                tree, target_leaves=clustering.k * factor, min_accuracy=1.0
+            )
+            rows.append(
+                (
+                    factor,
+                    pruned.n_leaves(),
+                    pruned.accuracy(table, clustering.labels),
+                )
+            )
+        rows.append((None, tree.n_leaves(), tree.accuracy(table, clustering.labels)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation — description-tree leaf budget vs fidelity (k=4, LOFAR)",
+        f"{'leaf factor':>11} {'regions':>8} {'fidelity':>9}",
+    ]
+    for factor, leaves, fidelity in rows:
+        label = "unpruned" if factor is None else str(factor)
+        lines.append(f"{label:>11} {leaves:>8} {fidelity:>9.3f}")
+    report("ablation_leaf_budget", lines)
+
+    # Fidelity must be monotone non-decreasing in the leaf budget, and the
+    # default budget (factor 2) should already capture most of it.
+    fidelities = [fidelity for _, _, fidelity in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(fidelities, fidelities[1:]))
+    assert fidelities[1] > 0.85
+
+
+def test_ablation_discretization_scheme(benchmark, report):
+    # Heavy-tailed latent groups: equal-width bins collapse most mass
+    # into one bin and starve the MI estimate.
+    planted = planted_themes(
+        n_rows=800, group_sizes={"a": 3, "b": 3}, noise=0.4, seed=13
+    )
+    # Make the columns heavy-tailed by exponentiating.
+    from repro.table.column import NumericColumn
+    from repro.table.table import Table
+
+    columns = [
+        NumericColumn(c.name, np.exp(2.5 * c.values))
+        for c in planted.table.numeric_columns()
+    ]
+    table = Table("skewed", columns)
+
+    def mi(equal_frequency: bool) -> float:
+        a = discretize_column(
+            table.column("a_0"), equal_frequency=equal_frequency
+        )
+        b = discretize_column(
+            table.column("a_1"), equal_frequency=equal_frequency
+        )
+        keep = (a != MISSING_BIN) & (b != MISSING_BIN)
+        return normalized_mutual_information(a[keep], b[keep])
+
+    results = benchmark.pedantic(
+        lambda: {"equal_frequency": mi(True), "equal_width": mi(False)},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ablation_discretization",
+        [
+            "Ablation — MI discretization scheme on heavy-tailed columns",
+            f"equal-frequency bins (default): NMI {results['equal_frequency']:.3f}",
+            f"equal-width bins              : NMI {results['equal_width']:.3f}",
+            "equal-frequency preserves the dependency signal under skew",
+        ],
+    )
+    assert results["equal_frequency"] > results["equal_width"]
+
+
+def test_ablation_entropy_floor(benchmark, clustered_sample, report):
+    # Sanity ablation: discretized columns carry non-trivial entropy —
+    # the MI estimates are not artifacts of degenerate binning.
+    table, _ = clustered_sample
+
+    def entropies():
+        out = {}
+        for name in COLUMNS:
+            codes = discretize_column(table.column(name))
+            out[name] = shannon_entropy(codes[codes != MISSING_BIN])
+        return out
+
+    values = benchmark(entropies)
+    assert all(h > 1.0 for h in values.values())
+    report(
+        "ablation_entropy_floor",
+        ["Ablation — per-column code entropies (nats)"]
+        + [f"  {name}: {h:.2f}" for name, h in values.items()],
+    )

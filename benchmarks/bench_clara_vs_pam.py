@@ -1,0 +1,114 @@
+"""§3 claim — "when the data is too large, Blaeu creates the maps with
+CLARA, a sampling-based variant of the PAM algorithm".
+
+CLARA's value proposition: near-PAM clustering cost at a fraction of the
+runtime, with runtime that scales ~linearly in n instead of PAM's
+quadratic memory/time.  This bench sweeps n and reports both algorithms'
+wall time and CLARA's cost penalty (CLARA cost / PAM cost, ≥ 1 by
+definition of the PAM optimum being stronger).  k-means joins as the
+speed baseline the paper's authors considered.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.clara import clara
+from repro.cluster.distance import pairwise_distances
+from repro.cluster.kmeans import kmeans
+from repro.cluster.pam import pam
+from repro.datasets.synthetic import numeric_blobs
+
+K = 4
+SIZES = (500, 1000, 2000, 4000)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        n: numeric_blobs(n_rows=n, k=K, n_features=6, spread=0.8, seed=n)
+        for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_clara_runtime(benchmark, datasets, n):
+    points = datasets[n].table.numeric_columns()
+    matrix = np.column_stack([c.values for c in points])
+    result = benchmark.pedantic(
+        lambda: clara(matrix, K, rng=np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.k == K
+
+
+@pytest.mark.parametrize("n", SIZES[:3])
+def test_pam_runtime(benchmark, datasets, n):
+    points = datasets[n].table.numeric_columns()
+    matrix = np.column_stack([c.values for c in points])
+    result = benchmark.pedantic(
+        lambda: pam(pairwise_distances(matrix), K),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.k == K
+
+
+def test_clara_vs_pam_quality_and_speed(benchmark, datasets, report):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            blobs = datasets[n]
+            matrix = np.column_stack(
+                [c.values for c in blobs.table.numeric_columns()]
+            )
+            started = time.perf_counter()
+            exact = pam(pairwise_distances(matrix), K)
+            pam_time = time.perf_counter() - started
+
+            started = time.perf_counter()
+            approx = clara(matrix, K, rng=np.random.default_rng(0))
+            clara_time = time.perf_counter() - started
+
+            started = time.perf_counter()
+            lloyd = kmeans(matrix, K, rng=np.random.default_rng(0))
+            kmeans_time = time.perf_counter() - started
+
+            rows.append(
+                (
+                    n,
+                    pam_time,
+                    clara_time,
+                    kmeans_time,
+                    approx.cost / exact.cost,
+                    lloyd.cost / exact.cost,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "§3 CLARA claim — PAM vs CLARA vs k-means (k=4, 6-d blobs)",
+        f"{'n':>6} {'PAM s':>8} {'CLARA s':>8} {'kmeans s':>9} "
+        f"{'CLARA/PAM cost':>15} {'kmeans/PAM cost':>16}",
+    ]
+    for n, pam_t, clara_t, kmeans_t, cost_ratio, kmeans_ratio in rows:
+        lines.append(
+            f"{n:>6} {pam_t:>8.3f} {clara_t:>8.3f} {kmeans_t:>9.3f} "
+            f"{cost_ratio:>15.3f} {kmeans_ratio:>16.3f}"
+        )
+    report("clara_vs_pam", lines)
+
+    # Shape: at the largest size CLARA is clearly faster than PAM while
+    # paying only a small cost penalty.
+    largest = rows[-1]
+    assert largest[2] < largest[1] / 2, "CLARA not faster than PAM at 4k"
+    assert largest[4] < 1.25, f"CLARA cost penalty {largest[4]:.3f} too high"
+    # Speedup grows with n (the asymptotic claim).
+    speedups = [r[1] / r[2] for r in rows]
+    assert speedups[-1] > speedups[0]

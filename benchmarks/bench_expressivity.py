@@ -1,0 +1,100 @@
+"""§2 claim — maps quantize the query space into Select-Project queries.
+
+"With Blaeu, our users implicitly formulate and refine Select-Project
+queries … Blaeu quantizes the query space: to refine their queries, the
+users need only to consider a few discrete alternatives."
+
+This bench (a) verifies the semantics — every one-click query's SQL
+predicate selects exactly the tuples its region reports, across a whole
+navigation session — and (b) measures the *quantization factor*: how few
+discrete alternatives stand in for the continuous space of range queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.navigation import Explorer
+from repro.core.queries import quantized_queries
+from repro.datasets.hollywood import hollywood
+
+
+@pytest.fixture(scope="module")
+def session():
+    explorer = Explorer(
+        hollywood(), config=BlaeuConfig(map_k_values=(2, 3, 4))
+    )
+    explorer.open_columns(
+        ("Budget", "WorldwideGross", "Profitability", "RottenTomatoes")
+    )
+    return explorer
+
+
+def test_quantized_query_equivalence(benchmark, session, report):
+    explorer = session
+    table = explorer.table
+
+    def verify_all():
+        state = explorer.state
+        queries = quantized_queries(table, state.map, state.selection)
+        for query in queries:
+            assert table.select(query.predicate).n_rows == query.n_rows
+        return queries
+
+    queries = benchmark(verify_all)
+    report(
+        "expressivity_equivalence",
+        [
+            "§2 expressivity — quantized queries vs direct evaluation",
+            f"{len(queries)} one-click queries; all counts match exactly",
+            "example queries:",
+        ]
+        + [f"  [{q.region_id}] {q.sql}" for q in queries[:5]],
+    )
+
+
+def test_navigation_session_stays_consistent(benchmark, session, report):
+    explorer = session
+
+    def navigate_and_verify():
+        data_map = explorer.state.map
+        target = max(data_map.leaves(), key=lambda r: r.n_rows)
+        zoomed = explorer.zoom(target.region_id)
+        # The zoomed selection must equal the region the user clicked.
+        sql_rows = explorer.table.select(explorer.state.selection).n_rows
+        assert sql_rows == zoomed.n_rows == target.n_rows
+        explorer.rollback()
+        return target.n_rows
+
+    n_rows = benchmark(navigate_and_verify)
+    report(
+        "expressivity_navigation",
+        [
+            "§2 expressivity — zoom==Select equivalence over a session",
+            f"clicked region of {n_rows} tuples; selection, map and SQL agree",
+        ],
+    )
+
+
+def test_quantization_factor(benchmark, session, report):
+    explorer = session
+    table = explorer.table
+
+    def count_alternatives():
+        state = explorer.state
+        return len(quantized_queries(table, state.map, state.selection))
+
+    alternatives = benchmark(count_alternatives)
+    # The point of the claim: a handful of discrete choices, not a
+    # continuous space.
+    assert alternatives <= 2 * 4 * 2 + 1  # ≤ 2k regions per level + root
+    report(
+        "expressivity_quantization",
+        [
+            "§2 expressivity — quantization of the query space",
+            f"continuous Select-Project space reduced to {alternatives} "
+            "clickable queries on this map",
+        ],
+    )

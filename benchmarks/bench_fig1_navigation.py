@@ -1,0 +1,199 @@
+"""Figure 1 — the full navigation walkthrough on the countries table.
+
+Regenerates each panel of the paper's Figure 1 on the OECD-shaped
+dataset (6,823 × 378):
+
+* **1a** — the theme list (labor, unemployment, health, … out of 378
+  columns);
+* **1b** — the initial labor-conditions map: a 3-region hierarchy split
+  on *% employees working long hours ≈ 20* and *average income ≈ 22 k$*;
+* **1c** — zoom into the short-hours/high-income region + highlight of
+  the country names (Switzerland / Norway / Canada class);
+* **1d** — projection of the selection onto the unemployment theme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.core.mapping import build_map
+from repro.datasets.oecd import (
+    HIGH_INCOME_COUNTRIES,
+    LABOR_THEME,
+    UNEMPLOYMENT_THEME,
+    oecd,
+)
+from repro.viz.render import render_map
+
+
+@pytest.fixture(scope="module")
+def engine():
+    blaeu = Blaeu(BlaeuConfig())
+    blaeu.register(oecd())
+    return blaeu
+
+
+def test_fig1a_theme_list(benchmark, engine, report):
+    from repro.core.themes import extract_themes
+
+    table = engine.database.table("countries")
+    themes = benchmark.pedantic(
+        lambda: extract_themes(
+            table, config=engine.config, rng=np.random.default_rng(0)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    labor = themes.theme_of(LABOR_THEME[0])
+    unemployment = themes.theme_of(UNEMPLOYMENT_THEME[0])
+    health = themes.theme_of("Life Expectancy")
+
+    # Paper Fig 1a: distinct themes for labor conditions, unemployment
+    # statistics and health indicators.
+    assert LABOR_THEME[2] in labor.columns  # leisure travels with hours
+    assert set(UNEMPLOYMENT_THEME) <= set(unemployment.columns)
+    assert {"%People w/ Health Insurance", "Health Spending"} <= set(
+        health.columns
+    )
+    assert labor.name != unemployment.name != health.name
+
+    report(
+        "fig1a_theme_list",
+        [
+            "Figure 1a — theme list (paper: unemployment / health / labor themes)",
+            f"themes found: {len(themes)} over 377 non-key columns",
+            f"labor theme        : {labor.columns}",
+            f"unemployment theme : {unemployment.columns}",
+            f"health theme       : {health.columns}",
+            f"partition silhouette {themes.silhouette:.3f}",
+        ],
+    )
+
+
+def test_fig1b_initial_map(benchmark, engine, report):
+    table = engine.database.table("countries")
+
+    # The paper's Fig 1b map has three regions; k=3 reproduces the figure
+    # (silhouette-selected k on this data hovers between 2 and 3).
+    data_map = benchmark(
+        lambda: build_map(
+            table, LABOR_THEME, config=engine.config,
+            rng=np.random.default_rng(1), k=3,
+        )
+    )
+    assert data_map.k == 3
+
+    split_columns = {
+        region.label.split(" <")[0].split(" >=")[0]
+        for region in data_map.regions()
+        if region.depth > 0
+    }
+    assert LABOR_THEME[0] in split_columns  # long working hours split
+    assert LABOR_THEME[1] in split_columns  # average income split
+
+    thresholds = {}
+    for region in data_map.regions():
+        if not region.is_leaf:
+            for child in region.children:
+                name, _, value = child.label.rpartition(" ")
+                if name.endswith(("<", ">=")):
+                    column = name.rsplit(" ", 1)[0]
+                    thresholds[column] = float(value)
+    hours_split = thresholds.get(LABOR_THEME[0])
+    income_split = thresholds.get(LABOR_THEME[1])
+    assert hours_split is not None and 15 <= hours_split <= 25  # paper: 20
+    assert income_split is not None and 18 <= income_split <= 30  # paper: 22
+
+    report(
+        "fig1b_initial_map",
+        [
+            "Figure 1b — initial labor map (paper: splits at hours>=20, income>=22k)",
+            f"measured splits: hours {hours_split:.1f} (paper 20), "
+            f"income {income_split:.1f} (paper 22)",
+            "",
+            render_map(data_map),
+        ],
+    )
+
+
+def test_fig1c_zoom_highlight(benchmark, engine, report):
+    explorer = engine.explore("countries")
+    data_map = explorer.open_columns(LABOR_THEME)
+
+    # Find the short-hours region, zoom, then locate high income inside.
+    short_hours = next(
+        leaf for leaf in data_map.leaves()
+        if leaf.exemplar[LABOR_THEME[0]] is not None
+        and leaf.exemplar[LABOR_THEME[0]] < 20
+    )
+    zoomed = explorer.zoom(short_hours.region_id)
+    rich = max(
+        zoomed.leaves(),
+        key=lambda r: r.exemplar.get(LABOR_THEME[1]) or float("-inf"),
+    )
+    highlight = benchmark(
+        lambda: explorer.highlight(rich.region_id, columns=("CountryName",))
+    )
+
+    counts = highlight.category_counts["CountryName"]
+    top8 = list(counts)[:8]
+    overlap = len(set(top8) & HIGH_INCOME_COUNTRIES)
+    # Paper Fig 1c: Switzerland, Norway, Canada "appear as countries with
+    # high incomes and relatively low working hours".
+    assert overlap >= 6, f"top countries {top8} are not the high-income group"
+
+    report(
+        "fig1c_zoom_highlight",
+        [
+            "Figure 1c — zoom into short-hours region, highlight CountryName",
+            "paper: Switzerland, Norway, Canada surface in the high-income region",
+            f"measured top 8: {top8}",
+            f"high-income-group overlap: {overlap}/8",
+        ],
+    )
+
+
+def test_fig1d_project(benchmark, engine, report):
+    explorer = engine.explore("countries")
+    data_map = explorer.open_columns(LABOR_THEME)
+    short_hours = next(
+        leaf for leaf in data_map.leaves()
+        if leaf.exemplar[LABOR_THEME[0]] is not None
+        and leaf.exemplar[LABOR_THEME[0]] < 20
+    )
+    explorer.zoom(short_hours.region_id)
+
+    projected = benchmark(lambda: explorer.project_columns(UNEMPLOYMENT_THEME))
+
+    # Paper Fig 1d: the projection reveals an unemployment split (< 8 / >= 8)
+    # orthogonal to the labor-conditions view.
+    split_columns = {
+        region.label.split(" <")[0].split(" >=")[0]
+        for region in projected.regions()
+        if region.depth > 0
+    }
+    assert split_columns & set(UNEMPLOYMENT_THEME)
+    unemployment_thresholds = [
+        float(region.label.rpartition(" ")[2])
+        for region in projected.regions()
+        if region.depth > 0 and region.label.startswith("Unemployment <")
+    ]
+    assert unemployment_thresholds, "no unemployment split on the projection"
+    assert 5 <= unemployment_thresholds[0] <= 14  # paper: 8
+
+    report(
+        "fig1d_project",
+        [
+            "Figure 1d — projection onto the unemployment theme",
+            f"paper split: Unemployment >= 8; measured: "
+            f"{unemployment_thresholds[0]:.2f}",
+            "",
+            render_map(projected),
+            "",
+            "implicit query: " + explorer.sql(),
+        ],
+    )

@@ -1,0 +1,98 @@
+"""Figure 4 — the four-tier architecture, end to end.
+
+The paper's stack is *CSV/DB → MonetDB → R mapping engine → NodeJS
+session manager → web client*.  This bench drives the in-repo equivalent
+through the same tiers: CSV bytes → Database catalog → Blaeu engine →
+SessionManager protocol → D3-ready JSON payload, and times (a) the cold
+path (ingest + first map) and (b) the warm interaction path (zoom round
+trips), the latency that matters during a demo.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.datasets.hollywood import hollywood
+from repro.server.session import SessionManager
+from repro.table.csv_io import read_csv_text, write_csv_text
+
+
+@pytest.fixture(scope="module")
+def csv_text():
+    return write_csv_text(hollywood())
+
+
+def test_fig4_cold_path_csv_to_first_map(benchmark, csv_text, report):
+    def cold_path():
+        engine = Blaeu(BlaeuConfig(map_k_values=(2, 3)))
+        engine.register(read_csv_text(csv_text, name="hollywood"))
+        manager = SessionManager(engine)
+        response = manager.handle_json(
+            json.dumps(
+                {
+                    "command": "open",
+                    "session": "s",
+                    "table": "hollywood",
+                    "theme": 0,
+                }
+            )
+        )
+        return json.loads(response)
+
+    response = benchmark.pedantic(cold_path, rounds=5, iterations=1)
+    assert response["ok"]
+    assert response["map"]["n_rows"] == 900
+
+    report(
+        "fig4_architecture_cold",
+        [
+            "Figure 4 — cold path: CSV -> catalog -> themes -> map -> JSON",
+            "see timing table (includes theme extraction on first open)",
+        ],
+    )
+
+
+def test_fig4_warm_interaction_round_trip(benchmark, csv_text, report):
+    engine = Blaeu(BlaeuConfig(map_k_values=(2, 3)))
+    engine.register(read_csv_text(csv_text, name="hollywood"))
+    manager = SessionManager(engine)
+    opened = json.loads(
+        manager.handle_json(
+            json.dumps(
+                {
+                    "command": "open",
+                    "session": "s",
+                    "table": "hollywood",
+                    "theme": 0,
+                }
+            )
+        )
+    )
+    target = max(
+        opened["map"]["root"]["children"], key=lambda c: c["value"]
+    )["id"]
+
+    def round_trip():
+        zoomed = manager.handle_json(
+            json.dumps({"command": "zoom", "session": "s", "region": target})
+        )
+        manager.handle_json(
+            json.dumps({"command": "rollback", "session": "s"})
+        )
+        return json.loads(zoomed)
+
+    response = benchmark(round_trip)
+    assert response["ok"]
+
+    report(
+        "fig4_architecture_warm",
+        [
+            "Figure 4 — warm path: one zoom round trip through the protocol",
+            "paper claim: interaction-time latency; see timing table",
+            f"zoom payload bytes: {len(json.dumps(response))}",
+        ],
+    )

@@ -1,0 +1,125 @@
+"""Figure 5 — the theme view: quality of the theme partition.
+
+The theme view is only useful if the themes are right.  This bench scores
+theme recovery against the generator's planted column groups (36 filler
+groups + labor + unemployment + health on the full 378-column table) with
+NMI over column labels, compares the paper's method (PAM on the
+dependency graph) against the two baselines, and times the rendering of
+the view itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.validation import clustering_nmi
+from repro.core.config import BlaeuConfig
+from repro.core.themes import extract_themes
+from repro.datasets.oecd import (
+    HEALTH_THEME,
+    LABOR_THEME,
+    UNEMPLOYMENT_THEME,
+    oecd,
+)
+from repro.graph.dependency import build_dependency_graph
+from repro.graph.partition import (
+    modularity_partition,
+    pam_partition,
+    threshold_components,
+)
+from repro.viz.render import render_theme_view
+
+#: The planted truth: every column that belongs to a known group.
+def _planted_groups(table) -> dict[str, int]:
+    groups: dict[str, int] = {}
+    next_id = 0
+
+    def group_of(name: str) -> str | None:
+        if name in LABOR_THEME:
+            return "labor"
+        if name in UNEMPLOYMENT_THEME:
+            return "unemployment"
+        if name in HEALTH_THEME:
+            return "health"
+        if " Indicator " in name:
+            return name.rsplit(" Indicator ", 1)[0]
+        return None
+
+    ids: dict[str, int] = {}
+    for name in table.column_names:
+        group = group_of(name)
+        if group is None:
+            continue
+        if group not in ids:
+            ids[group] = next_id
+            next_id += 1
+        groups[name] = ids[group]
+    return groups
+
+
+def _score(partition: list[list[str]], truth: dict[str, int]) -> float:
+    predicted = []
+    expected = []
+    index = {
+        column: g for g, group in enumerate(partition) for column in group
+    }
+    for column, planted in truth.items():
+        if column in index:
+            predicted.append(index[column])
+            expected.append(planted)
+    return clustering_nmi(np.asarray(predicted), np.asarray(expected))
+
+
+@pytest.fixture(scope="module")
+def table():
+    return oecd()
+
+
+@pytest.fixture(scope="module")
+def graph(table):
+    columns = tuple(
+        c for c in table.column_names
+        if c not in ("RegionName", "CountryName")
+    )
+    return build_dependency_graph(
+        table, columns=columns, sample=1000, rng=np.random.default_rng(0)
+    )
+
+
+def test_fig5_theme_recovery_pam(benchmark, table, graph, report):
+    truth = _planted_groups(table)
+    groups, selection = benchmark.pedantic(
+        lambda: pam_partition(graph, k_values=(30, 40, 45, 50)),
+        rounds=3,
+        iterations=1,
+    )
+    nmi = _score(groups, truth)
+    assert nmi > 0.9, f"theme recovery NMI {nmi}"
+
+    threshold_groups = threshold_components(graph, min_weight=0.3)
+    modularity_groups = modularity_partition(graph)
+    rows = [
+        "Figure 5 — theme view: recovery of 39 planted column groups (NMI)",
+        f"PAM on dependency graph (paper's method): {nmi:.3f} "
+        f"(k={selection.k})",
+        f"threshold components baseline          : "
+        f"{_score(threshold_groups, truth):.3f} "
+        f"({len(threshold_groups)} groups)",
+        f"greedy modularity baseline             : "
+        f"{_score(modularity_groups, truth):.3f} "
+        f"({len(modularity_groups)} groups)",
+    ]
+    report("fig5_theme_recovery", rows)
+
+
+def test_fig5_render_theme_view(benchmark, table, report):
+    themes = extract_themes(
+        table, config=BlaeuConfig(), rng=np.random.default_rng(0)
+    )
+    text = benchmark(lambda: render_theme_view(themes, max_columns=4))
+    assert "THEMES" in text
+    report(
+        "fig5_theme_view_render",
+        ["Figure 5 — theme view rendering", "", text[:2000]],
+    )

@@ -1,0 +1,80 @@
+"""Figure 6 — the map view: treemap geometry + region info panel.
+
+The map view draws the region hierarchy with leaf area proportional to
+tuple count, plus an information panel for the active region.  This bench
+checks the geometry invariant that makes the visualization honest
+(areas ∝ counts, children tile parents), and times layout + rendering +
+the region-panel (highlight) query — the per-click costs of the UI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.navigation import Explorer
+from repro.datasets.hollywood import hollywood
+from repro.viz.render import render_map, render_region_panel
+from repro.viz.treemap import treemap_layout
+
+
+@pytest.fixture(scope="module")
+def session():
+    explorer = Explorer(hollywood(), config=BlaeuConfig(map_k_values=(2, 3, 4)))
+    data_map = explorer.open_columns(
+        ("Budget", "WorldwideGross", "Profitability", "RottenTomatoes")
+    )
+    return explorer, data_map
+
+
+def test_fig6_treemap_layout(benchmark, session, report):
+    _, data_map = session
+    rectangles = benchmark(lambda: treemap_layout(data_map, 960.0, 540.0))
+
+    total_area = 960.0 * 540.0
+    worst = 0.0
+    for region in data_map.regions():
+        expected = region.n_rows / data_map.n_rows * total_area
+        got = rectangles[region.region_id].area
+        worst = max(worst, abs(got - expected))
+    assert worst < 1e-6  # area ∝ tuple count, exactly
+
+    report(
+        "fig6_treemap_layout",
+        [
+            "Figure 6 — treemap layout on a 960x540 canvas",
+            f"regions: {len(rectangles)}; worst area error: {worst:.2e} px²",
+            "leaf rectangles:",
+        ]
+        + [
+            f"  [{leaf.region_id}] {leaf.label}: "
+            f"{rectangles[leaf.region_id].width:.0f}x"
+            f"{rectangles[leaf.region_id].height:.0f}"
+            for leaf in data_map.leaves()
+        ],
+    )
+
+
+def test_fig6_render_map_view(benchmark, session, report):
+    _, data_map = session
+    text = benchmark(lambda: render_map(data_map))
+    assert "DATA MAP" in text
+    report("fig6_map_view_render", ["Figure 6 — map view", "", text])
+
+
+def test_fig6_region_panel(benchmark, session, report):
+    explorer, data_map = session
+    leaf = max(data_map.leaves(), key=lambda r: r.n_rows)
+
+    highlight = benchmark(
+        lambda: explorer.highlight(
+            leaf.region_id, columns=("Title", "Genre", "Budget")
+        )
+    )
+    panel = render_region_panel(highlight)
+    assert f"REGION {leaf.region_id}" in panel
+    report(
+        "fig6_region_panel",
+        ["Figure 6 — region info panel (left pane)", "", panel],
+    )

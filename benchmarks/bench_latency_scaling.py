@@ -1,0 +1,90 @@
+"""§3 claim — sampling keeps latency interactive as tables grow.
+
+"To keep the latency low, our system relies heavily on sampling.  After
+each zoom, Blaeu only takes a few thousand samples from the database."
+This bench measures map-building latency as the table grows from 2k to
+100k rows, with the sampler on (2,000-tuple budget, the paper's operating
+point) and off (cluster everything).  The shape to reproduce: sampled
+latency is ~flat in table size, unsampled latency grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.mapping import build_map
+from repro.datasets.lofar import lofar
+
+COLUMNS = ("Flux150MHz", "SpectralIndex", "AngularSize", "Variability")
+TABLE_SIZES = (2_000, 10_000, 50_000, 100_000)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {n: lofar(n_rows=n) for n in TABLE_SIZES}
+
+
+def _build(table, sample_size: int):
+    config = BlaeuConfig(map_sample_size=sample_size, map_k_values=(2, 3, 4))
+    return build_map(
+        table, COLUMNS, config=config, rng=np.random.default_rng(0), k=4
+    )
+
+
+@pytest.mark.parametrize("n_rows", TABLE_SIZES)
+def test_map_latency_sampled(benchmark, tables, n_rows):
+    data_map = benchmark.pedantic(
+        lambda: _build(tables[n_rows], sample_size=2000),
+        rounds=3,
+        iterations=1,
+    )
+    assert data_map.n_rows == n_rows
+    assert data_map.sample_size == min(2000, n_rows)
+
+
+@pytest.mark.parametrize("n_rows", TABLE_SIZES[:3])
+def test_map_latency_unsampled(benchmark, tables, n_rows):
+    # Without sampling the clustering stage sees every tuple (CLARA at
+    # scale); 100k unsampled is excluded to keep the suite bounded.
+    data_map = benchmark.pedantic(
+        lambda: _build(tables[n_rows], sample_size=n_rows),
+        rounds=2,
+        iterations=1,
+    )
+    assert data_map.sample_size == n_rows
+
+
+def test_latency_scaling_curve(tables, benchmark, report):
+    def measure(sample_size_for):
+        out = {}
+        for n, table in tables.items():
+            started = time.perf_counter()
+            _build(table, sample_size_for(n))
+            out[n] = time.perf_counter() - started
+        return out
+
+    sampled = benchmark.pedantic(
+        lambda: measure(lambda n: 2000), rounds=1, iterations=1
+    )
+    unsampled = measure(lambda n: n)
+
+    rows = [
+        "§3 latency claim — map latency vs table size (seconds)",
+        "paper: sampling keeps the engine interactive on 100,000s of tuples",
+        f"{'rows':>8}  {'sampled(2k)':>12}  {'no sampling':>12}",
+    ]
+    rows += [
+        f"{n:>8}  {sampled[n]:>12.3f}  {unsampled[n]:>12.3f}"
+        for n in TABLE_SIZES
+    ]
+    report("latency_scaling", rows)
+
+    # Shape assertions: sampled latency grows far slower than table size;
+    # at 100k rows the sampled path must win clearly.
+    growth_sampled = sampled[100_000] / sampled[2_000]
+    assert growth_sampled < 20, f"sampled latency grew {growth_sampled:.1f}x"
+    assert unsampled[100_000] > 1.5 * sampled[100_000]

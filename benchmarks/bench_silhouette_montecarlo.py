@@ -1,0 +1,110 @@
+"""§3 claim — Monte-Carlo silhouette: "it extracts a few sub-samples …
+computes the clustering quality of those, and averages the results".
+
+Two questions: how close is the Monte-Carlo estimate to the exact mean
+silhouette, and how much cheaper is it?  The exact statistic is O(n²);
+the estimator is O(subsamples · size²) regardless of n.  Sweep the
+subsample budget on an 8,000-point workload and report |error| and
+speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.clara import clara
+from repro.cluster.distance import pairwise_distances
+from repro.cluster.silhouette import mean_silhouette, monte_carlo_silhouette
+from repro.datasets.synthetic import numeric_blobs
+
+N = 8_000
+BUDGETS = ((4, 100), (8, 200), (16, 200), (8, 400))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    blobs = numeric_blobs(n_rows=N, k=3, n_features=5, spread=0.9, seed=77)
+    matrix = np.column_stack(
+        [c.values for c in blobs.table.numeric_columns()]
+    )
+    labels = clara(matrix, 3, rng=np.random.default_rng(0)).labels
+    return matrix, labels
+
+
+@pytest.fixture(scope="module")
+def exact_value(workload):
+    matrix, labels = workload
+    return mean_silhouette(pairwise_distances(matrix), labels)
+
+
+@pytest.mark.parametrize("budget", BUDGETS, ids=lambda b: f"{b[0]}x{b[1]}")
+def test_monte_carlo_estimate(benchmark, workload, exact_value, budget):
+    matrix, labels = workload
+    n_subsamples, subsample_size = budget
+    estimate = benchmark(
+        lambda: monte_carlo_silhouette(
+            matrix,
+            labels,
+            n_subsamples=n_subsamples,
+            subsample_size=subsample_size,
+            rng=np.random.default_rng(1),
+        )
+    )
+    assert abs(estimate - exact_value) < 0.08
+
+
+def test_exact_silhouette_cost(benchmark, workload):
+    matrix, labels = workload
+    value = benchmark.pedantic(
+        lambda: mean_silhouette(pairwise_distances(matrix), labels),
+        rounds=2,
+        iterations=1,
+    )
+    assert -1 <= value <= 1
+
+
+def test_monte_carlo_convergence_table(workload, exact_value, benchmark, report):
+    matrix, labels = workload
+
+    def sweep():
+        started = time.perf_counter()
+        mean_silhouette(pairwise_distances(matrix), labels)
+        exact_time = time.perf_counter() - started
+        rows = []
+        for n_subsamples, subsample_size in BUDGETS:
+            started = time.perf_counter()
+            estimate = monte_carlo_silhouette(
+                matrix, labels,
+                n_subsamples=n_subsamples,
+                subsample_size=subsample_size,
+                rng=np.random.default_rng(1),
+            )
+            elapsed = time.perf_counter() - started
+            rows.append(
+                (n_subsamples, subsample_size, estimate, elapsed, exact_time)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exact_time = rows[0][4]
+    lines = [
+        f"§3 silhouette claim — Monte-Carlo vs exact on {N} points",
+        f"exact mean silhouette: {exact_value:.4f} ({exact_time:.2f}s)",
+        f"{'subsamples':>10} {'size':>6} {'estimate':>9} {'|err|':>7} "
+        f"{'time s':>8} {'speedup':>8}",
+    ]
+    for n_subsamples, size, estimate, elapsed, _ in rows:
+        lines.append(
+            f"{n_subsamples:>10} {size:>6} {estimate:>9.4f} "
+            f"{abs(estimate - exact_value):>7.4f} {elapsed:>8.3f} "
+            f"{exact_time / elapsed:>7.1f}x"
+        )
+    report("silhouette_montecarlo", lines)
+
+    # Shape: every budget is at least 5x faster than exact and within 0.08.
+    for n_subsamples, size, estimate, elapsed, _ in rows:
+        assert exact_time / elapsed > 5
+        assert abs(estimate - exact_value) < 0.08

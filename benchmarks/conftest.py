@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or claim of the paper (see the
+experiment index in DESIGN.md).  Besides the pytest-benchmark timing
+table, each experiment writes its paper-style rows to
+``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
+output capture; EXPERIMENTS.md is compiled from those files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write an experiment's output rows to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(experiment: str, lines: list[str]) -> None:
+        path = RESULTS_DIR / f"{experiment}.txt"
+        text = "\n".join(lines) + "\n"
+        path.write_text(text, encoding="utf-8")
+
+    return _write

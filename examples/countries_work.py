@@ -1,0 +1,97 @@
+"""The Countries-and-Work scenario — the paper's running example.
+
+Reproduces the full Figure 1 walkthrough on the OECD-shaped dataset
+(6,823 rows × 378 columns, 31 countries):
+
+1. list the themes (Figure 1a) and find the labor-conditions theme;
+2. open its data map (Figure 1b): long working hours vs. average income;
+3. zoom into the "short hours, high income" region and highlight the
+   country names — Switzerland, Norway and Canada should surface
+   (Figure 1c), answering "where are the working conditions best?";
+4. project the selection onto the unemployment theme (Figure 1d);
+5. roll everything back.
+
+Run with::
+
+    python examples/countries_work.py
+"""
+
+from repro import Blaeu
+from repro.datasets import oecd
+from repro.datasets.oecd import LABOR_THEME, UNEMPLOYMENT_THEME
+from repro.viz import render_map, render_region_panel, render_theme_view
+
+
+def main() -> None:
+    engine = Blaeu()
+    print("generating the countries table (6,823 x 378)…")
+    engine.register(oecd())
+
+    # --- Figure 1a: the theme list -----------------------------------
+    print("extracting themes (dependency graph over 377 columns)…")
+    themes = engine.themes("countries")
+    print()
+    print(render_theme_view(themes, max_columns=4))
+
+    labor = themes.theme_of(LABOR_THEME[0])
+    unemployment = themes.theme_of(UNEMPLOYMENT_THEME[0])
+    print()
+    print(f"labor theme     : {labor.columns}")
+    print(f"unemployment    : {unemployment.columns}")
+
+    # --- Figure 1b: the initial map over labor conditions ------------
+    explorer = engine.explore("countries")
+    explorer.open_columns(LABOR_THEME)
+    data_map = explorer.state.map
+    print()
+    print(render_map(data_map))
+
+    # --- Figure 1c: zoom into short-hours/high-income, highlight -----
+    # The interesting region: low working hours, high income.
+    target = None
+    for leaf in data_map.leaves():
+        exemplar = leaf.exemplar
+        hours = exemplar.get(LABOR_THEME[0])
+        income = exemplar.get(LABOR_THEME[1])
+        if hours is not None and income is not None and hours < 20 and income >= 22:
+            target = leaf
+            break
+    if target is None:  # fall back to the largest leaf
+        target = max(data_map.leaves(), key=lambda r: r.n_rows)
+
+    print()
+    print(f"zooming into {target.region_id}: {target.label}")
+    zoomed = explorer.zoom(target.region_id)
+    print(render_map(zoomed))
+
+    # Highlight the high-income leaf of the zoomed map (Figure 1c shows
+    # Switzerland, Norway and Canada surfacing here).
+    rich = max(
+        zoomed.leaves(),
+        key=lambda r: r.exemplar.get(LABOR_THEME[1]) or float("-inf"),
+    )
+    highlight = explorer.highlight(rich.region_id, columns=("CountryName",))
+    counts = highlight.category_counts["CountryName"]
+    print()
+    print(f"countries in {rich.region_id} ({rich.label}), top 8:")
+    for country, count in list(counts.items())[:8]:
+        print(f"  {country:<16} {count}")
+
+    # --- Figure 1d: project onto the unemployment theme --------------
+    print()
+    print("projecting the selection onto the unemployment theme…")
+    projected = explorer.project(unemployment)
+    print(render_map(projected))
+
+    # --- the implicit query and the rollback -------------------------
+    print()
+    print("implicit query so far:")
+    print(" ", explorer.sql())
+    explorer.rollback()
+    explorer.rollback()
+    print()
+    print("history after two rollbacks:", list(explorer.history()))
+
+
+if __name__ == "__main__":
+    main()

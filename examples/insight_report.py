@@ -1,0 +1,65 @@
+"""Insight mining: let Blaeu explain every region of a map.
+
+The demo's stated goal is "triggering insights and serendipity".  This
+example turns that into a batch report: build a map of the Hollywood
+table, then for every region produce (a) the analyst-style *headline*
+("high Budget, high WorldwideGross"), (b) the full inside-vs-outside
+contrast table, and (c) the group-by aggregates behind it — showing the
+three public APIs (`Explorer.insights`, `region_insights`,
+`repro.table.aggregate`) working together.
+
+Run with::
+
+    python examples/insight_report.py
+"""
+
+from repro import Blaeu
+from repro.datasets import hollywood
+from repro.table.aggregate import Aggregate, aggregate
+from repro.viz import render_map
+
+
+def main() -> None:
+    engine = Blaeu()
+    engine.register(hollywood())
+    explorer = engine.explore("hollywood")
+    data_map = explorer.open_columns(
+        ("Budget", "WorldwideGross", "Profitability", "RottenTomatoes", "Genre")
+    )
+    print(render_map(data_map))
+    print()
+
+    for leaf in data_map.leaves():
+        report = explorer.insights(leaf.region_id)
+        print(f"=== region {leaf.region_id}: {leaf.label} ===")
+        print(f"    {report.headline()}")
+        for insight in report.numeric[:3]:
+            print(f"    {insight.describe()}")
+        for insight in report.categories[:3]:
+            print(f"    {insight.describe()}")
+
+        # The aggregates a DBMS would run for the same panel.
+        result = aggregate(
+            explorer.table,
+            [
+                Aggregate("count"),
+                Aggregate("mean", "Profitability"),
+                Aggregate("mean", "RottenTomatoes"),
+            ],
+            by="Genre",
+            where=leaf.predicate,
+        )
+        top_genres = result.labels()[:3]
+        rendered = ", ".join(
+            f"{label}: n={result.group(label)['count']:.0f}, "
+            f"profit {result.group(label)['mean_Profitability']:.1f}x"
+            for label in top_genres
+            if label is not None
+        )
+        print(f"    by genre → {rendered}")
+        print(f"    sql      → {result.sql}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

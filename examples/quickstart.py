@@ -1,0 +1,64 @@
+"""Quickstart: explore the Hollywood movies table in five minutes.
+
+This walks the paper's first demo scenario (§4.2): load the ~900-movie
+table, look at its themes, open a map, zoom into the most interesting
+region, highlight it, and read off the SQL query you implicitly wrote.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Blaeu
+from repro.datasets import hollywood
+from repro.viz import render_map, render_region_panel, render_theme_view
+
+
+def main() -> None:
+    # 1. Stand up the engine and register a table (CSV files work too:
+    #    engine.load_csv("movies.csv")).
+    engine = Blaeu()
+    engine.register(hollywood())
+    print("tables:", engine.tables())
+
+    # 2. Which aspects does the data have?  Blaeu clusters the *columns*
+    #    into themes so you do not have to know the schema.
+    explorer = engine.explore("hollywood")
+    themes = explorer.themes()
+    print()
+    print(render_theme_view(themes))
+
+    # 3. Open the first (largest) theme: Blaeu clusters the *rows* and
+    #    describes the clusters with interpretable split predicates.
+    data_map = explorer.open_theme(0)
+    print()
+    print(render_map(data_map))
+
+    # 4. Zoom into the biggest leaf region — "drill down", Figure 1c.
+    biggest = max(data_map.leaves(), key=lambda region: region.n_rows)
+    zoomed = explorer.zoom(biggest.region_id)
+    print()
+    print(f"--- after zooming into {biggest.region_id} ({biggest.label}) ---")
+    print(render_map(zoomed))
+
+    # 5. Highlight a region to see actual movies and summary statistics.
+    leaf = zoomed.leaves()[0]
+    highlight = explorer.highlight(
+        leaf.region_id, columns=("Title", "Genre", "Budget", "Profitability")
+    )
+    print()
+    print(render_region_panel(highlight))
+
+    # 6. Every click was a query: here is the SQL you wrote by navigating.
+    print()
+    print("your implicit query:")
+    print(" ", explorer.sql(leaf.region_id))
+
+    # 7. Change your mind: rollback is always available.
+    explorer.rollback()
+    print()
+    print("after rollback, history:", list(explorer.history()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Reproduction of *Blaeu: Mapping and Navigating Large Tables with
+Cluster Analysis* (Sellam, Cijvat, Koopmanschap, Kersten — VLDB 2016).
+
+Blaeu guides casual users through large tables with a double cluster
+analysis: columns are clustered into *themes* (via a mutual-information
+dependency graph partitioned with PAM) and tuples are clustered into
+hierarchical *data maps* (preprocess → PAM/CLARA → CART description),
+which users navigate with four reversible actions — zoom, highlight,
+project and rollback — implicitly composing Select-Project queries.
+
+Quickstart::
+
+    from repro import Blaeu
+    from repro.datasets import hollywood
+
+    engine = Blaeu()
+    engine.register(hollywood())
+    explorer = engine.explore("hollywood")
+    print([t.name for t in explorer.themes()])
+    data_map = explorer.open_theme(0)
+    print(explorer.sql())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure and claim.
+"""
+
+from repro.core import (
+    Blaeu,
+    BlaeuConfig,
+    DataMap,
+    Explorer,
+    Highlight,
+    Region,
+    Theme,
+    ThemeSet,
+    build_map,
+    extract_themes,
+)
+from repro.table import Database, Table, read_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blaeu",
+    "BlaeuConfig",
+    "DataMap",
+    "Database",
+    "Explorer",
+    "Highlight",
+    "Region",
+    "Table",
+    "Theme",
+    "ThemeSet",
+    "__version__",
+    "build_map",
+    "extract_themes",
+    "read_csv",
+]

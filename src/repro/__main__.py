@@ -1,0 +1,6 @@
+"""``python -m repro`` — the terminal browser (see :mod:`repro.cli`)."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,266 @@
+"""An interactive terminal browser for Blaeu — the demo, in a console.
+
+The paper demonstrates "fast, keyboard-free exploration"; a terminal has
+only a keyboard, but the loop is the same: see the themes, open one,
+look at the map, click (type) a region to zoom, highlight, project,
+roll back.  The CLI is a thin translator from command lines to the
+public :class:`~repro.core.navigation.Explorer` API — every feature it
+uses is available to library users.
+
+Run with::
+
+    python -m repro <data.csv> [more.csv …]
+    python -m repro --demo hollywood|countries|lofar
+
+Commands inside the session::
+
+    tables                  list registered tables
+    use <table>             select the table to explore
+    themes                  show the theme view
+    open <theme|#>          build the initial map for a theme
+    map                     re-print the current map
+    zoom <region>           drill into a region (e.g. zoom r0)
+    highlight <region> [col …]   inspect a region's tuples
+    insight <region>        why is this region distinct?
+    project <theme|#>       re-map the selection with another theme
+    hist <column>           text histogram of a column in the selection
+    sql [region]            the implicit query so far
+    history                 the action stack
+    back                    rollback one step
+    goto <#>                rollback to a history entry
+    help                    this text
+    quit                    leave
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Iterable, TextIO
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.core.navigation import Explorer
+from repro.viz.charts import text_histogram
+from repro.viz.render import render_map, render_region_panel, render_theme_view
+
+__all__ = ["BlaeuShell", "main"]
+
+_DEMOS = ("hollywood", "countries", "lofar")
+
+
+class BlaeuShell:
+    """A line-oriented session over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine with tables already registered.
+    out:
+        Stream for output (injected for tests).
+    """
+
+    def __init__(self, engine: Blaeu, out: TextIO | None = None) -> None:
+        self._engine = engine
+        self._out = out or sys.stdout
+        self._explorer: Explorer | None = None
+        self._table_name: str | None = None
+        tables = engine.tables()
+        if len(tables) == 1:
+            self._select_table(tables[0])
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, lines: Iterable[str]) -> None:
+        """Process command lines until exhaustion or ``quit``."""
+        for line in lines:
+            if not self.handle(line):
+                break
+
+    def handle(self, line: str) -> bool:
+        """Process one command line; returns ``False`` on ``quit``."""
+        try:
+            words = shlex.split(line)
+        except ValueError as error:
+            self._print(f"parse error: {error}")
+            return True
+        if not words:
+            return True
+        command, *args = words
+        handler: Callable[[list[str]], None] | None = getattr(
+            self, f"_cmd_{command}", None
+        )
+        if command in ("quit", "exit"):
+            self._print("bye")
+            return False
+        if handler is None:
+            self._print(f"unknown command {command!r}; try 'help'")
+            return True
+        try:
+            handler(args)
+        except (KeyError, ValueError, RuntimeError, IndexError) as error:
+            self._print(f"error: {error}")
+        return True
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self._print(__doc__.split("Commands inside the session::", 1)[1])
+
+    def _cmd_tables(self, args: list[str]) -> None:
+        for name in self._engine.tables():
+            table = self._engine.database.table(name)
+            marker = "*" if name == self._table_name else " "
+            self._print(
+                f" {marker} {name}: {table.n_rows} rows x "
+                f"{table.n_columns} columns"
+            )
+
+    def _cmd_use(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: use <table>")
+        self._select_table(args[0])
+        self._print(f"exploring {args[0]!r}")
+
+    def _cmd_themes(self, args: list[str]) -> None:
+        self._print(render_theme_view(self._require_explorer().themes()))
+
+    def _cmd_open(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: open <theme name or index>")
+        explorer = self._require_explorer()
+        explorer.open_theme(_theme_ref(args[0]))
+        self._print(render_map(explorer.state.map))
+
+    def _cmd_map(self, args: list[str]) -> None:
+        self._print(render_map(self._require_state().map))
+
+    def _cmd_zoom(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: zoom <region id>")
+        explorer = self._require_explorer()
+        explorer.zoom(args[0])
+        self._print(render_map(explorer.state.map))
+
+    def _cmd_highlight(self, args: list[str]) -> None:
+        if not args:
+            raise ValueError("usage: highlight <region id> [column …]")
+        explorer = self._require_explorer()
+        columns = tuple(args[1:]) or None
+        highlight = explorer.highlight(args[0], columns=columns)
+        self._print(render_region_panel(highlight))
+
+    def _cmd_insight(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: insight <region id>")
+        report = self._require_explorer().insights(args[0])
+        self._print(report.describe())
+
+    def _cmd_project(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: project <theme name or index>")
+        explorer = self._require_explorer()
+        explorer.project(_theme_ref(args[0]))
+        self._print(render_map(explorer.state.map))
+
+    def _cmd_hist(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: hist <column>")
+        explorer = self._require_explorer()
+        state = self._require_state()
+        selection = explorer.table.select(state.selection)
+        self._print(text_histogram(selection.column(args[0])))  # type: ignore[arg-type]
+
+    def _cmd_sql(self, args: list[str]) -> None:
+        explorer = self._require_explorer()
+        region = args[0] if args else None
+        self._print(explorer.sql(region))
+
+    def _cmd_history(self, args: list[str]) -> None:
+        explorer = self._require_explorer()
+        for index, state in enumerate(explorer.states()):
+            self._print(f" [{index}] {state.action} ({state.n_rows} tuples)")
+
+    def _cmd_back(self, args: list[str]) -> None:
+        explorer = self._require_explorer()
+        explorer.rollback()
+        self._print(render_map(explorer.state.map))
+
+    def _cmd_goto(self, args: list[str]) -> None:
+        if len(args) != 1 or not args[0].isdigit():
+            raise ValueError("usage: goto <history index>")
+        explorer = self._require_explorer()
+        explorer.goto(int(args[0]))
+        self._print(render_map(explorer.state.map))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _select_table(self, name: str) -> None:
+        self._explorer = self._engine.explore(name)
+        self._table_name = name
+
+    def _require_explorer(self) -> Explorer:
+        if self._explorer is None:
+            raise RuntimeError("no table selected; try 'tables' then 'use'")
+        return self._explorer
+
+    def _require_state(self):
+        return self._require_explorer().state
+
+    def _print(self, text: str) -> None:
+        print(text, file=self._out)
+
+
+def _theme_ref(word: str) -> str | int:
+    return int(word) if word.isdigit() else word
+
+
+def build_engine(argv: list[str]) -> Blaeu:
+    """Construct the engine from CLI arguments (CSV paths or --demo)."""
+    engine = Blaeu(BlaeuConfig())
+    if argv and argv[0] == "--demo":
+        if len(argv) < 2 or argv[1] not in _DEMOS:
+            raise SystemExit(f"usage: python -m repro --demo {{{'|'.join(_DEMOS)}}}")
+        name = argv[1]
+        if name == "hollywood":
+            from repro.datasets import hollywood
+
+            engine.register(hollywood())
+        elif name == "countries":
+            from repro.datasets import oecd
+
+            engine.register(oecd())
+        else:
+            from repro.datasets import lofar
+
+            engine.register(lofar(n_rows=50_000))
+        return engine
+    if not argv:
+        raise SystemExit(
+            "usage: python -m repro <data.csv> [more.csv …] "
+            f"| --demo {{{'|'.join(_DEMOS)}}}"
+        )
+    for path in argv:
+        engine.load_csv(path)
+    return engine
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Entry point for ``python -m repro``."""
+    argv = sys.argv[1:] if argv is None else argv
+    engine = build_engine(argv)
+    shell = BlaeuShell(engine)
+    print("blaeu — type 'help' for commands, 'quit' to leave")
+    try:
+        while True:
+            line = input("blaeu> ")
+            if not shell.handle(line):
+                break
+    except (EOFError, KeyboardInterrupt):
+        print()

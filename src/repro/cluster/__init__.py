@@ -1,0 +1,53 @@
+"""Clustering substrate: PAM, CLARA, silhouettes and friends.
+
+The paper clusters twice — columns into themes and tuples into map
+regions — and both times uses **Partitioning Around Medoids** (PAM,
+Kaufman & Rousseeuw 1990) "because it is accurate, well established and
+fast enough" (§3), switching to the sampling-based **CLARA** when the
+data is too large, and choosing the number of clusters with the
+**silhouette coefficient**, estimated "in a Monte-Carlo fashion".
+Everything here is implemented from the original references on top of
+NumPy; a Lloyd's k-means is included as the comparison baseline.
+"""
+
+from repro.cluster.distance import (
+    euclidean_distances,
+    gower_distances,
+    manhattan_distances,
+    pairwise_distances,
+)
+from repro.cluster.pam import Clustering, pam
+from repro.cluster.clara import clara
+from repro.cluster.kmeans import kmeans
+from repro.cluster.silhouette import (
+    mean_silhouette,
+    monte_carlo_silhouette,
+    silhouette_samples,
+)
+from repro.cluster.kselect import KSelection, select_k
+from repro.cluster.assignment import assign_to_medoids
+from repro.cluster.validation import (
+    adjusted_rand_index,
+    clustering_nmi,
+    purity,
+)
+
+__all__ = [
+    "Clustering",
+    "KSelection",
+    "adjusted_rand_index",
+    "assign_to_medoids",
+    "clara",
+    "clustering_nmi",
+    "euclidean_distances",
+    "gower_distances",
+    "kmeans",
+    "manhattan_distances",
+    "mean_silhouette",
+    "monte_carlo_silhouette",
+    "pairwise_distances",
+    "pam",
+    "purity",
+    "select_k",
+    "silhouette_samples",
+]

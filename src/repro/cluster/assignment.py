@@ -1,0 +1,34 @@
+"""Out-of-sample assignment to medoids.
+
+Blaeu clusters a *sample* but the map must describe the *whole*
+selection: every unsampled tuple is attributed to its nearest medoid.
+The same primitive extends CLARA's sample medoids to the full data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import distances_to_points
+
+__all__ = ["assign_to_medoids", "assignment_cost"]
+
+
+def assign_to_medoids(
+    points: np.ndarray,
+    medoid_points: np.ndarray,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Label each row of ``points`` with the index of its nearest medoid."""
+    to_medoids = distances_to_points(points, medoid_points, metric)
+    return np.argmin(to_medoids, axis=1).astype(np.intp)
+
+
+def assignment_cost(
+    points: np.ndarray,
+    medoid_points: np.ndarray,
+    metric: str = "euclidean",
+) -> float:
+    """Total distance from each point to its nearest medoid."""
+    to_medoids = distances_to_points(points, medoid_points, metric)
+    return float(to_medoids.min(axis=1).sum())

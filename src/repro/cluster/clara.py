@@ -1,0 +1,115 @@
+"""CLARA — Clustering LARge Applications (Kaufman & Rousseeuw 1990, ch. 3).
+
+"When the data is too large, Blaeu creates the maps with CLARA, a
+sampling-based variant of the PAM algorithm" (§3).  CLARA draws several
+modest samples, runs PAM on each, extends each sample's medoids to the
+whole dataset, and keeps the medoid set with the lowest *full-data* cost.
+The quadratic PAM work is confined to the sample, so the overall cost is
+O(draws · (s² + k·n)) instead of PAM's O(k·n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import distances_to_points, pairwise_distances
+from repro.cluster.pam import Clustering, pam
+
+__all__ = ["clara"]
+
+#: Kaufman & Rousseeuw's recommended sample size: 40 + 2k.
+def default_sample_size(k: int) -> int:
+    """The book's recommendation for the per-draw sample size."""
+    return 40 + 2 * k
+
+
+def clara(
+    points: np.ndarray,
+    k: int,
+    n_draws: int = 5,
+    sample_size: int | None = None,
+    metric: str = "euclidean",
+    rng: np.random.Generator | None = None,
+) -> Clustering:
+    """Cluster a large point matrix around ``k`` medoids via sampling.
+
+    Parameters
+    ----------
+    points:
+        n×d feature matrix (no NaN; preprocess first).
+    k:
+        Number of clusters.
+    n_draws:
+        Number of independent samples; the best full-data cost wins.
+        Kaufman & Rousseeuw recommend 5.
+    sample_size:
+        Rows per draw; defaults to ``40 + 2k``.  Clamped to n.
+    metric:
+        ``euclidean`` or ``manhattan`` (must support point-to-medoid
+        distances for the assignment step).
+    rng:
+        Source of sampling randomness.
+
+    Returns
+    -------
+    Clustering
+        ``medoids`` index the full ``points`` matrix; ``labels`` cover all
+        n points; ``cost`` is the full-data cost of the winning draw;
+        ``n_iterations`` counts the winning draw's SWAP exchanges.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be a 2-d matrix, got {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if n_draws < 1:
+        raise ValueError(f"n_draws must be >= 1, got {n_draws}")
+    rng = rng or np.random.default_rng()
+    if sample_size is None:
+        sample_size = default_sample_size(k)
+    sample_size = min(max(sample_size, k), n)
+
+    if sample_size >= n:
+        # Sampling would be the identity; fall through to plain PAM.
+        full = pam(pairwise_distances(points, metric), k, rng=rng)
+        return full
+
+    best: Clustering | None = None
+    for _ in range(n_draws):
+        sample_indices = rng.choice(n, size=sample_size, replace=False)
+        sample_indices.sort()
+        sample = points[sample_indices]
+        sample_result = pam(pairwise_distances(sample, metric), k, rng=rng)
+        medoid_rows = sample_indices[sample_result.medoids]
+
+        to_medoids = distances_to_points(points, points[medoid_rows], metric)
+        labels = np.argmin(to_medoids, axis=1).astype(np.intp)
+        cost = float(to_medoids[np.arange(n), labels].sum())
+        if best is None or cost < best.cost:
+            best = Clustering(
+                labels=labels,
+                medoids=medoid_rows.astype(np.intp),
+                cost=cost,
+                n_iterations=sample_result.n_iterations,
+            )
+    assert best is not None  # n_draws >= 1 guarantees at least one draw
+    return _relabel_by_size(best)
+
+
+def _relabel_by_size(result: Clustering) -> Clustering:
+    """Apply the same canonical (size-descending) ordering PAM uses."""
+    sizes = np.bincount(result.labels, minlength=result.k)
+    ranking = sorted(
+        range(result.k),
+        key=lambda c: (-int(sizes[c]), int(result.medoids[c])),
+    )
+    order = np.empty(result.k, dtype=np.intp)
+    for new_id, old_id in enumerate(ranking):
+        order[old_id] = new_id
+    return Clustering(
+        labels=order[result.labels],
+        medoids=result.medoids[np.argsort(order)],
+        cost=result.cost,
+        n_iterations=result.n_iterations,
+    )

@@ -1,0 +1,134 @@
+"""Silhouette coefficients — exact and Monte-Carlo (Rousseeuw 1987).
+
+The silhouette drives two things in Blaeu: it tells users how crisp each
+region is, and it selects the number of clusters k.  Because the exact
+statistic is O(n²), the paper "computes the silhouette scores in a
+Monte-Carlo fashion: it extracts a few sub-samples from the user's
+selection, computes the clustering quality of those, and averages the
+results" (§3).  Both estimators live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distances, validate_distance_matrix
+
+__all__ = ["silhouette_samples", "mean_silhouette", "monte_carlo_silhouette"]
+
+
+def silhouette_samples(distances: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-point silhouette values ``s(i) = (b_i − a_i) / max(a_i, b_i)``.
+
+    ``a_i`` is the mean distance to the point's own cluster (excluding
+    itself), ``b_i`` the smallest mean distance to any other cluster.
+    Points in singleton clusters get ``s(i) = 0`` by Rousseeuw's
+    convention.  Values lie in ``[-1, 1]``.
+    """
+    distances = validate_distance_matrix(distances)
+    labels = np.asarray(labels)
+    n = distances.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match matrix size {n}"
+        )
+    unique = np.unique(labels)
+    if unique.size < 2:
+        # A single cluster has no "next best" cluster; silhouette undefined,
+        # reported as all-zero (neutral).
+        return np.zeros(n, dtype=np.float64)
+
+    # Mean distance from every point to every cluster, via label one-hots.
+    sums = np.zeros((n, unique.size), dtype=np.float64)
+    counts = np.zeros(unique.size, dtype=np.float64)
+    for position, cluster in enumerate(unique):
+        members = labels == cluster
+        sums[:, position] = distances[:, members].sum(axis=1)
+        counts[position] = members.sum()
+
+    own_position = np.searchsorted(unique, labels)
+    own_counts = counts[own_position]
+    out = np.zeros(n, dtype=np.float64)
+
+    # a_i: exclude the point itself from its own-cluster average.
+    own_sums = sums[np.arange(n), own_position]
+    singleton = own_counts <= 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        a = own_sums / np.maximum(own_counts - 1, 1)
+
+    # b_i: min over other clusters of mean distance.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = sums / counts[None, :]
+    means[np.arange(n), own_position] = np.inf
+    b = means.min(axis=1)
+
+    denominator = np.maximum(a, b)
+    valid = ~singleton & (denominator > 0)
+    out[valid] = (b[valid] - a[valid]) / denominator[valid]
+    return np.clip(out, -1.0, 1.0)
+
+
+def mean_silhouette(distances: np.ndarray, labels: np.ndarray) -> float:
+    """The average silhouette width — the paper's model-selection score."""
+    values = silhouette_samples(distances, labels)
+    return float(values.mean()) if values.size else 0.0
+
+
+def cluster_silhouettes(
+    distances: np.ndarray, labels: np.ndarray
+) -> dict[int, float]:
+    """Mean silhouette per cluster (shown to users in the region panel)."""
+    values = silhouette_samples(distances, labels)
+    labels = np.asarray(labels)
+    return {
+        int(cluster): float(values[labels == cluster].mean())
+        for cluster in np.unique(labels)
+    }
+
+
+def monte_carlo_silhouette(
+    points: np.ndarray,
+    labels: np.ndarray,
+    n_subsamples: int = 8,
+    subsample_size: int = 200,
+    metric: str = "euclidean",
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Monte-Carlo estimate of the mean silhouette.
+
+    Draws ``n_subsamples`` random subsets of ``subsample_size`` points,
+    computes each subset's exact mean silhouette (over the subset's own
+    distance matrix), and averages.  Cost is
+    O(n_subsamples · subsample_size²) independent of n — this is the
+    estimator the paper uses at interaction time.
+
+    Subsamples whose points all share one label are skipped (their
+    silhouette is undefined); if every draw degenerates the result is 0.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2:
+        raise ValueError(f"points must be a 2-d matrix, got {points.shape}")
+    if labels.shape != (points.shape[0],):
+        raise ValueError("labels must align with points")
+    if n_subsamples < 1:
+        raise ValueError(f"n_subsamples must be >= 1, got {n_subsamples}")
+    if subsample_size < 2:
+        raise ValueError(f"subsample_size must be >= 2, got {subsample_size}")
+    rng = rng or np.random.default_rng()
+    n = points.shape[0]
+
+    if subsample_size >= n:
+        return mean_silhouette(pairwise_distances(points, metric), labels)
+
+    estimates: list[float] = []
+    for _ in range(n_subsamples):
+        chosen = rng.choice(n, size=subsample_size, replace=False)
+        sub_labels = labels[chosen]
+        if np.unique(sub_labels).size < 2:
+            continue
+        sub_distances = pairwise_distances(points[chosen], metric)
+        estimates.append(mean_silhouette(sub_distances, sub_labels))
+    if not estimates:
+        return 0.0
+    return float(np.mean(estimates))

@@ -1,0 +1,97 @@
+"""Engine configuration.
+
+One dataclass gathers every knob the paper mentions — sample sizes ("a
+few thousand samples" per zoom), the CLARA cutover, silhouette
+Monte-Carlo parameters, candidate k ranges — so experiments can sweep
+them and the defaults document the paper's operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tree.cart import CartParams
+
+__all__ = ["BlaeuConfig"]
+
+
+@dataclass(frozen=True)
+class BlaeuConfig:
+    """All tuning knobs of the Blaeu engine.
+
+    Attributes
+    ----------
+    map_sample_size:
+        Tuples sampled from the active selection before clustering
+        (paper: "a few thousand").
+    dependency_sample_size:
+        Rows sampled for dependency-graph estimation.
+    clara_threshold:
+        Sample sizes above this use CLARA instead of exact PAM.
+    clara_draws:
+        Independent CLARA samples (Kaufman & Rousseeuw recommend 5).
+    clara_sample_size:
+        Rows per CLARA draw (``None``: the book's 40 + 2k rule).
+    map_k_values:
+        Candidate cluster counts for data maps.
+    theme_k_values:
+        Candidate theme counts for the column partition; ``None`` (the
+        default) uses a logarithmic grid scaled to the column count
+        (wide tables like the 378-column OECD set need k ≫ 8).
+    silhouette_subsamples / silhouette_subsample_size:
+        Monte-Carlo silhouette parameters (paper §3).
+    tree_params:
+        CART growth controls for the description stage.
+    max_categorical_cardinality:
+        Categorical columns with more distinct labels are excluded from
+        clustering features (they behave like keys; they remain available
+        for highlighting).
+    min_zoom_rows:
+        Regions with fewer matching tuples than this cannot be zoomed
+        into (nothing left to cluster).
+    highlight_preview_rows:
+        Tuples shown by a highlight before charts take over.
+    prune_leaf_factor:
+        After the description stage the tree is pruned toward
+        ``k × prune_leaf_factor`` leaves for legibility.
+    prune_min_fidelity:
+        Pruning never drops the tree's agreement with the clustering
+        below this fraction.
+    seed:
+        Root seed for all engine randomness.
+    """
+
+    map_sample_size: int = 2000
+    dependency_sample_size: int = 1000
+    clara_threshold: int = 1200
+    clara_draws: int = 5
+    clara_sample_size: int | None = None
+    map_k_values: tuple[int, ...] = (2, 3, 4, 5, 6)
+    theme_k_values: tuple[int, ...] | None = None
+    silhouette_subsamples: int = 8
+    silhouette_subsample_size: int = 200
+    tree_params: CartParams = field(default_factory=CartParams)
+    max_categorical_cardinality: int = 50
+    min_zoom_rows: int = 20
+    highlight_preview_rows: int = 12
+    prune_leaf_factor: int = 2
+    prune_min_fidelity: float = 0.9
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.map_sample_size < 10:
+            raise ValueError("map_sample_size must be at least 10")
+        if self.clara_threshold < 10:
+            raise ValueError("clara_threshold must be at least 10")
+        if not self.map_k_values or min(self.map_k_values) < 2:
+            raise ValueError("map_k_values must contain integers >= 2")
+        if self.theme_k_values is not None and (
+            not self.theme_k_values or min(self.theme_k_values) < 2
+        ):
+            raise ValueError("theme_k_values must contain integers >= 2")
+        if self.min_zoom_rows < 2:
+            raise ValueError("min_zoom_rows must be at least 2")
+        if self.prune_leaf_factor < 1:
+            raise ValueError("prune_leaf_factor must be at least 1")
+        if not 0.0 <= self.prune_min_fidelity <= 1.0:
+            raise ValueError("prune_min_fidelity must be in [0, 1]")

@@ -1,0 +1,98 @@
+"""The Blaeu facade: one object from CSV to navigable maps.
+
+Ties the catalog (:class:`~repro.table.database.Database`), theme
+extraction, map building and navigation together behind the API a
+downstream user starts from::
+
+    from repro import Blaeu
+
+    engine = Blaeu()
+    engine.load_csv("countries.csv")
+    explorer = engine.explore("countries")
+    for theme in explorer.themes():
+        print(theme.name, theme.columns)
+    data_map = explorer.open_theme(0)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BlaeuConfig
+from repro.core.datamap import DataMap
+from repro.core.mapping import build_map
+from repro.core.navigation import Explorer
+from repro.core.themes import ThemeSet, extract_themes
+from repro.table.database import Database
+from repro.table.table import Table
+
+__all__ = ["Blaeu"]
+
+
+class Blaeu:
+    """The top-level engine: catalog + mapping + navigation sessions."""
+
+    def __init__(self, config: BlaeuConfig | None = None) -> None:
+        self._config = config or BlaeuConfig()
+        self._database = Database(seed=self._config.seed)
+        self._theme_cache: dict[str, ThemeSet] = {}
+
+    @property
+    def config(self) -> BlaeuConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def database(self) -> Database:
+        """The underlying catalog (MonetDB's role)."""
+        return self._database
+
+    # ------------------------------------------------------------------
+    # Data ingestion
+    # ------------------------------------------------------------------
+
+    def load_csv(self, path: str | Path, name: str | None = None) -> Table:
+        """Load a CSV file into the catalog; returns the table."""
+        return self._database.load_csv(path, name=name)
+
+    def register(self, table: Table) -> None:
+        """Register an in-memory table."""
+        self._database.register(table)
+        self._theme_cache.pop(table.name, None)
+
+    def tables(self) -> tuple[str, ...]:
+        """Names of the registered tables."""
+        return self._database.table_names()
+
+    # ------------------------------------------------------------------
+    # Analysis entry points
+    # ------------------------------------------------------------------
+
+    def themes(self, table_name: str) -> ThemeSet:
+        """The themes of a registered table (cached per table)."""
+        if table_name not in self._theme_cache:
+            table = self._database.table(table_name)
+            rng = np.random.default_rng(self._config.seed)
+            self._theme_cache[table_name] = extract_themes(
+                table, config=self._config, rng=rng
+            )
+        return self._theme_cache[table_name]
+
+    def map(
+        self,
+        table_name: str,
+        columns: tuple[str, ...],
+        k: int | None = None,
+    ) -> DataMap:
+        """A one-shot data map over explicit columns (no session)."""
+        table = self._database.table(table_name)
+        rng = np.random.default_rng(self._config.seed)
+        return build_map(table, columns, config=self._config, rng=rng, k=k)
+
+    def explore(self, table_name: str) -> Explorer:
+        """Start an interactive exploration session over a table."""
+        table = self._database.table(table_name)
+        themes = self._theme_cache.get(table_name)
+        return Explorer(table, config=self._config, themes=themes)

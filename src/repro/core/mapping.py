@@ -1,0 +1,347 @@
+"""Stages 2–3 of the mapping pipeline: cluster, then describe (Figure 3).
+
+Given a selection and an active column set, :func:`build_map`:
+
+1. takes a *sample* of the selection (a few thousand tuples — paper §3),
+2. **preprocesses** it into vectors (:mod:`repro.core.preprocess`),
+3. **clusters** the vectors with PAM — or CLARA when the sample is still
+   large — choosing k by Monte-Carlo silhouette,
+4. **describes** the clusters with a CART tree trained on the original
+   columns, with cluster ids as class labels,
+5. converts the tree into a :class:`~repro.core.datamap.Region` hierarchy
+   and counts each region's tuples *exactly* over the full selection by
+   routing every tuple through the tree.
+
+The resulting map is interpretable by construction (every boundary is a
+split predicate) at the cost the paper acknowledges: "the decision tree
+only approximates the real partitions detected during the clustering
+step" — that approximation quality is reported as ``fidelity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.clara import clara
+from repro.cluster.distance import pairwise_distances
+from repro.cluster.kselect import select_k_points
+from repro.cluster.pam import Clustering, pam
+from repro.cluster.silhouette import silhouette_samples
+from repro.core.config import BlaeuConfig
+from repro.core.datamap import DataMap, Region
+from repro.core.preprocess import preprocess
+from repro.table.predicates import And, Comparison, Everything, Predicate
+from repro.table.table import Table
+from repro.tree.cart import DecisionTree, TreeNode, fit_tree
+from repro.tree.prune import prune_for_legibility
+
+__all__ = ["build_map"]
+
+
+def build_map(
+    selection: Table,
+    columns: tuple[str, ...],
+    config: BlaeuConfig | None = None,
+    rng: np.random.Generator | None = None,
+    k: int | None = None,
+) -> DataMap:
+    """Build the data map of ``selection`` over the active ``columns``.
+
+    Parameters
+    ----------
+    selection:
+        The tuples matching the user's current query (already selected).
+    columns:
+        Active column set (typically a theme).
+    config:
+        Engine knobs; defaults to :class:`BlaeuConfig`.
+    rng:
+        Randomness for sampling / CLARA / silhouette.
+    k:
+        Force a specific cluster count instead of silhouette selection.
+    """
+    config = config or BlaeuConfig()
+    rng = rng or np.random.default_rng(config.seed)
+    if not columns:
+        raise ValueError("build_map needs at least one active column")
+    if selection.n_rows < 2:
+        raise ValueError(
+            f"selection has {selection.n_rows} rows; nothing to cluster"
+        )
+
+    # Stage 0: sampling (multi-scale sampling handled by the caller's
+    # Database when available; plain uniform here).
+    if selection.n_rows > config.map_sample_size:
+        sample = selection.sample(config.map_sample_size, rng=rng)
+    else:
+        sample = selection
+
+    # Stage 1: preprocessing.
+    space = preprocess(
+        sample,
+        columns=columns,
+        max_categorical_cardinality=config.max_categorical_cardinality,
+    )
+
+    # Stage 2: cluster detection (PAM, or CLARA at scale), k by silhouette.
+    clustering, silhouette = _cluster(space.matrix, config, rng, forced_k=k)
+
+    # Stage 3: cluster description with CART on the *original* columns.
+    describable = [
+        name for name in columns if name in space.used_columns
+    ]
+    tree = fit_tree(
+        sample,
+        clustering.labels,
+        feature_names=describable,
+        params=config.tree_params,
+    )
+    tree = prune_for_legibility(
+        tree,
+        target_leaves=clustering.k * config.prune_leaf_factor,
+        min_accuracy=config.prune_min_fidelity,
+    )
+    fidelity = tree.accuracy(sample, clustering.labels)
+
+    # Region hierarchy + exact counts over the full selection.
+    full_assignment = tree.predict(selection)
+    leaf_silhouettes = _leaf_silhouettes(space.matrix, clustering, config, rng)
+    exemplars = _exemplars(sample, clustering, columns)
+    root = _tree_to_regions(
+        tree.root,
+        tree,
+        selection,
+        full_assignment,
+        leaf_silhouettes,
+        exemplars,
+    )
+    return DataMap(
+        root=root,
+        columns=tuple(columns),
+        k=clustering.k,
+        silhouette=silhouette,
+        fidelity=fidelity,
+        sample_size=sample.n_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 2 internals
+# ----------------------------------------------------------------------
+
+
+def _cluster(
+    matrix: np.ndarray,
+    config: BlaeuConfig,
+    rng: np.random.Generator,
+    forced_k: int | None,
+) -> tuple[Clustering, float]:
+    """Cluster the vectors; return the clustering and its silhouette."""
+    n = matrix.shape[0]
+
+    def cluster_fn(points: np.ndarray, k: int) -> Clustering:
+        if points.shape[0] > config.clara_threshold:
+            return clara(
+                points,
+                k,
+                n_draws=config.clara_draws,
+                sample_size=config.clara_sample_size,
+                rng=rng,
+            )
+        return pam(pairwise_distances(points), k, rng=rng)
+
+    if forced_k is not None:
+        if not 1 <= forced_k <= n:
+            raise ValueError(f"forced k={forced_k} out of range [1, {n}]")
+        clustering = cluster_fn(matrix, forced_k)
+        from repro.cluster.silhouette import monte_carlo_silhouette
+
+        score = monte_carlo_silhouette(
+            matrix,
+            clustering.labels,
+            n_subsamples=config.silhouette_subsamples,
+            subsample_size=config.silhouette_subsample_size,
+            rng=rng,
+        )
+        return clustering, score
+
+    selection = select_k_points(
+        matrix,
+        cluster_fn,
+        k_values=config.map_k_values,
+        n_subsamples=config.silhouette_subsamples,
+        subsample_size=config.silhouette_subsample_size,
+        rng=rng,
+    )
+    return selection.clustering, selection.best.silhouette
+
+
+def _leaf_silhouettes(
+    matrix: np.ndarray,
+    clustering: Clustering,
+    config: BlaeuConfig,
+    rng: np.random.Generator,
+) -> dict[int, float]:
+    """Per-cluster mean silhouette, from a bounded subsample."""
+    n = matrix.shape[0]
+    cap = max(config.silhouette_subsample_size * 2, 400)
+    if n > cap:
+        chosen = rng.choice(n, size=cap, replace=False)
+    else:
+        chosen = np.arange(n)
+    labels = clustering.labels[chosen]
+    if np.unique(labels).size < 2:
+        return {int(c): 0.0 for c in np.unique(clustering.labels)}
+    distances = pairwise_distances(matrix[chosen])
+    values = silhouette_samples(distances, labels)
+    return {
+        int(cluster): float(values[labels == cluster].mean())
+        for cluster in np.unique(labels)
+    }
+
+
+def _exemplars(
+    sample: Table,
+    clustering: Clustering,
+    columns: tuple[str, ...],
+) -> dict[int, dict[str, object]]:
+    """Medoid tuple per cluster, restricted to the active columns."""
+    out: dict[int, dict[str, object]] = {}
+    for cluster in range(clustering.k):
+        medoid_row = int(clustering.medoids[cluster])
+        row = sample.row(medoid_row)
+        out[cluster] = {name: row[name] for name in columns if name in row}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Stage 3 internals: tree → regions
+# ----------------------------------------------------------------------
+
+
+def _tree_to_regions(
+    node: TreeNode,
+    tree: DecisionTree,
+    selection: Table,
+    full_assignment: np.ndarray,
+    leaf_silhouettes: dict[int, float],
+    exemplars: dict[int, dict[str, object]],
+    region_id: str = "r",
+    label: str = "all rows",
+    path: tuple[Predicate, ...] = (),
+    row_mask: np.ndarray | None = None,
+) -> Region:
+    """Recursively mirror the description tree as a region hierarchy.
+
+    ``row_mask`` tracks which selection rows route into this node, so
+    counts come from the actual tree routing (missing values follow the
+    fitted majority branch) rather than from re-evaluating predicates,
+    which would disagree on missing cells.
+    """
+    if row_mask is None:
+        row_mask = np.ones(selection.n_rows, dtype=bool)
+    predicate: Predicate = And.of(*path) if path else Everything()
+
+    if node.is_leaf:
+        cluster = node.prediction
+        return Region(
+            region_id=region_id,
+            label=label,
+            predicate=predicate,
+            n_rows=int(row_mask.sum()),
+            depth=node.depth,
+            cluster=cluster,
+            silhouette=leaf_silhouettes.get(cluster),
+            exemplar=exemplars.get(cluster, {}),
+        )
+
+    assert node.left is not None and node.right is not None
+    left_predicate, right_predicate = _split_predicates(node)
+    left_label, right_label = _split_labels(node)
+    goes_left = _route_left(node, selection)
+    left_mask = row_mask & goes_left
+    right_mask = row_mask & ~goes_left
+
+    region = Region(
+        region_id=region_id,
+        label=label,
+        predicate=predicate,
+        n_rows=int(row_mask.sum()),
+        depth=node.depth,
+    )
+    region.children = [
+        _tree_to_regions(
+            node.left,
+            tree,
+            selection,
+            full_assignment,
+            leaf_silhouettes,
+            exemplars,
+            region_id=region_id + "0",
+            label=left_label,
+            path=path + (left_predicate,),
+            row_mask=left_mask,
+        ),
+        _tree_to_regions(
+            node.right,
+            tree,
+            selection,
+            full_assignment,
+            leaf_silhouettes,
+            exemplars,
+            region_id=region_id + "1",
+            label=right_label,
+            path=path + (right_predicate,),
+            row_mask=right_mask,
+        ),
+    ]
+    return region
+
+
+def _split_predicates(node: TreeNode) -> tuple[Predicate, Predicate]:
+    """The (left, right) predicates of a split, missing-values included.
+
+    The fitted tree routes missing cells along the node's majority branch;
+    the predicates say so explicitly (``… OR x IS NULL``), so that the SQL
+    a region displays selects *exactly* the tuples the region counts.
+    """
+    from repro.table.predicates import IsMissing, Or
+
+    column = node.column or ""
+    if node.threshold is not None:
+        left: Predicate = Comparison(column, "<", node.threshold)
+        right: Predicate = Comparison(column, ">=", node.threshold)
+    else:
+        category = node.category or ""
+        left = Comparison(column, "==", category)
+        right = Comparison(column, "!=", category)
+    if node.missing_goes_left:
+        left = Or((left, IsMissing(column)))
+    else:
+        right = Or((right, IsMissing(column)))
+    return left, right
+
+
+def _split_labels(node: TreeNode) -> tuple[str, str]:
+    """Short display labels for the two branches (no IS NULL noise)."""
+    column = node.column or ""
+    if node.threshold is not None:
+        return (
+            f"{column} < {node.threshold:g}",
+            f"{column} >= {node.threshold:g}",
+        )
+    return (
+        f"{column} = '{node.category}'",
+        f"{column} <> '{node.category}'",
+    )
+
+
+def _route_left(node: TreeNode, table: Table) -> np.ndarray:
+    """Boolean mask of all table rows that follow the node's left branch."""
+    from repro.tree.cart import _left_mask
+
+    indices = np.arange(table.n_rows, dtype=np.intp)
+    out = np.zeros(table.n_rows, dtype=bool)
+    goes_left = _left_mask(node, table.column(node.column or ""), indices)
+    out[indices[goes_left]] = True
+    return out

@@ -1,0 +1,331 @@
+"""The four navigational actions: zoom, highlight, project, rollback (§2).
+
+An :class:`Explorer` is the session-level state machine.  Every state is
+the triple *(selection predicate, active columns, data map)*; zooming and
+projecting push new states, rollback pops, and highlight inspects without
+changing state.  "Each action is reversible, and the users can always go
+back to a previous state of the system with a rollback."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BlaeuConfig
+from repro.core.datamap import DataMap, Region
+from repro.core.mapping import build_map
+from repro.core.themes import Theme, ThemeSet, extract_themes
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.predicates import And, Everything, Predicate
+from repro.table.table import Table
+
+__all__ = ["Explorer", "ExplorationState", "Highlight"]
+
+
+@dataclass(frozen=True)
+class ExplorationState:
+    """One immutable point in the exploration history."""
+
+    selection: Predicate
+    columns: tuple[str, ...]
+    map: DataMap
+    action: str
+
+    @property
+    def n_rows(self) -> int:
+        """Tuples in this state's selection."""
+        return self.map.n_rows
+
+
+@dataclass(frozen=True)
+class Highlight:
+    """The result of highlighting a region (paper: inspect its tuples).
+
+    Contains a bounded tuple preview plus per-column summaries —
+    histograms for numeric columns, value counts for categorical ones —
+    the data behind the "classic univariate and bivariate visualization
+    methods" the prototype offers.
+    """
+
+    region_id: str
+    columns: tuple[str, ...]
+    n_rows: int
+    preview: tuple[dict[str, object], ...]
+    numeric_summaries: dict[str, dict[str, float]] = field(default_factory=dict)
+    category_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+class Explorer:
+    """Interactive navigation over one table.
+
+    Parameters
+    ----------
+    table:
+        The table to explore.
+    config:
+        Engine knobs.
+    themes:
+        Pre-extracted themes (otherwise computed lazily on first access).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        config: BlaeuConfig | None = None,
+        themes: ThemeSet | None = None,
+    ) -> None:
+        self._table = table
+        self._config = config or BlaeuConfig()
+        self._rng = np.random.default_rng(self._config.seed)
+        self._themes = themes
+        self._stack: list[ExplorationState] = []
+
+    # ------------------------------------------------------------------
+    # Themes
+    # ------------------------------------------------------------------
+
+    @property
+    def table(self) -> Table:
+        """The table under exploration."""
+        return self._table
+
+    @property
+    def config(self) -> BlaeuConfig:
+        """The engine configuration."""
+        return self._config
+
+    def themes(self) -> ThemeSet:
+        """The table's themes (computed once, then cached)."""
+        if self._themes is None:
+            self._themes = extract_themes(
+                self._table, config=self._config, rng=self._rng
+            )
+        return self._themes
+
+    def set_themes(self, themes: ThemeSet) -> None:
+        """Replace the theme set (after user edits in the theme view)."""
+        self._themes = themes
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> ExplorationState:
+        """The current exploration state."""
+        if not self._stack:
+            raise RuntimeError(
+                "no active map; call open_theme() or open_columns() first"
+            )
+        return self._stack[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of states on the stack (0 before the first map)."""
+        return len(self._stack)
+
+    def history(self) -> tuple[str, ...]:
+        """The actions taken so far, oldest first."""
+        return tuple(state.action for state in self._stack)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def open_theme(self, theme: str | int | Theme) -> DataMap:
+        """Select a theme and build the initial map over the whole table."""
+        resolved = self._resolve_theme(theme)
+        return self._push(
+            selection=Everything(),
+            columns=resolved.columns,
+            action=f"open theme {resolved.name!r}",
+        )
+
+    def open_columns(self, columns: tuple[str, ...]) -> DataMap:
+        """Build the initial map over an explicit column set."""
+        for name in columns:
+            self._table.column(name)
+        return self._push(
+            selection=Everything(),
+            columns=tuple(columns),
+            action=f"open columns {list(columns)}",
+        )
+
+    def zoom(self, region_id: str) -> DataMap:
+        """Drill down into a region: re-cluster inside it (paper Fig. 1c).
+
+        The region's predicate is conjoined with the current selection
+        and a fresh map is built over the same columns.
+        """
+        state = self.state
+        region = state.map.region(region_id)
+        new_selection = And.of(state.selection, region.predicate)
+        n_rows = int(new_selection.mask(self._table).sum())
+        if n_rows < self._config.min_zoom_rows:
+            raise ValueError(
+                f"region {region_id!r} holds {n_rows} tuples; at least "
+                f"{self._config.min_zoom_rows} are needed to zoom"
+            )
+        return self._push(
+            selection=new_selection,
+            columns=state.columns,
+            action=f"zoom into {region_id} ({region.label})",
+        )
+
+    def project(self, theme: str | int | Theme) -> DataMap:
+        """Re-map the current selection with another theme's columns (Fig. 1d)."""
+        state = self.state
+        resolved = self._resolve_theme(theme)
+        return self._push(
+            selection=state.selection,
+            columns=resolved.columns,
+            action=f"project onto theme {resolved.name!r}",
+        )
+
+    def project_columns(self, columns: tuple[str, ...]) -> DataMap:
+        """Re-map the current selection with an explicit column set."""
+        state = self.state
+        for name in columns:
+            self._table.column(name)
+        return self._push(
+            selection=state.selection,
+            columns=tuple(columns),
+            action=f"project onto columns {list(columns)}",
+        )
+
+    def highlight(
+        self,
+        region_id: str,
+        columns: tuple[str, ...] | None = None,
+    ) -> Highlight:
+        """Inspect the tuples of a region without changing state (Fig. 1c).
+
+        Returns a bounded preview plus univariate summaries for the
+        requested columns (default: the active columns).
+        """
+        state = self.state
+        region = state.map.region(region_id)
+        predicate = And.of(state.selection, region.predicate)
+        rows = self._table.select(predicate)
+        inspect = tuple(columns) if columns else state.columns
+        for name in inspect:
+            self._table.column(name)
+
+        preview_rows = rows.head(self._config.highlight_preview_rows)
+        preview = tuple(
+            {name: row[name] for name in inspect}
+            for row in preview_rows.rows()
+        )
+
+        numeric_summaries: dict[str, dict[str, float]] = {}
+        category_counts: dict[str, dict[str, int]] = {}
+        for name in inspect:
+            column = rows.column(name)
+            if isinstance(column, NumericColumn):
+                numeric_summaries[name] = {
+                    "min": column.min(),
+                    "max": column.max(),
+                    "mean": column.mean(),
+                    "median": column.median(),
+                    "std": column.std(),
+                }
+            elif isinstance(column, CategoricalColumn):
+                category_counts[name] = column.value_counts()
+        return Highlight(
+            region_id=region_id,
+            columns=inspect,
+            n_rows=rows.n_rows,
+            preview=preview,
+            numeric_summaries=numeric_summaries,
+            category_counts=category_counts,
+        )
+
+    def rollback(self) -> DataMap:
+        """Undo the latest zoom/project/open; returns the restored map."""
+        if len(self._stack) < 2:
+            raise RuntimeError("nothing to roll back to")
+        self._stack.pop()
+        return self.state.map
+
+    def states(self) -> tuple[ExplorationState, ...]:
+        """All states on the stack, oldest first (for the history panel)."""
+        return tuple(self._stack)
+
+    def goto(self, index: int) -> DataMap:
+        """Roll back to the state at ``index`` (0 = the first map).
+
+        A multi-step rollback: everything after ``index`` is discarded.
+        """
+        if not 0 <= index < len(self._stack):
+            raise IndexError(
+                f"state {index} out of range [0, {len(self._stack)})"
+            )
+        del self._stack[index + 1 :]
+        return self.state.map
+
+    def insights(self, region_id: str) -> "InsightReport":
+        """Why is this region distinct from the rest of the selection?
+
+        Contrasts the region's column distributions (numeric effect
+        sizes, categorical lifts) against its siblings — the narrative
+        the demo's "insights and serendipity" goal asks for.
+        """
+        from repro.core.insights import InsightReport, region_insights
+
+        state = self.state
+        region = state.map.region(region_id)
+        selection = self._table.select(state.selection)
+        return region_insights(selection, region.predicate)
+
+    # ------------------------------------------------------------------
+    # Implicit query
+    # ------------------------------------------------------------------
+
+    def sql(self, region_id: str | None = None) -> str:
+        """The Select-Project query the user has implicitly written.
+
+        With ``region_id``, the query of that region; otherwise the query
+        of the current selection.
+        """
+        from repro.core.queries import state_to_sql
+
+        state = self.state
+        predicate = state.selection
+        if region_id is not None:
+            region = state.map.region(region_id)
+            predicate = And.of(predicate, region.predicate)
+        return state_to_sql(self._table.name, predicate, state.columns)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_theme(self, theme: str | int | Theme) -> Theme:
+        if isinstance(theme, Theme):
+            return theme
+        themes = self.themes()
+        if isinstance(theme, int):
+            return themes[theme]
+        return themes.theme(theme)
+
+    def _push(
+        self,
+        selection: Predicate,
+        columns: tuple[str, ...],
+        action: str,
+    ) -> DataMap:
+        subset = self._table.select(selection)
+        data_map = build_map(
+            subset, columns, config=self._config, rng=self._rng
+        )
+        self._stack.append(
+            ExplorationState(
+                selection=selection,
+                columns=columns,
+                map=data_map,
+                action=action,
+            )
+        )
+        return data_map

@@ -1,0 +1,233 @@
+"""Theme extraction — vertical clustering of columns (paper §2–3).
+
+A *theme* is "a group of columns which describe the same aspect of the
+data" — unemployment statistics, health indicators, labor conditions.
+Themes are obtained by partitioning the column dependency graph with PAM;
+each theme is named after its medoid column (the most central indicator
+of the group).  The theme view also lets users *edit* themes (Figure 5),
+so :class:`ThemeSet` supports moving columns and renaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import BlaeuConfig
+from repro.graph.dependency import DependencyGraph, build_dependency_graph
+from repro.graph.partition import pam_partition
+from repro.table.column import CategoricalColumn
+from repro.table.schema import detect_keys
+from repro.table.table import Table
+
+__all__ = ["Theme", "ThemeSet", "default_theme_k_grid", "extract_themes"]
+
+
+def default_theme_k_grid(n_columns: int, max_points: int = 14) -> tuple[int, ...]:
+    """A logarithmic candidate grid for the number of themes.
+
+    Dense at small k (where one step changes the picture) and sparse at
+    large k, topping out near ``n_columns / 5`` — wide tables carry many
+    themes, but never one theme per column or two.
+    """
+    if n_columns < 3:
+        return (2,)
+    top = max(3, min(n_columns - 1, round(n_columns / 5) + 2))
+    grid: list[int] = []
+    value = 2.0
+    while round(value) <= top:
+        k = round(value)
+        if not grid or k > grid[-1]:
+            grid.append(k)
+        value *= 1.35
+    if grid[-1] != top:
+        grid.append(top)
+    if len(grid) > max_points:
+        picks = {
+            grid[round(i * (len(grid) - 1) / (max_points - 1))]
+            for i in range(max_points)
+        }
+        grid = sorted(picks)
+    return tuple(grid)
+
+
+@dataclass(frozen=True)
+class Theme:
+    """One group of mutually dependent columns."""
+
+    name: str
+    columns: tuple[str, ...]
+    cohesion: float
+
+    @property
+    def size(self) -> int:
+        """Number of columns in the theme."""
+        return len(self.columns)
+
+    def __contains__(self, column: object) -> bool:
+        return column in self.columns
+
+
+@dataclass(frozen=True)
+class ThemeSet:
+    """All themes of a table, plus the evidence they were built from."""
+
+    themes: tuple[Theme, ...]
+    graph: DependencyGraph
+    silhouette: float
+    k_scores: dict[int, float] = field(default_factory=dict)
+    excluded_keys: tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.themes)
+
+    def __iter__(self):
+        return iter(self.themes)
+
+    def __getitem__(self, index: int) -> Theme:
+        return self.themes[index]
+
+    def theme(self, name: str) -> Theme:
+        """The theme called ``name``; raises ``KeyError`` when absent."""
+        for theme in self.themes:
+            if theme.name == name:
+                return theme
+        raise KeyError(
+            f"no theme named {name!r}; available: {[t.name for t in self.themes]}"
+        )
+
+    def theme_of(self, column: str) -> Theme:
+        """The theme containing ``column``."""
+        for theme in self.themes:
+            if column in theme.columns:
+                return theme
+        raise KeyError(f"column {column!r} belongs to no theme")
+
+    def names(self) -> tuple[str, ...]:
+        """All theme names, largest theme first."""
+        return tuple(theme.name for theme in self.themes)
+
+    # ------------------------------------------------------------------
+    # Editing (Figure 5: "users can browse and edit the themes")
+    # ------------------------------------------------------------------
+
+    def move_column(self, column: str, target_theme: str) -> "ThemeSet":
+        """A new ThemeSet with ``column`` moved into ``target_theme``.
+
+        Empty source themes disappear.  Cohesion values are recomputed
+        from the dependency graph.
+        """
+        source = self.theme_of(column)
+        target = self.theme(target_theme)
+        if source.name == target.name:
+            return self
+        updated: list[Theme] = []
+        for theme in self.themes:
+            if theme.name == source.name:
+                remaining = tuple(c for c in theme.columns if c != column)
+                if not remaining:
+                    continue
+                updated.append(
+                    Theme(
+                        name=remaining[0],
+                        columns=remaining,
+                        cohesion=_cohesion(self.graph, remaining),
+                    )
+                )
+            elif theme.name == target.name:
+                extended = theme.columns + (column,)
+                updated.append(replace(
+                    theme,
+                    columns=extended,
+                    cohesion=_cohesion(self.graph, extended),
+                ))
+            else:
+                updated.append(theme)
+        return replace(self, themes=tuple(updated))
+
+    def rename_theme(self, old: str, new: str) -> "ThemeSet":
+        """A new ThemeSet with one theme renamed (columns unchanged)."""
+        if any(t.name == new for t in self.themes):
+            raise ValueError(f"a theme named {new!r} already exists")
+        self.theme(old)  # raise KeyError when absent
+        updated = tuple(
+            replace(t, name=new) if t.name == old else t for t in self.themes
+        )
+        return replace(self, themes=updated)
+
+
+def extract_themes(
+    table: Table,
+    config: BlaeuConfig | None = None,
+    rng: np.random.Generator | None = None,
+    columns: tuple[str, ...] | None = None,
+) -> ThemeSet:
+    """Detect the themes of a table.
+
+    Keys are excluded (they depend on nothing), the dependency graph is
+    estimated from a row sample, and PAM partitions it with k chosen by
+    the silhouette over ``config.theme_k_values``.
+    """
+    config = config or BlaeuConfig()
+    rng = rng or np.random.default_rng(config.seed)
+
+    candidates = list(columns) if columns is not None else list(table.column_names)
+    keys = set(detect_keys(table))
+    # Near-key categoricals (e.g. 1,500 region names) carry identity, not
+    # structure — exclude them just like the preprocessing stage does.
+    for column in table.columns:
+        if (
+            column.name in candidates
+            and isinstance(column, CategoricalColumn)
+            and column.n_distinct() > config.max_categorical_cardinality
+        ):
+            keys.add(column.name)
+    kept = tuple(c for c in candidates if c not in keys)
+    excluded = tuple(c for c in candidates if c in keys)
+    if len(kept) < 2:
+        raise ValueError(
+            "theme extraction needs at least two non-key columns; "
+            f"got {list(kept)} (keys excluded: {list(excluded)})"
+        )
+
+    graph = build_dependency_graph(
+        table,
+        columns=kept,
+        measure="nmi",
+        sample=config.dependency_sample_size,
+        rng=rng,
+    )
+    k_values = config.theme_k_values
+    if k_values is None:
+        k_values = default_theme_k_grid(len(kept))
+    groups, selection = pam_partition(graph, k_values=k_values, rng=rng)
+
+    themes = tuple(
+        Theme(
+            name=group[0],
+            columns=tuple(group),
+            cohesion=_cohesion(graph, tuple(group)),
+        )
+        for group in sorted(groups, key=lambda g: (-len(g), g[0]))
+    )
+    return ThemeSet(
+        themes=themes,
+        graph=graph,
+        silhouette=selection.best.silhouette,
+        k_scores=selection.scores(),
+        excluded_keys=excluded,
+    )
+
+
+def _cohesion(graph: DependencyGraph, columns: tuple[str, ...]) -> float:
+    """Mean pairwise dependency inside a column group (1.0 for singletons)."""
+    if len(columns) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for i, a in enumerate(columns):
+        for b in columns[i + 1 :]:
+            total += graph.weight(a, b)
+            pairs += 1
+    return total / pairs

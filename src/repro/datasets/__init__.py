@@ -1,0 +1,33 @@
+"""Demo datasets — synthetic stand-ins for the paper's three databases.
+
+The paper demonstrates Blaeu on the Hollywood movie dataset (~900×12),
+the OECD Countries-and-Work dataset (6,823×378, 31 countries) and the
+LOFAR radio-astronomy catalog (100,000s × dozens).  None of those files
+ship with the paper, so this package generates seeded synthetic tables
+matching their published shapes, mixed types, missing-value rates and —
+crucially for evaluation — with *planted* themes and clusters whose
+recovery the benchmarks can score.
+"""
+
+from repro.datasets.hollywood import hollywood
+from repro.datasets.lofar import lofar
+from repro.datasets.oecd import oecd, oecd_small
+from repro.datasets.synthetic import (
+    PlantedClusters,
+    PlantedThemes,
+    mixed_blobs,
+    numeric_blobs,
+    planted_themes,
+)
+
+__all__ = [
+    "PlantedClusters",
+    "PlantedThemes",
+    "hollywood",
+    "lofar",
+    "mixed_blobs",
+    "numeric_blobs",
+    "oecd",
+    "oecd_small",
+    "planted_themes",
+]

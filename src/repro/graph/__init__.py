@@ -1,0 +1,25 @@
+"""Dependency graphs over table columns (the theme substrate).
+
+Blaeu "generates a dependency graph, a weighted undirected graph in which
+each vertex represents a column and each edge the statistical dependency
+between two columns", then "partitions the dependency graph with cluster
+analysis" (§3, Figure 2).  This package builds that graph (on mutual
+information by default, correlation as the documented alternative) and
+partitions it with PAM over the induced dissimilarity, alongside two
+baselines used by the benchmarks.
+"""
+
+from repro.graph.dependency import DependencyGraph, build_dependency_graph
+from repro.graph.partition import (
+    modularity_partition,
+    pam_partition,
+    threshold_components,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "build_dependency_graph",
+    "modularity_partition",
+    "pam_partition",
+    "threshold_components",
+]

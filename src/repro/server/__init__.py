@@ -1,0 +1,32 @@
+"""Session tier: the NodeJS layer of Figure 4, in process.
+
+"The top layer of the server manages the sessions and relays the maps to
+the clients."  This package reproduces that layer's observable behaviour:
+a JSON request/response protocol (:mod:`repro.server.protocol`) and a
+multi-session dispatcher (:mod:`repro.server.session`) that turns client
+messages into engine calls and engine results into JSON payloads.  No
+sockets are opened — the protocol is exercised in process, which is what
+the architecture benchmark times end to end.
+"""
+
+from repro.server.persistence import replay_session, save_session
+from repro.server.protocol import (
+    ErrorResponse,
+    ProtocolError,
+    Request,
+    Response,
+    parse_request,
+)
+from repro.server.session import Session, SessionManager
+
+__all__ = [
+    "ErrorResponse",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "Session",
+    "SessionManager",
+    "parse_request",
+    "replay_session",
+    "save_session",
+]

@@ -1,0 +1,133 @@
+"""The client ↔ server message protocol.
+
+Requests are JSON objects with a ``command`` plus command-specific
+arguments; responses carry ``ok`` and either a payload or an error.  The
+command set covers the UI's verbs exactly:
+
+========== =====================================================
+command     arguments
+========== =====================================================
+tables      —
+themes      table
+open        session, table, theme (name or index)
+map         session
+zoom        session, region
+project     session, theme
+highlight   session, region, columns (optional)
+rollback    session
+sql         session, region (optional)
+history     session
+close       session
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ErrorResponse",
+    "parse_request",
+]
+
+#: Commands the dispatcher understands, with their required arguments.
+COMMANDS: dict[str, tuple[str, ...]] = {
+    "tables": (),
+    "themes": ("table",),
+    "open": ("session", "table", "theme"),
+    "map": ("session",),
+    "zoom": ("session", "region"),
+    "project": ("session", "theme"),
+    "highlight": ("session", "region"),
+    "rollback": ("session",),
+    "sql": ("session",),
+    "history": ("session",),
+    "close": ("session",),
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid client request."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, validated client request."""
+
+    command: str
+    args: dict[str, object] = field(default_factory=dict)
+
+    def arg(self, name: str, default: object = None) -> object:
+        """The named argument (or ``default``)."""
+        return self.args.get(name, default)
+
+    def to_json(self) -> str:
+        """Serialize back to wire format."""
+        return json.dumps({"command": self.command, **self.args}, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Response:
+    """A successful server response."""
+
+    payload: dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        """Always ``True`` for successful responses."""
+        return True
+
+    def to_json(self) -> str:
+        """Serialize to wire format."""
+        return json.dumps({"ok": True, **self.payload}, sort_keys=True, default=str)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed server response."""
+
+    error: str
+    command: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Always ``False`` for error responses."""
+        return False
+
+    def to_json(self) -> str:
+        """Serialize to wire format."""
+        body: dict[str, object] = {"ok": False, "error": self.error}
+        if self.command:
+            body["command"] = self.command
+        return json.dumps(body, sort_keys=True)
+
+
+def parse_request(text: str) -> Request:
+    """Parse and validate one JSON request line.
+
+    Raises :class:`ProtocolError` on malformed JSON, unknown commands or
+    missing required arguments.
+    """
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"malformed JSON: {error}") from error
+    if not isinstance(raw, dict):
+        raise ProtocolError("request must be a JSON object")
+    command = raw.pop("command", None)
+    if not isinstance(command, str):
+        raise ProtocolError("request must carry a string 'command'")
+    if command not in COMMANDS:
+        raise ProtocolError(
+            f"unknown command {command!r}; known: {sorted(COMMANDS)}"
+        )
+    missing = [name for name in COMMANDS[command] if name not in raw]
+    if missing:
+        raise ProtocolError(
+            f"command {command!r} is missing arguments: {missing}"
+        )
+    return Request(command=command, args=raw)

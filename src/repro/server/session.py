@@ -1,0 +1,224 @@
+"""Session management and request dispatch.
+
+A :class:`Session` wraps one :class:`~repro.core.navigation.Explorer`;
+the :class:`SessionManager` owns the engine, creates sessions on
+``open``, routes every protocol command to the right session and renders
+results as JSON payloads (via :mod:`repro.viz.export` for maps and
+themes).  Engine-side failures never crash the dispatcher: they come
+back as :class:`~repro.server.protocol.ErrorResponse`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.engine import Blaeu
+from repro.core.navigation import Explorer, Highlight
+from repro.server.protocol import (
+    ErrorResponse,
+    ProtocolError,
+    Request,
+    Response,
+    parse_request,
+)
+from repro.viz.export import export_map_json, export_themes_json
+
+__all__ = ["Session", "SessionManager"]
+
+
+@dataclass
+class Session:
+    """One user's exploration session."""
+
+    session_id: str
+    table_name: str
+    explorer: Explorer
+
+
+class SessionManager:
+    """Dispatches protocol requests onto engine sessions."""
+
+    def __init__(self, engine: Blaeu) -> None:
+        self._engine = engine
+        self._sessions: dict[str, Session] = {}
+        self._counter = 0
+
+    @property
+    def engine(self) -> Blaeu:
+        """The underlying engine."""
+        return self._engine
+
+    def session_ids(self) -> tuple[str, ...]:
+        """Active session ids."""
+        return tuple(self._sessions)
+
+    def new_session_id(self) -> str:
+        """A fresh session id (``s1``, ``s2``, …)."""
+        self._counter += 1
+        return f"s{self._counter}"
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle_json(self, text: str) -> str:
+        """Wire-format entry point: JSON line in, JSON line out."""
+        try:
+            request = parse_request(text)
+        except ProtocolError as error:
+            return ErrorResponse(error=str(error)).to_json()
+        return self.handle(request).to_json()
+
+    def handle(self, request: Request) -> Response | ErrorResponse:
+        """Dispatch one parsed request."""
+        handler = getattr(self, f"_handle_{request.command}", None)
+        if handler is None:  # pragma: no cover - parse_request guards this
+            return ErrorResponse(
+                error=f"unhandled command {request.command!r}",
+                command=request.command,
+            )
+        try:
+            return handler(request)
+        except (KeyError, ValueError, RuntimeError) as error:
+            return ErrorResponse(error=str(error), command=request.command)
+
+    # ------------------------------------------------------------------
+    # Command handlers
+    # ------------------------------------------------------------------
+
+    def _handle_tables(self, request: Request) -> Response:
+        return Response({"tables": list(self._engine.tables())})
+
+    def _handle_themes(self, request: Request) -> Response:
+        table = str(request.arg("table"))
+        themes = self._engine.themes(table)
+        return Response(
+            {"table": table, "themes": json.loads(export_themes_json(themes))}
+        )
+
+    def _handle_open(self, request: Request) -> Response:
+        session_id = str(request.arg("session"))
+        table = str(request.arg("table"))
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already exists")
+        explorer = self._engine.explore(table)
+        theme = request.arg("theme")
+        if isinstance(theme, int):
+            data_map = explorer.open_theme(theme)
+        else:
+            data_map = explorer.open_theme(str(theme))
+        self._sessions[session_id] = Session(
+            session_id=session_id, table_name=table, explorer=explorer
+        )
+        return Response(
+            {"session": session_id, "map": json.loads(export_map_json(data_map))}
+        )
+
+    def _handle_map(self, request: Request) -> Response:
+        session = self._require(request)
+        data_map = session.explorer.state.map
+        return Response(
+            {
+                "session": session.session_id,
+                "map": json.loads(export_map_json(data_map)),
+            }
+        )
+
+    def _handle_zoom(self, request: Request) -> Response:
+        session = self._require(request)
+        region = str(request.arg("region"))
+        data_map = session.explorer.zoom(region)
+        return Response(
+            {
+                "session": session.session_id,
+                "map": json.loads(export_map_json(data_map)),
+            }
+        )
+
+    def _handle_project(self, request: Request) -> Response:
+        session = self._require(request)
+        theme = request.arg("theme")
+        if isinstance(theme, int):
+            data_map = session.explorer.project(theme)
+        else:
+            data_map = session.explorer.project(str(theme))
+        return Response(
+            {
+                "session": session.session_id,
+                "map": json.loads(export_map_json(data_map)),
+            }
+        )
+
+    def _handle_highlight(self, request: Request) -> Response:
+        session = self._require(request)
+        region = str(request.arg("region"))
+        columns = request.arg("columns")
+        if columns is not None and not isinstance(columns, list):
+            raise ValueError("'columns' must be a list of column names")
+        highlight = session.explorer.highlight(
+            region,
+            columns=tuple(str(c) for c in columns) if columns else None,
+        )
+        return Response(
+            {"session": session.session_id, "highlight": _highlight_payload(highlight)}
+        )
+
+    def _handle_rollback(self, request: Request) -> Response:
+        session = self._require(request)
+        data_map = session.explorer.rollback()
+        return Response(
+            {
+                "session": session.session_id,
+                "map": json.loads(export_map_json(data_map)),
+            }
+        )
+
+    def _handle_sql(self, request: Request) -> Response:
+        session = self._require(request)
+        region = request.arg("region")
+        sql = session.explorer.sql(str(region) if region is not None else None)
+        return Response({"session": session.session_id, "sql": sql})
+
+    def _handle_history(self, request: Request) -> Response:
+        session = self._require(request)
+        return Response(
+            {
+                "session": session.session_id,
+                "history": list(session.explorer.history()),
+            }
+        )
+
+    def _handle_close(self, request: Request) -> Response:
+        session_id = str(request.arg("session"))
+        if session_id not in self._sessions:
+            raise KeyError(f"no session {session_id!r}")
+        del self._sessions[session_id]
+        return Response({"closed": session_id})
+
+    def _require(self, request: Request) -> Session:
+        session_id = str(request.arg("session"))
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(
+                f"no session {session_id!r}; open one first "
+                f"(active: {list(self._sessions)})"
+            ) from None
+
+
+def _highlight_payload(highlight: Highlight) -> dict[str, object]:
+    return {
+        "region": highlight.region_id,
+        "columns": list(highlight.columns),
+        "n_rows": highlight.n_rows,
+        "preview": [dict(row) for row in highlight.preview],
+        "numeric": {
+            name: {k: round(v, 4) for k, v in stats.items()}
+            for name, stats in highlight.numeric_summaries.items()
+        },
+        "categories": {
+            name: dict(counts)
+            for name, counts in highlight.category_counts.items()
+        },
+    }

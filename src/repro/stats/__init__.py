@@ -1,0 +1,56 @@
+"""Statistical dependency measures for the dependency graph.
+
+The paper builds its dependency graph from pairwise column dependencies
+and picks mutual information "because it is very flexible: it copes with
+mixed values and it is sensitive to non-linear relationships" (§3).  This
+package implements that estimator (via discretization) together with the
+alternatives the paper mentions (correlation coefficients) and the
+normalization utilities the preprocessing stage needs.
+"""
+
+from repro.stats.discretize import (
+    BinningRule,
+    discretize_column,
+    equal_frequency_bins,
+    equal_width_bins,
+    suggest_bin_count,
+)
+from repro.stats.entropy import (
+    conditional_entropy,
+    entropy_from_counts,
+    joint_entropy,
+    shannon_entropy,
+)
+from repro.stats.mutual_info import (
+    column_dependency,
+    mutual_information,
+    normalized_mutual_information,
+    pairwise_dependencies,
+)
+from repro.stats.correlation import pearson, spearman
+from repro.stats.normalize import (
+    minmax_scale,
+    robust_scale,
+    zscore,
+)
+
+__all__ = [
+    "BinningRule",
+    "column_dependency",
+    "conditional_entropy",
+    "discretize_column",
+    "entropy_from_counts",
+    "equal_frequency_bins",
+    "equal_width_bins",
+    "joint_entropy",
+    "minmax_scale",
+    "mutual_information",
+    "normalized_mutual_information",
+    "pairwise_dependencies",
+    "pearson",
+    "robust_scale",
+    "shannon_entropy",
+    "spearman",
+    "suggest_bin_count",
+    "zscore",
+]

@@ -1,0 +1,83 @@
+"""Correlation coefficients — the dependency measures the paper mentions
+as alternatives to mutual information ("we could have used any function
+from the literature, such as the correlation coefficient", §3).
+
+Both estimators drop pairwise-incomplete rows and return 0 for degenerate
+inputs (constant vectors, too few rows), matching the MI module's "no
+evidence" convention so the dependency graph can swap measures freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table.column import NumericColumn
+
+__all__ = ["pearson", "spearman"]
+
+#: Below this many pairwise-complete rows a correlation is reported as 0.
+MIN_COMPLETE_ROWS = 3
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's r between two float vectors (NaN-aware, in ``[-1, 1]``)."""
+    x, y = _complete_pairs(x, y)
+    if x.size < MIN_COMPLETE_ROWS:
+        return 0.0
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denominator = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denominator == 0.0:
+        return 0.0
+    r = float((x_centered * y_centered).sum() / denominator)
+    return float(np.clip(r, -1.0, 1.0))
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman's rank correlation (Pearson over mid-ranks)."""
+    x, y = _complete_pairs(x, y)
+    if x.size < MIN_COMPLETE_ROWS:
+        return 0.0
+    return pearson(_midranks(x), _midranks(y))
+
+
+def column_correlation(a: NumericColumn, b: NumericColumn, rank: bool = False) -> float:
+    """Absolute correlation between two numeric columns.
+
+    The dependency graph needs a symmetric non-negative weight, so the
+    sign is dropped; ``rank=True`` switches to Spearman.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"columns {a.name!r} and {b.name!r} have different lengths"
+        )
+    measure = spearman if rank else pearson
+    return abs(measure(a.values, b.values))
+
+
+def _complete_pairs(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"length mismatch: {x.shape[0]} vs {y.shape[0]}")
+    complete = ~(np.isnan(x) | np.isnan(y))
+    return x[complete], y[complete]
+
+
+def _midranks(values: np.ndarray) -> np.ndarray:
+    """Mid-ranks (average rank for ties), 1-based."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1, dtype=np.float64)
+    # Average the ranks of tied runs.
+    sorted_values = values[order]
+    i = 0
+    while i < sorted_values.size:
+        j = i
+        while j + 1 < sorted_values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            tied = order[i : j + 1]
+            ranks[tied] = ranks[tied].mean()
+        i = j + 1
+    return ranks

@@ -1,0 +1,129 @@
+"""Discretization of numeric columns for entropy-based estimators.
+
+Mutual information over mixed data requires a discrete representation of
+continuous columns.  We provide the two classic binning schemes plus the
+standard bin-count rules; the dependency graph uses equal-frequency bins
+by default because MI estimates from equal-frequency bins are far less
+sensitive to outliers and skew (heavy-tailed indicators are common in the
+paper's OECD data).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+import numpy as np
+
+from repro.table.column import CategoricalColumn, Column, NumericColumn
+
+__all__ = [
+    "BinningRule",
+    "suggest_bin_count",
+    "equal_width_bins",
+    "equal_frequency_bins",
+    "discretize_column",
+]
+
+#: Code assigned to missing cells in discretized output.
+MISSING_BIN = -1
+
+
+class BinningRule(Enum):
+    """Rules for choosing the number of bins from the sample size."""
+
+    STURGES = "sturges"
+    RICE = "rice"
+    SQRT = "sqrt"
+
+
+def suggest_bin_count(
+    n: int, rule: BinningRule = BinningRule.STURGES, max_bins: int = 32
+) -> int:
+    """A bin count for ``n`` observations under the given rule, ≥ 1."""
+    if n <= 1:
+        return 1
+    if rule is BinningRule.STURGES:
+        bins = int(math.ceil(math.log2(n) + 1))
+    elif rule is BinningRule.RICE:
+        bins = int(math.ceil(2.0 * n ** (1.0 / 3.0)))
+    else:
+        bins = int(math.ceil(math.sqrt(n)))
+    return max(1, min(bins, max_bins))
+
+
+def equal_width_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Assign each value to one of ``n_bins`` equal-width intervals.
+
+    ``values`` must be free of NaN.  Returns int codes in ``[0, n_bins)``.
+    A constant column collapses to a single bin.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    _require_finite(values)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if values.size == 0:
+        return np.empty(0, dtype=np.int32)
+    low, high = float(values.min()), float(values.max())
+    if low == high:
+        return np.zeros(values.size, dtype=np.int32)
+    edges = np.linspace(low, high, n_bins + 1)
+    codes = np.searchsorted(edges, values, side="right") - 1
+    return np.clip(codes, 0, n_bins - 1).astype(np.int32)
+
+
+def equal_frequency_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Assign each value to one of ``n_bins`` (approximately) equal-count bins.
+
+    Ties at quantile boundaries go to the lower bin, so heavily repeated
+    values can make bins uneven; duplicate edges are merged.  Returns int
+    codes in ``[0, effective_bins)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    _require_finite(values)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if values.size == 0:
+        return np.empty(0, dtype=np.int32)
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(values, quantiles))
+    codes = np.searchsorted(edges, values, side="right")
+    return codes.astype(np.int32)
+
+
+def discretize_column(
+    column: Column,
+    n_bins: int | None = None,
+    rule: BinningRule = BinningRule.STURGES,
+    equal_frequency: bool = True,
+) -> np.ndarray:
+    """Integer codes for any column; missing cells get :data:`MISSING_BIN`.
+
+    Categorical columns pass through their codes unchanged; numeric columns
+    are binned (equal-frequency by default).
+    """
+    if isinstance(column, CategoricalColumn):
+        return column.codes.astype(np.int32)
+    if not isinstance(column, NumericColumn):
+        raise TypeError(f"unsupported column type {type(column).__name__}")
+
+    codes = np.full(len(column), MISSING_BIN, dtype=np.int32)
+    present = column.present_mask
+    present_values = column.values[present]
+    if present_values.size == 0:
+        return codes
+    if n_bins is None:
+        n_bins = suggest_bin_count(present_values.size, rule)
+    if equal_frequency:
+        binned = equal_frequency_bins(present_values, n_bins)
+    else:
+        binned = equal_width_bins(present_values, n_bins)
+    codes[present] = binned
+    return codes
+
+
+def _require_finite(values: np.ndarray) -> None:
+    if values.size and not np.all(np.isfinite(values)):
+        raise ValueError(
+            "binning requires finite values; filter the missing mask first"
+        )

@@ -1,0 +1,79 @@
+"""Scaling utilities for the preprocessing stage.
+
+Blaeu "normalizes the continuous variables" before clustering (§3) so
+that no indicator dominates the distance computations by unit alone.
+All scalers are NaN-transparent: missing cells stay NaN and statistics
+are computed over present cells only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["zscore", "minmax_scale", "robust_scale", "ScalerStats"]
+
+
+@dataclass(frozen=True)
+class ScalerStats:
+    """The fitted statistics of a scaler, for inverse transforms."""
+
+    center: float
+    scale: float
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """``(values - center) / scale`` (scale 0 maps everything to 0)."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.scale == 0.0:
+            out = np.zeros_like(values)
+            out[np.isnan(values)] = np.nan
+            return out
+        return (values - self.center) / self.scale
+
+    def invert(self, scaled: np.ndarray) -> np.ndarray:
+        """Undo :meth:`apply` (identity-center when scale was 0)."""
+        scaled = np.asarray(scaled, dtype=np.float64)
+        return scaled * self.scale + self.center
+
+
+def zscore(values: np.ndarray) -> tuple[np.ndarray, ScalerStats]:
+    """Center to mean 0, scale to (population) standard deviation 1."""
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if present.size == 0:
+        stats = ScalerStats(center=0.0, scale=0.0)
+    else:
+        stats = ScalerStats(
+            center=float(present.mean()), scale=float(present.std())
+        )
+    return stats.apply(values), stats
+
+
+def minmax_scale(values: np.ndarray) -> tuple[np.ndarray, ScalerStats]:
+    """Map the present range onto ``[0, 1]``."""
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if present.size == 0:
+        stats = ScalerStats(center=0.0, scale=0.0)
+    else:
+        low = float(present.min())
+        high = float(present.max())
+        stats = ScalerStats(center=low, scale=high - low)
+    return stats.apply(values), stats
+
+
+def robust_scale(values: np.ndarray) -> tuple[np.ndarray, ScalerStats]:
+    """Center to the median, scale to the interquartile range.
+
+    Preferred when heavy-tailed indicators (income, astronomy fluxes)
+    would let outliers crush a z-score's resolution.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if present.size == 0:
+        stats = ScalerStats(center=0.0, scale=0.0)
+    else:
+        q1, median, q3 = np.quantile(present, [0.25, 0.5, 0.75])
+        stats = ScalerStats(center=float(median), scale=float(q3 - q1))
+    return stats.apply(values), stats

@@ -1,0 +1,177 @@
+"""Group-by aggregation over tables.
+
+Blaeu's inspectors summarize regions ("average income inside this
+cluster", "tuples per country") — the classic aggregate queries a DBMS
+would run.  This module supplies that capability for the column store:
+group by one categorical column (or by no column: whole-table totals)
+and compute count / mean / min / max / sum over numeric columns, with
+SQL rendering for the implicit-query display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.predicates import Everything, Predicate
+from repro.table.table import Table
+
+__all__ = ["Aggregate", "AggregateResult", "aggregate"]
+
+_FUNCTIONS = ("count", "mean", "min", "max", "sum")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregation request: ``function(column)``.
+
+    ``count`` may omit the column (``COUNT(*)``).
+    """
+
+    function: str
+    column: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in _FUNCTIONS:
+            raise ValueError(
+                f"unknown aggregate {self.function!r}; known: {_FUNCTIONS}"
+            )
+        if self.function != "count" and self.column is None:
+            raise ValueError(f"{self.function} requires a column")
+
+    @property
+    def name(self) -> str:
+        """Result-column name (``mean_income``, ``count``)."""
+        if self.column is None:
+            return self.function
+        return f"{self.function}_{self.column}"
+
+    def to_sql(self) -> str:
+        """SQL fragment (``AVG("income")``)."""
+        sql_name = {"mean": "AVG"}.get(self.function, self.function.upper())
+        if self.column is None:
+            return f"{sql_name}(*)"
+        return f'{sql_name}("{self.column}")'
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Aggregation output: one record per group.
+
+    ``groups`` maps the group label (``None`` for the global group or for
+    the missing-label group) to a record of aggregate name → value.
+    """
+
+    by: str | None
+    groups: dict[str | None, dict[str, float]] = field(default_factory=dict)
+    sql: str = ""
+
+    def group(self, label: str | None) -> dict[str, float]:
+        """The record for one group label."""
+        return self.groups[label]
+
+    def labels(self) -> list[str | None]:
+        """Group labels, largest count first (``None`` groups last)."""
+        def sort_key(label):
+            record = self.groups[label]
+            return (-record.get("count", 0.0), label is None, str(label))
+
+        return sorted(self.groups, key=sort_key)
+
+
+def aggregate(
+    table: Table,
+    aggregates: Sequence[Aggregate],
+    by: str | None = None,
+    where: Predicate | None = None,
+) -> AggregateResult:
+    """Run ``SELECT <aggs> FROM table [WHERE …] [GROUP BY by]``.
+
+    Parameters
+    ----------
+    table:
+        Source rows.
+    aggregates:
+        The aggregate list; must be non-empty.
+    by:
+        Optional categorical column to group on; missing labels form
+        their own ``None`` group.
+    where:
+        Optional row filter applied first.
+    """
+    if not aggregates:
+        raise ValueError("at least one aggregate is required")
+    where = where or Everything()
+    rows = table.select(where)
+
+    if by is None:
+        group_rows: dict[str | None, np.ndarray] = {
+            None: np.arange(rows.n_rows, dtype=np.intp)
+        }
+    else:
+        column = rows.column(by)
+        if not isinstance(column, CategoricalColumn):
+            raise TypeError(f"GROUP BY column {by!r} must be categorical")
+        group_rows = {}
+        for code, label in enumerate(column.categories):
+            members = np.flatnonzero(column.codes == code)
+            if members.size:
+                group_rows[label] = members
+        missing = np.flatnonzero(column.missing_mask)
+        if missing.size:
+            group_rows[None] = missing
+
+    groups: dict[str | None, dict[str, float]] = {}
+    for label, members in group_rows.items():
+        record: dict[str, float] = {}
+        for request in aggregates:
+            record[request.name] = _evaluate(rows, request, members)
+        groups[label] = record
+
+    sql = _render_sql(table.name, aggregates, by, where)
+    return AggregateResult(by=by, groups=groups, sql=sql)
+
+
+def _evaluate(table: Table, request: Aggregate, members: np.ndarray) -> float:
+    if request.function == "count" and request.column is None:
+        return float(members.size)
+    column = table.column(request.column or "")
+    if request.function == "count":
+        return float(column.present_mask[members].sum())
+    if not isinstance(column, NumericColumn):
+        raise TypeError(
+            f"{request.function} requires a numeric column, got "
+            f"{request.column!r}"
+        )
+    values = column.values[members]
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        return float("nan")
+    if request.function == "mean":
+        return float(values.mean())
+    if request.function == "min":
+        return float(values.min())
+    if request.function == "max":
+        return float(values.max())
+    return float(values.sum())
+
+
+def _render_sql(
+    table_name: str,
+    aggregates: Sequence[Aggregate],
+    by: str | None,
+    where: Predicate,
+) -> str:
+    select_parts = [a.to_sql() for a in aggregates]
+    if by is not None:
+        select_parts.insert(0, f'"{by}"')
+    sql = f'SELECT {", ".join(select_parts)} FROM "{table_name}"'
+    condition = where.to_sql()
+    if condition != "TRUE":
+        sql += f" WHERE {condition}"
+    if by is not None:
+        sql += f' GROUP BY "{by}"'
+    return sql

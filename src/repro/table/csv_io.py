@@ -1,0 +1,130 @@
+"""CSV ingestion and export.
+
+Blaeu's architecture (Figure 4) feeds MonetDB from "external DBs and CSV
+files".  This module is the CSV path: it parses with the standard library
+``csv`` reader and delegates type decisions to
+:func:`repro.table.schema.infer_column`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.table.column import (
+    CategoricalColumn,
+    ColumnKind,
+    NumericColumn,
+)
+from repro.table.schema import infer_column
+from repro.table.table import Table
+
+__all__ = ["read_csv", "read_csv_text", "write_csv", "write_csv_text"]
+
+
+def read_csv(
+    path: str | Path,
+    name: str | None = None,
+    delimiter: str = ",",
+    kinds: Mapping[str, ColumnKind] | None = None,
+) -> Table:
+    """Load a CSV file with a header row into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    name:
+        Table name; defaults to the file stem.
+    delimiter:
+        Field separator.
+    kinds:
+        Optional per-column kind overrides (skips inference).
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        return _read(handle, name or path.stem, delimiter, kinds)
+
+
+def read_csv_text(
+    text: str,
+    name: str = "table",
+    delimiter: str = ",",
+    kinds: Mapping[str, ColumnKind] | None = None,
+) -> Table:
+    """Like :func:`read_csv` but from an in-memory string (tests, demos)."""
+    return _read(io.StringIO(text), name, delimiter, kinds)
+
+
+def _read(
+    handle,
+    name: str,
+    delimiter: str,
+    kinds: Mapping[str, ColumnKind] | None,
+) -> Table:
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError(f"CSV source for table {name!r} is empty") from None
+    header = [column_name.strip() for column_name in header]
+    if any(not column_name for column_name in header):
+        raise ValueError("CSV header contains empty column names")
+
+    cells: list[list[str | None]] = [[] for _ in header]
+    for line_number, row in enumerate(reader, start=2):
+        if not row or (len(row) == 1 and not row[0].strip()):
+            continue  # skip truly blank lines (an all-missing row is data)
+        if len(row) != len(header):
+            raise ValueError(
+                f"line {line_number}: expected {len(header)} fields, "
+                f"got {len(row)}"
+            )
+        for position, cell in enumerate(row):
+            cells[position].append(cell)
+
+    columns = []
+    for position, column_name in enumerate(header):
+        forced = kinds.get(column_name) if kinds else None
+        columns.append(infer_column(column_name, cells[position], forced))
+    return Table(name, columns)
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write ``table`` to ``path`` with a header row; missing cells empty."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        _write(table, handle, delimiter)
+
+
+def write_csv_text(table: Table, delimiter: str = ",") -> str:
+    """Render ``table`` as CSV text."""
+    buffer = io.StringIO()
+    _write(table, buffer, delimiter)
+    return buffer.getvalue()
+
+
+def _write(table: Table, handle, delimiter: str) -> None:
+    writer = csv.writer(handle, delimiter=delimiter)
+    writer.writerow(table.column_names)
+    columns = table.columns
+    for index in range(table.n_rows):
+        row: list[str] = []
+        for column in columns:
+            value = column.value_at(index)
+            if value is None:
+                row.append("")
+            elif isinstance(column, NumericColumn):
+                row.append(_format_cell(float(value)))
+            else:
+                row.append(str(value))
+        writer.writerow(row)
+
+
+def _format_cell(value: float) -> str:
+    """Format a float without losing round-trip precision."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

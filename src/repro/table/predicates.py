@@ -1,0 +1,349 @@
+"""Predicate algebra over tables, with SQL rendering.
+
+Blaeu's central expressivity claim (§2) is that navigating a data map
+implicitly composes *Select–Project* queries: every map region corresponds
+to a conjunction of split predicates such as ``income >= 22 AND
+hours < 9.5``.  This module is the algebra those regions are built from.
+
+Every predicate can do two things:
+
+* evaluate itself against a :class:`~repro.table.table.Table` into a boolean
+  row mask (:meth:`Predicate.mask`), and
+* render itself as a SQL ``WHERE`` fragment (:meth:`Predicate.to_sql`),
+  which is how the engine reports the query a user has "written" by
+  clicking.
+
+Missing-value semantics follow SQL: a comparison against a missing cell is
+not true, so ``Not`` uses set complement over *rows*, not three-valued
+logic (the paper's engine works on cluster membership, where every row is
+in or out).  ``IsMissing`` exists to query missingness explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.table.column import CategoricalColumn, Column, NumericColumn
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.table.table import Table
+
+__all__ = [
+    "Predicate",
+    "Everything",
+    "Comparison",
+    "Between",
+    "In",
+    "IsMissing",
+    "And",
+    "Or",
+    "Not",
+]
+
+_NUMERIC_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+_SQL_OPS = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "=", "!=": "<>"}
+
+
+def _quote_identifier(name: str) -> str:
+    """Render a column name as a (double-quoted) SQL identifier."""
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _quote_literal(label: str) -> str:
+    """Render a category label as a SQL string literal."""
+    escaped = label.replace("'", "''")
+    return f"'{escaped}'"
+
+
+class Predicate(ABC):
+    """A boolean condition over the rows of a table."""
+
+    @abstractmethod
+    def mask(self, table: "Table") -> np.ndarray:
+        """Evaluate to a boolean array of length ``table.n_rows``."""
+
+    @abstractmethod
+    def to_sql(self) -> str:
+        """Render as a SQL boolean expression."""
+
+    @abstractmethod
+    def columns(self) -> frozenset[str]:
+        """Names of the columns this predicate references."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And.of(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.to_sql()}>"
+
+
+@dataclass(frozen=True)
+class Everything(Predicate):
+    """The predicate that matches every row (the root of every map)."""
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return np.ones(table.n_rows, dtype=bool)
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> value``; the predicate a CART split produces.
+
+    Numeric columns accept all six operators; categorical columns accept
+    only ``==`` and ``!=`` against a label.
+    """
+
+    column: str
+    op: str
+    value: float | str
+
+    def __post_init__(self) -> None:
+        if self.op not in _NUMERIC_OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def mask(self, table: "Table") -> np.ndarray:
+        column = table.column(self.column)
+        if isinstance(column, NumericColumn):
+            if isinstance(self.value, str):
+                raise TypeError(
+                    f"numeric column {self.column!r} compared to string "
+                    f"{self.value!r}"
+                )
+            with np.errstate(invalid="ignore"):
+                out = _NUMERIC_OPS[self.op](column.values, float(self.value))
+            out &= column.present_mask
+            return out
+        if isinstance(column, CategoricalColumn):
+            if self.op not in ("==", "!="):
+                raise TypeError(
+                    f"operator {self.op!r} is not defined for categorical "
+                    f"column {self.column!r}"
+                )
+            try:
+                code = column.code_of(str(self.value))
+            except KeyError:
+                matches = np.zeros(len(column), dtype=bool)
+            else:
+                matches = column.codes == code
+            if self.op == "!=":
+                matches = ~matches & column.present_mask
+            return matches
+        raise TypeError(f"unsupported column type {type(column).__name__}")
+
+    def to_sql(self) -> str:
+        ident = _quote_identifier(self.column)
+        if isinstance(self.value, str):
+            return f"{ident} {_SQL_OPS[self.op]} {_quote_literal(self.value)}"
+        return f"{ident} {_SQL_OPS[self.op]} {_format_number(self.value)}"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= column < high`` — the half-open interval of a zoomed region."""
+
+    column: str
+    low: float
+    high: float
+
+    def mask(self, table: "Table") -> np.ndarray:
+        column = table.column(self.column)
+        if not isinstance(column, NumericColumn):
+            raise TypeError(f"Between requires a numeric column, got {self.column!r}")
+        with np.errstate(invalid="ignore"):
+            out = (column.values >= self.low) & (column.values < self.high)
+        out &= column.present_mask
+        return out
+
+    def to_sql(self) -> str:
+        ident = _quote_identifier(self.column)
+        return (
+            f"{ident} >= {_format_number(self.low)} "
+            f"AND {ident} < {_format_number(self.high)}"
+        )
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column IN (labels)`` over a categorical column."""
+
+    column: str
+    labels: tuple[str, ...]
+
+    def __init__(self, column: str, labels: Iterable[str]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "labels", tuple(sorted(set(map(str, labels)))))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        column = table.column(self.column)
+        if not isinstance(column, CategoricalColumn):
+            raise TypeError(f"In requires a categorical column, got {self.column!r}")
+        codes = [
+            column.code_of(label)
+            for label in self.labels
+            if label in column.categories
+        ]
+        if not codes:
+            return np.zeros(len(column), dtype=bool)
+        return np.isin(column.codes, np.asarray(codes, dtype=np.int32))
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(_quote_literal(label) for label in self.labels)
+        return f"{_quote_identifier(self.column)} IN ({rendered})"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+
+@dataclass(frozen=True)
+class IsMissing(Predicate):
+    """``column IS NULL``."""
+
+    column: str
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return table.column(self.column).missing_mask.copy()
+
+    def to_sql(self) -> str:
+        return f"{_quote_identifier(self.column)} IS NULL"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+
+class _Connective(Predicate):
+    """Shared machinery for ``And`` / ``Or``."""
+
+    _sql_word: str = ""
+
+    def __init__(self, operands: Iterable[Predicate]) -> None:
+        flattened: list[Predicate] = []
+        for operand in operands:
+            if type(operand) is type(self):
+                flattened.extend(operand.operands)  # type: ignore[attr-defined]
+            else:
+                flattened.append(operand)
+        if not flattened:
+            raise ValueError(f"{type(self).__name__} needs at least one operand")
+        self._operands = tuple(flattened)
+
+    @property
+    def operands(self) -> tuple[Predicate, ...]:
+        """The flattened operand list."""
+        return self._operands
+
+    @classmethod
+    def of(cls, *operands: Predicate) -> Predicate:
+        """Smart constructor: drops redundant ``Everything`` terms."""
+        kept = [p for p in operands if not isinstance(p, Everything)]
+        if not kept:
+            return Everything()
+        if len(kept) == 1:
+            return kept[0]
+        return cls(kept)
+
+    def to_sql(self) -> str:
+        parts = []
+        for operand in self._operands:
+            sql = operand.to_sql()
+            if isinstance(operand, _Connective):
+                sql = f"({sql})"
+            parts.append(sql)
+        return f" {self._sql_word} ".join(parts)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(p.columns() for p in self._operands))
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other._operands == self._operands  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._operands))
+
+
+class And(_Connective):
+    """Conjunction; ``And.of`` drops ``Everything`` and flattens nesting."""
+
+    _sql_word = "AND"
+
+    def mask(self, table: "Table") -> np.ndarray:
+        out = self._operands[0].mask(table)
+        for operand in self._operands[1:]:
+            out = out & operand.mask(table)
+        return out
+
+
+class Or(_Connective):
+    """Disjunction; ``Or.of`` drops ``Everything``-absorbed forms."""
+
+    _sql_word = "OR"
+
+    @classmethod
+    def of(cls, *operands: Predicate) -> Predicate:
+        if any(isinstance(p, Everything) for p in operands):
+            return Everything()
+        if not operands:
+            raise ValueError("Or needs at least one operand")
+        if len(operands) == 1:
+            return operands[0]
+        return cls(operands)
+
+    def mask(self, table: "Table") -> np.ndarray:
+        out = self._operands[0].mask(table)
+        for operand in self._operands[1:]:
+            out = out | operand.mask(table)
+        return out
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Row-set complement of the wrapped predicate."""
+
+    operand: Predicate
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~self.operand.mask(table)
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+
+def _format_number(value: float) -> str:
+    """Render a float compactly (integers without a trailing ``.0``)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:g}"

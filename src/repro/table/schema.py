@@ -1,0 +1,148 @@
+"""Schema inference and key detection.
+
+The paper's engine ingests "external DBs and CSV files" (Figure 4) and its
+preprocessing step "removes the primary keys" (§3).  This module supplies
+both pieces: given raw (string) cells it decides whether a column is
+numeric or categorical, and given a table it detects which columns behave
+like keys and should be excluded from clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.table.column import (
+    CategoricalColumn,
+    Column,
+    ColumnKind,
+    MISSING_TOKENS,
+    NumericColumn,
+    _parse_float,
+)
+from repro.table.table import Table
+
+__all__ = ["Schema", "infer_column", "infer_schema", "detect_keys"]
+
+#: Numeric-looking columns whose present values all fall in this set are
+#: kept categorical (0/1 flags read from CSV are flags, not measurements).
+FLAG_VALUES = frozenset({0.0, 1.0})
+
+#: Common name fragments that mark identifier columns.
+KEY_NAME_HINTS = ("id", "key", "uuid", "code")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column kinds plus detected key columns for one table."""
+
+    kinds: dict[str, ColumnKind]
+    keys: tuple[str, ...] = field(default=())
+
+    @property
+    def numeric(self) -> tuple[str, ...]:
+        """Names of numeric columns, in schema order."""
+        return tuple(
+            n for n, k in self.kinds.items() if k is ColumnKind.NUMERIC
+        )
+
+    @property
+    def categorical(self) -> tuple[str, ...]:
+        """Names of categorical columns, in schema order."""
+        return tuple(
+            n for n, k in self.kinds.items() if k is ColumnKind.CATEGORICAL
+        )
+
+    @property
+    def non_key_columns(self) -> tuple[str, ...]:
+        """All columns except the detected keys."""
+        keys = set(self.keys)
+        return tuple(n for n in self.kinds if n not in keys)
+
+
+def infer_column(
+    name: str,
+    cells: Sequence[object],
+    forced: ColumnKind | None = None,
+) -> Column:
+    """Build a typed column from raw cells.
+
+    A column becomes numeric when every *present* cell parses as a float
+    and the column is not a disguised flag (see
+    :data:`LOW_CARDINALITY_NUMERIC`).  ``forced`` overrides inference.
+    """
+    if forced is ColumnKind.NUMERIC:
+        return NumericColumn.from_cells(name, cells)  # type: ignore[arg-type]
+    if forced is ColumnKind.CATEGORICAL:
+        return CategoricalColumn.from_labels(
+            name, [None if c is None else str(c) for c in cells]
+        )
+
+    parsed: list[float | None] = []
+    any_present = False
+    all_numeric = True
+    for cell in cells:
+        if cell is None or str(cell).strip().lower() in MISSING_TOKENS:
+            parsed.append(None)
+            continue
+        any_present = True
+        value = _parse_float(cell)
+        if value is None:
+            all_numeric = False
+            break
+        parsed.append(value)
+
+    if all_numeric and any_present:
+        present = {v for v in parsed if v is not None}
+        if not present <= FLAG_VALUES:
+            return NumericColumn.from_cells(name, cells)  # type: ignore[arg-type]
+    return CategoricalColumn.from_labels(
+        name, [None if c is None else str(c) for c in cells]
+    )
+
+
+def infer_schema(table: Table) -> Schema:
+    """The schema of an existing table, including detected keys."""
+    kinds = {column.name: column.kind for column in table.columns}
+    return Schema(kinds=kinds, keys=detect_keys(table))
+
+
+def detect_keys(table: Table) -> tuple[str, ...]:
+    """Columns that behave like primary keys.
+
+    A column is flagged when it is all-distinct with no missing values,
+    or when its name carries an identifier hint *and* it is almost
+    distinct (>95% unique) — catching keys with a few duplicates from
+    denormalized exports.
+
+    Continuous measurements are all-distinct *by nature*, so numeric
+    columns only qualify when every present value is integral (sequential
+    row ids, account numbers) — an income column is never a key.
+    """
+    keys: list[str] = []
+    for column in table.columns:
+        if len(column) == 0:
+            continue
+        if isinstance(column, NumericColumn) and not _is_integral(column):
+            continue
+        if column.is_unique_key():
+            keys.append(column.name)
+            continue
+        lowered = column.name.lower()
+        hinted = any(
+            lowered == hint or lowered.endswith("_" + hint) or lowered.endswith(hint)
+            for hint in KEY_NAME_HINTS
+        )
+        if hinted and column.n_distinct() > 0.95 * len(column):
+            keys.append(column.name)
+    return tuple(keys)
+
+
+def _is_integral(column: NumericColumn) -> bool:
+    """Whether every present value is a whole number."""
+    present = column.present_values()
+    if present.size == 0:
+        return False
+    return bool((present == present.astype(np.int64)).all())

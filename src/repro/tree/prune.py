@@ -1,0 +1,189 @@
+"""Cost-complexity (weakest-link) pruning, CART book §3.
+
+Maps must stay legible: a tree that sprouts dozens of leaves to chase a
+few misassigned tuples makes a worse map, not a better one.  Weakest-link
+pruning trades training error against leaf count with a single complexity
+price ``alpha``: collapse every subtree whose error reduction per saved
+leaf is below ``alpha``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.tree.cart import DecisionTree, TreeNode
+
+__all__ = ["cost_complexity_prune", "prune_for_legibility", "pruning_path"]
+
+
+def cost_complexity_prune(tree: DecisionTree, alpha: float) -> DecisionTree:
+    """A pruned copy of ``tree`` under complexity price ``alpha`` ≥ 0.
+
+    Repeatedly collapses the weakest link — the internal node with the
+    smallest per-leaf error improvement — while that improvement rate is
+    below ``alpha``.  ``alpha = 0`` returns an equivalent copy.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    pruned = copy.deepcopy(tree)
+    while True:
+        weakest, rate = _weakest_link(pruned.root)
+        if weakest is None or rate > alpha:
+            return pruned
+        _collapse(weakest)
+
+
+def pruning_path(tree: DecisionTree) -> list[tuple[float, int]]:
+    """The sequence of (alpha, n_leaves) along the full pruning path.
+
+    Useful for picking alpha by inspection: the first entry is
+    ``(0.0, n_leaves)`` of the unpruned tree, the last is ``(inf-most
+    alpha, 1)`` for the root-only tree.
+    """
+    work = copy.deepcopy(tree)
+    path = [(0.0, work.n_leaves())]
+    while True:
+        weakest, rate = _weakest_link(work.root)
+        if weakest is None:
+            return path
+        _collapse(weakest)
+        path.append((rate, work.n_leaves()))
+
+
+def prune_for_legibility(
+    tree: DecisionTree,
+    target_leaves: int,
+    min_accuracy: float = 0.9,
+) -> DecisionTree:
+    """Prune a description tree so the map stays legible.
+
+    Two phases, both collapsing weakest links first and never erasing the
+    *last* leaf of any class (every cluster must stay visible on the map):
+
+    1. **hard cap** — while the tree has more than ``target_leaves``
+       leaves, collapse regardless of the accuracy cost (legibility wins;
+       the paper accepts that "the decision tree only approximates the
+       real partitions");
+    2. **cleanup** — below the cap, keep collapsing only while training
+       accuracy stays at or above ``min_accuracy`` (removes pure-split
+       leaves that add regions without adding information).
+    """
+    if target_leaves < 1:
+        raise ValueError(f"target_leaves must be >= 1, got {target_leaves}")
+    if not 0.0 <= min_accuracy <= 1.0:
+        raise ValueError(f"min_accuracy must be in [0, 1], got {min_accuracy}")
+    work = copy.deepcopy(tree)
+    total = work.root.n_samples
+    if total == 0:
+        return work
+
+    # Phase 1: enforce the leaf cap.
+    while work.n_leaves() > target_leaves:
+        candidate = _collapsible(work.root, require_class_safety=True)
+        if candidate is None:
+            break
+        _collapse(candidate)
+
+    # Phase 2: opportunistic cleanup under the accuracy floor.
+    while work.n_leaves() > 2:
+        candidate = _collapsible(work.root, require_class_safety=True)
+        if candidate is None:
+            break
+        current_error, _ = _subtree_stats(work.root)
+        subtree_error, _ = _subtree_stats(candidate)
+        error_after = current_error + (_node_error(candidate) - subtree_error)
+        if 1.0 - error_after / total < min_accuracy:
+            break
+        _collapse(candidate)
+    return work
+
+
+def _collapsible(root: TreeNode, require_class_safety: bool) -> TreeNode | None:
+    """The weakest internal node whose collapse keeps every class visible.
+
+    A collapse replaces a subtree by one leaf predicting the subtree's
+    majority class; it is *class-safe* when every other class predicted
+    by the subtree's leaves still has a leaf elsewhere in the tree.
+    """
+    leaf_classes: dict[int, int] = {}
+    for node in root.walk():
+        if node.is_leaf:
+            leaf_classes[node.prediction] = (
+                leaf_classes.get(node.prediction, 0) + 1
+            )
+
+    candidates: list[tuple[float, TreeNode]] = []
+    for node in root.walk():
+        if node.is_leaf:
+            continue
+        subtree_error, subtree_leaves = _subtree_stats(node)
+        if subtree_leaves <= 1:
+            continue
+        rate = (_node_error(node) - subtree_error) / (subtree_leaves - 1)
+        candidates.append((rate, node))
+    candidates.sort(key=lambda pair: pair[0])
+
+    for _, node in candidates:
+        if not require_class_safety:
+            return node
+        majority = int(np.argmax(node.class_counts))
+        inside: dict[int, int] = {}
+        for leaf in node.walk():
+            if leaf.is_leaf:
+                inside[leaf.prediction] = inside.get(leaf.prediction, 0) + 1
+        safe = all(
+            cls == majority or leaf_classes.get(cls, 0) > count
+            for cls, count in inside.items()
+        )
+        if safe:
+            return node
+    return None
+
+
+def _node_error(node: TreeNode) -> float:
+    """Misclassified sample count when ``node`` predicts its majority class."""
+    return float(node.n_samples - node.class_counts.max())
+
+
+def _subtree_stats(node: TreeNode) -> tuple[float, int]:
+    """(training error, leaf count) of the subtree rooted at ``node``."""
+    if node.is_leaf:
+        return _node_error(node), 1
+    assert node.left is not None and node.right is not None
+    left_error, left_leaves = _subtree_stats(node.left)
+    right_error, right_leaves = _subtree_stats(node.right)
+    return left_error + right_error, left_leaves + right_leaves
+
+
+def _weakest_link(root: TreeNode) -> tuple[TreeNode | None, float]:
+    """The internal node with the lowest error-per-leaf improvement rate.
+
+    The rate of node t is ``(R(t) − R(T_t)) / (|T_t| − 1)`` where ``R(t)``
+    is the node's own error as a leaf and ``R(T_t)``, ``|T_t|`` are its
+    subtree's error and leaf count.
+    """
+    weakest: TreeNode | None = None
+    weakest_rate = np.inf
+    for node in root.walk():
+        if node.is_leaf:
+            continue
+        subtree_error, subtree_leaves = _subtree_stats(node)
+        if subtree_leaves <= 1:
+            continue
+        rate = (_node_error(node) - subtree_error) / (subtree_leaves - 1)
+        if rate < weakest_rate - 1e-12:
+            weakest = node
+            weakest_rate = rate
+    return weakest, float(weakest_rate)
+
+
+def _collapse(node: TreeNode) -> None:
+    """Turn an internal node into a leaf predicting its majority class."""
+    node.left = None
+    node.right = None
+    node.column = None
+    node.threshold = None
+    node.category = None
+    node.prediction = int(np.argmax(node.class_counts))

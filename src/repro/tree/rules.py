@@ -1,0 +1,118 @@
+"""Rule extraction: tree paths → predicates → map region boundaries.
+
+This module is the bridge between the description stage and the map
+model.  Every leaf of a fitted CART corresponds to a conjunction of split
+conditions; rendered through the table layer's predicate algebra those
+conjunctions *are* the Select-Project queries the paper says users
+implicitly write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.table.predicates import (
+    And,
+    Comparison,
+    Everything,
+    Predicate,
+)
+from repro.tree.cart import DecisionTree, TreeNode
+
+__all__ = ["LeafRule", "leaf_predicates", "tree_rules", "describe_leaf"]
+
+
+@dataclass(frozen=True)
+class LeafRule:
+    """One leaf with its path predicate and prediction."""
+
+    predicate: Predicate
+    prediction: int
+    n_samples: int
+    impurity: float
+
+    def to_sql(self) -> str:
+        """The leaf's condition as a SQL boolean expression."""
+        return self.predicate.to_sql()
+
+
+def leaf_predicates(tree: DecisionTree) -> list[LeafRule]:
+    """All leaves of ``tree`` with their path predicates, left-to-right."""
+    rules: list[LeafRule] = []
+    _collect(tree.root, [], rules)
+    return rules
+
+
+def tree_rules(tree: DecisionTree) -> dict[int, Predicate]:
+    """Class → predicate covering all leaves predicting that class.
+
+    When several leaves predict the same cluster the predicates are OR-ed,
+    so each cluster gets exactly one describing condition.
+    """
+    from repro.table.predicates import Or
+
+    by_class: dict[int, list[Predicate]] = {}
+    for rule in leaf_predicates(tree):
+        by_class.setdefault(rule.prediction, []).append(rule.predicate)
+    return {
+        cls: (parts[0] if len(parts) == 1 else Or.of(*parts))
+        for cls, parts in sorted(by_class.items())
+    }
+
+
+def describe_leaf(conditions: list[str]) -> str:
+    """Join path conditions into one readable phrase."""
+    if not conditions:
+        return "all rows"
+    return " and ".join(conditions)
+
+
+def _collect(
+    node: TreeNode,
+    path: list[Predicate],
+    out: list[LeafRule],
+) -> None:
+    if node.is_leaf:
+        predicate: Predicate
+        if not path:
+            predicate = Everything()
+        else:
+            predicate = And.of(*path)
+        out.append(
+            LeafRule(
+                predicate=predicate,
+                prediction=node.prediction,
+                n_samples=node.n_samples,
+                impurity=node.impurity,
+            )
+        )
+        return
+    assert node.left is not None and node.right is not None
+    left_condition, right_condition = _branch_predicates(node)
+    _collect(node.left, path + [left_condition], out)
+    _collect(node.right, path + [right_condition], out)
+
+
+def _branch_predicates(node: TreeNode) -> tuple[Predicate, Predicate]:
+    """The (left, right) conditions of an internal node as predicates.
+
+    The fitted tree routes missing cells along the node's majority branch;
+    the predicates encode that routing explicitly with ``… OR x IS NULL``
+    so that evaluating a leaf's predicate selects exactly the rows the
+    tree sends to that leaf.
+    """
+    from repro.table.predicates import IsMissing, Or
+
+    column = node.column or ""
+    if node.threshold is not None:
+        left: Predicate = Comparison(column, "<", node.threshold)
+        right: Predicate = Comparison(column, ">=", node.threshold)
+    else:
+        category = node.category or ""
+        left = Comparison(column, "==", category)
+        right = Comparison(column, "!=", category)
+    if node.missing_goes_left:
+        left = Or((left, IsMissing(column)))
+    else:
+        right = Or((right, IsMissing(column)))
+    return left, right

@@ -1,0 +1,82 @@
+"""JSON export — the payloads the web tier ships to the D3 client.
+
+In the paper's architecture the R engine hands maps to NodeJS, which
+relays them to the browser as JSON.  These exporters produce those
+payloads: a D3-hierarchy-shaped map document (with treemap geometry
+attached, so the client needs no layout code) and a theme-list document
+for the theme view.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.datamap import DataMap
+from repro.core.themes import ThemeSet
+from repro.viz.treemap import treemap_layout
+
+__all__ = ["export_map_json", "export_themes_json"]
+
+
+def export_map_json(data_map: DataMap, indent: int | None = None) -> str:
+    """The map as a JSON document: hierarchy + treemap rectangles.
+
+    The shape follows D3's hierarchy conventions (``name``, ``value``,
+    ``children``) so a ``d3.hierarchy`` call could consume it directly.
+    """
+    rectangles = treemap_layout(data_map)
+
+    def node(region_dict: dict[str, object]) -> dict[str, object]:
+        region_id = str(region_dict["id"])
+        rect = rectangles[region_id]
+        out: dict[str, object] = {
+            "name": region_dict["label"],
+            "id": region_id,
+            "value": region_dict["n_rows"],
+            "sql": region_dict["sql"],
+            "rect": {
+                "x": round(rect.x, 6),
+                "y": round(rect.y, 6),
+                "w": round(rect.width, 6),
+                "h": round(rect.height, 6),
+            },
+        }
+        for key in ("cluster", "silhouette", "exemplar"):
+            if key in region_dict:
+                out[key] = region_dict[key]
+        if "children" in region_dict:
+            out["children"] = [
+                node(child)  # type: ignore[arg-type]
+                for child in region_dict["children"]  # type: ignore[union-attr]
+            ]
+        return out
+
+    payload = {
+        "type": "blaeu.map",
+        "columns": list(data_map.columns),
+        "k": data_map.k,
+        "n_rows": data_map.n_rows,
+        "silhouette": round(data_map.silhouette, 4),
+        "fidelity": round(data_map.fidelity, 4),
+        "root": node(data_map.root.to_dict()),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def export_themes_json(themes: ThemeSet, indent: int | None = None) -> str:
+    """The theme list as a JSON document for the theme view."""
+    payload = {
+        "type": "blaeu.themes",
+        "silhouette": round(themes.silhouette, 4),
+        "k_scores": {str(k): round(v, 4) for k, v in themes.k_scores.items()},
+        "excluded_keys": list(themes.excluded_keys),
+        "themes": [
+            {
+                "name": theme.name,
+                "columns": list(theme.columns),
+                "cohesion": round(theme.cohesion, 4),
+            }
+            for theme in themes
+        ],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,89 @@
+"""Text rendering of the dependency graph (Figure 2).
+
+Figure 2 of the paper draws the column dependency graph with its two
+communities.  This renderer produces the text equivalent: an adjacency
+summary grouped by detected community, plus a weight matrix heat-strip
+for small graphs — deterministic output the demo can print and tests can
+assert on.
+"""
+
+from __future__ import annotations
+
+from repro.graph.dependency import DependencyGraph
+from repro.graph.partition import threshold_components
+
+__all__ = ["render_dependency_graph", "render_weight_matrix"]
+
+#: Characters for the weight heat-strip, weakest to strongest.
+_SHADES = " .:-=+*#%@"
+
+
+def render_dependency_graph(
+    graph: DependencyGraph,
+    min_weight: float = 0.2,
+    max_edges_per_node: int = 4,
+) -> str:
+    """The graph as community blocks with per-node strongest edges.
+
+    Communities come from connected components above ``min_weight`` —
+    the same visual grouping Figure 2 conveys with node placement.
+    """
+    communities = threshold_components(graph, min_weight=min_weight)
+    lines = [
+        f"DEPENDENCY GRAPH ({graph.n_columns} columns, "
+        f"measure={graph.measure}, edges >= {min_weight:g})"
+    ]
+    for position, community in enumerate(communities):
+        if len(community) == 1:
+            continue
+        lines.append(f"community {position}: {len(community)} columns")
+        for column in community:
+            neighbours = [
+                (other, graph.weight(column, other))
+                for other in community
+                if other != column
+                and graph.weight(column, other) >= min_weight
+            ]
+            neighbours.sort(key=lambda pair: -pair[1])
+            rendered = ", ".join(
+                f"{other} ({weight:.2f})"
+                for other, weight in neighbours[:max_edges_per_node]
+            )
+            lines.append(f"  {column} -- {rendered}")
+    isolated = [c for c in communities if len(c) == 1]
+    if isolated:
+        names = ", ".join(c[0] for c in isolated[:8])
+        suffix = "…" if len(isolated) > 8 else ""
+        lines.append(f"isolated: {names}{suffix}")
+    return "\n".join(lines)
+
+
+def render_weight_matrix(graph: DependencyGraph, max_columns: int = 20) -> str:
+    """A heat-strip weight matrix for small graphs.
+
+    Each cell is one character from a 10-step shade ramp; rows and
+    columns are in graph order.  Graphs wider than ``max_columns`` are
+    truncated (the matrix view is for Figure-2-sized graphs).
+    """
+    names = graph.columns[:max_columns]
+    truncated = graph.n_columns > max_columns
+    width = max(len(name) for name in names)
+    lines = [
+        "WEIGHT MATRIX" + (" (truncated)" if truncated else ""),
+    ]
+    header = " " * (width + 1) + "".join(str(i % 10) for i in range(len(names)))
+    lines.append(header)
+    for i, row_name in enumerate(names):
+        cells = []
+        for j in range(len(names)):
+            weight = float(graph.weights[i, j])
+            shade = _SHADES[
+                min(int(weight * len(_SHADES)), len(_SHADES) - 1)
+            ]
+            cells.append(shade)
+        lines.append(f"{row_name:>{width}} " + "".join(cells))
+    legend = "  ".join(
+        f"{_SHADES[i]}={i / len(_SHADES):.1f}" for i in (2, 5, 9)
+    )
+    lines.append(f"(shade ramp: {legend}…1.0)")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Unit tests for out-of-sample medoid assignment."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.assignment import assign_to_medoids, assignment_cost
+
+
+class TestAssignment:
+    def test_nearest_medoid_wins(self):
+        medoids = np.asarray([[0.0, 0.0], [10.0, 10.0]])
+        points = np.asarray([[1.0, 1.0], [9.0, 9.0], [-2.0, 0.0]])
+        labels = assign_to_medoids(points, medoids)
+        assert labels.tolist() == [0, 1, 0]
+
+    def test_points_at_medoids_assigned_to_them(self, rng):
+        medoids = rng.normal(0, 5, (4, 3))
+        labels = assign_to_medoids(medoids, medoids)
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_cost_is_sum_of_nearest_distances(self):
+        medoids = np.asarray([[0.0], [10.0]])
+        points = np.asarray([[1.0], [9.0]])
+        assert assignment_cost(points, medoids) == pytest.approx(2.0)
+
+    def test_manhattan_metric(self):
+        medoids = np.asarray([[0.0, 0.0]])
+        points = np.asarray([[3.0, 4.0]])
+        assert assignment_cost(points, medoids, metric="manhattan") == 7.0
+
+    def test_consistency_with_clara_style_extension(self, rng):
+        # Assigning the training points back to their own medoids
+        # reproduces a valid partition (every cluster non-empty).
+        points = np.vstack([
+            rng.normal(0, 0.3, (30, 2)),
+            rng.normal(8, 0.3, (30, 2)),
+        ])
+        medoids = points[[0, 30]]
+        labels = assign_to_medoids(points, medoids)
+        assert set(labels.tolist()) == {0, 1}

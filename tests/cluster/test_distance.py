@@ -1,0 +1,151 @@
+"""Unit and property tests for distance computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cluster.distance import (
+    distances_to_points,
+    euclidean_distances,
+    gower_distances,
+    manhattan_distances,
+    pairwise_distances,
+    validate_distance_matrix,
+)
+
+
+class TestEuclidean:
+    def test_matches_direct_computation(self, rng):
+        points = rng.normal(0, 1, (20, 3))
+        fast = euclidean_distances(points)
+        for i in range(20):
+            for j in range(20):
+                direct = np.linalg.norm(points[i] - points[j])
+                assert fast[i, j] == pytest.approx(direct, abs=1e-9)
+
+    def test_identical_points_zero(self):
+        points = np.ones((3, 2))
+        assert euclidean_distances(points).max() == 0.0
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_distances(np.asarray([1.0, 2.0]))
+
+
+class TestManhattan:
+    def test_matches_direct(self, rng):
+        points = rng.normal(0, 1, (15, 4))
+        fast = manhattan_distances(points)
+        i, j = 3, 11
+        assert fast[i, j] == pytest.approx(np.abs(points[i] - points[j]).sum())
+
+    def test_dominates_euclidean(self, rng):
+        points = rng.normal(0, 1, (10, 3))
+        assert (
+            manhattan_distances(points) >= euclidean_distances(points) - 1e-9
+        ).all()
+
+
+class TestGower:
+    def test_plain_numeric_reduces_to_scaled_l1(self):
+        points = np.asarray([[0.0], [1.0], [2.0]])
+        distances = gower_distances(points)
+        assert distances[0, 2] == pytest.approx(1.0)  # full range
+        assert distances[0, 1] == pytest.approx(0.5)
+
+    def test_binary_features(self):
+        points = np.asarray([[0.0, 1.0], [0.0, 0.0], [1.0, 1.0]])
+        distances = gower_distances(points, numeric_mask=np.asarray([False, False]))
+        assert distances[0, 1] == pytest.approx(0.5)  # differ in 1 of 2
+        assert distances[1, 2] == pytest.approx(1.0)
+
+    def test_missing_features_drop_out(self):
+        points = np.asarray([[0.0, np.nan], [1.0, 5.0]])
+        distances = gower_distances(points)
+        # Only the first feature is shared; range is 1 → distance 1.
+        assert distances[0, 1] == pytest.approx(1.0)
+
+    def test_no_shared_features_gives_max_distance(self):
+        points = np.asarray([[np.nan, 1.0], [2.0, np.nan]])
+        distances = gower_distances(points)
+        assert distances[0, 1] == 1.0
+
+    def test_constant_feature_contributes_zero(self):
+        points = np.asarray([[1.0, 0.0], [1.0, 1.0]])
+        distances = gower_distances(points)
+        assert distances[0, 1] == pytest.approx(0.5)  # only feature 2 counts
+
+
+class TestDistancesToPoints:
+    def test_euclidean_matches_full_matrix(self, rng):
+        points = rng.normal(0, 1, (12, 3))
+        full = euclidean_distances(points)
+        partial = distances_to_points(points, points[[2, 7]])
+        np.testing.assert_allclose(partial[:, 0], full[:, 2], atol=1e-9)
+        np.testing.assert_allclose(partial[:, 1], full[:, 7], atol=1e-9)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            distances_to_points(rng.normal(0, 1, (5, 3)), rng.normal(0, 1, (2, 4)))
+
+    def test_unknown_metric_rejected(self, rng):
+        points = rng.normal(0, 1, (4, 2))
+        with pytest.raises(ValueError):
+            distances_to_points(points, points, metric="cosine")
+
+
+class TestValidate:
+    def test_accepts_valid(self, rng):
+        points = rng.normal(0, 1, (6, 2))
+        validate_distance_matrix(euclidean_distances(points))
+
+    def test_rejects_asymmetric(self):
+        bad = np.asarray([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_distance_matrix(bad)
+
+    def test_rejects_nonzero_diagonal(self):
+        bad = np.asarray([[1.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            validate_distance_matrix(bad)
+
+    def test_rejects_negative(self):
+        bad = np.asarray([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_distance_matrix(bad)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_distance_matrix(np.zeros((2, 3)))
+
+
+_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.integers(1, 4)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=_matrices)
+def test_metric_axioms(points):
+    for metric in ("euclidean", "manhattan", "gower"):
+        distances = pairwise_distances(points, metric)
+        n = points.shape[0]
+        assert distances.shape == (n, n)
+        assert np.allclose(distances, distances.T, atol=1e-8)
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-9)
+        assert distances.min() >= -1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=_matrices)
+def test_triangle_inequality_euclidean(points):
+    distances = pairwise_distances(points, "euclidean")
+    n = points.shape[0]
+    for i in range(min(n, 5)):
+        for j in range(min(n, 5)):
+            for k in range(min(n, 5)):
+                assert distances[i, j] <= distances[i, k] + distances[k, j] + 1e-6

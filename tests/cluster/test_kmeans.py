@@ -1,0 +1,69 @@
+"""Unit tests for the k-means baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans
+from repro.cluster.validation import adjusted_rand_index
+
+
+def _blobs(rng, n_per=80):
+    points = np.vstack([
+        rng.normal(0, 0.4, (n_per, 2)) + [-5, 0],
+        rng.normal(0, 0.4, (n_per, 2)) + [5, 0],
+        rng.normal(0, 0.4, (n_per, 2)) + [0, 7],
+    ])
+    labels = np.repeat([0, 1, 2], n_per)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, rng):
+        points, truth = _blobs(rng)
+        result = kmeans(points, 3, rng=rng)
+        assert adjusted_rand_index(result.labels, truth) > 0.98
+
+    def test_labels_and_medoid_shape(self, rng):
+        points, _ = _blobs(rng)
+        result = kmeans(points, 3, rng=rng)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.medoids.shape == (3,)
+        assert result.medoids.max() < points.shape[0]
+
+    def test_k_one(self, rng):
+        points = rng.normal(0, 1, (30, 2))
+        result = kmeans(points, 1, rng=rng)
+        assert (result.labels == 0).all()
+
+    def test_invalid_k_rejected(self, rng):
+        points = rng.normal(0, 1, (5, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0, rng=rng)
+        with pytest.raises(ValueError):
+            kmeans(points, 6, rng=rng)
+
+    def test_no_empty_clusters_even_with_duplicates(self, rng):
+        points = np.zeros((20, 2))
+        points[:3] += 10.0
+        result = kmeans(points, 3, rng=rng)
+        assert np.unique(result.labels).size <= 3
+        assert result.cost >= 0
+
+    def test_clusters_ordered_by_size(self, rng):
+        points = np.vstack([
+            rng.normal(0, 0.3, (90, 2)) + [5, 5],
+            rng.normal(0, 0.3, (30, 2)) - [5, 5],
+        ])
+        result = kmeans(points, 2, rng=rng)
+        sizes = np.bincount(result.labels)
+        assert sizes[0] >= sizes[1]
+
+    def test_seeded_reproducibility(self, rng):
+        points, _ = _blobs(rng)
+        a = kmeans(points, 3, rng=np.random.default_rng(5))
+        b = kmeans(points, 3, rng=np.random.default_rng(5))
+        assert (a.labels == b.labels).all()
+
+    def test_one_dimensional_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2, rng=rng)

@@ -1,0 +1,39 @@
+"""Unit tests for engine configuration validation."""
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+
+
+class TestBlaeuConfig:
+    def test_defaults_are_valid(self):
+        config = BlaeuConfig()
+        assert config.map_sample_size == 2000
+        assert config.theme_k_values is None
+
+    def test_frozen(self):
+        config = BlaeuConfig()
+        with pytest.raises(AttributeError):
+            config.seed = 1  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"map_sample_size": 5},
+            {"clara_threshold": 5},
+            {"map_k_values": ()},
+            {"map_k_values": (1, 2)},
+            {"theme_k_values": ()},
+            {"theme_k_values": (1,)},
+            {"min_zoom_rows": 1},
+            {"prune_leaf_factor": 0},
+            {"prune_min_fidelity": 1.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BlaeuConfig(**kwargs)
+
+    def test_explicit_theme_k_values_accepted(self):
+        config = BlaeuConfig(theme_k_values=(2, 4, 8))
+        assert config.theme_k_values == (2, 4, 8)

@@ -1,0 +1,128 @@
+"""Unit tests for the preprocessing stage (paper §3, stage 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import preprocess
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.table import Table
+
+
+@pytest.fixture
+def mixed_table(rng):
+    n = 60
+    return Table(
+        "t",
+        [
+            CategoricalColumn.from_labels("id", [f"row{i}" for i in range(n)]),
+            NumericColumn("income", rng.normal(30, 10, n)),
+            NumericColumn("hours", rng.normal(40, 5, n)),
+            CategoricalColumn.from_labels(
+                "city", list(rng.choice(["ams", "nyc", "sfo"], n))
+            ),
+        ],
+    )
+
+
+class TestPreprocess:
+    def test_keys_dropped(self, mixed_table):
+        space = preprocess(mixed_table)
+        assert space.dropped_keys == ("id",)
+        assert "id" not in space.used_columns
+
+    def test_numeric_columns_standardized(self, mixed_table):
+        space = preprocess(mixed_table)
+        income = space.matrix[:, space.features_of("income")[0]]
+        assert income.mean() == pytest.approx(0.0, abs=1e-9)
+        assert income.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_dummy_coding(self, mixed_table):
+        space = preprocess(mixed_table)
+        city_features = space.features_of("city")
+        assert len(city_features) == 3
+        block = space.matrix[:, city_features]
+        # One-hot: each row has exactly one 1 among the city dummies.
+        assert (block.sum(axis=1) == 1.0).all()
+        assert set(np.unique(block).tolist()) == {0.0, 1.0}
+
+    def test_feature_names_and_masks(self, mixed_table):
+        space = preprocess(mixed_table)
+        assert "income" in space.feature_names
+        assert any(name.startswith("city=") for name in space.feature_names)
+        assert space.numeric_mask.sum() == 2
+        assert space.n_features == 5
+
+    def test_matrix_is_nan_free_despite_missing(self, rng):
+        values = rng.normal(0, 1, 40)
+        values[:8] = np.nan
+        table = Table(
+            "t",
+            [
+                NumericColumn("x", values),
+                CategoricalColumn.from_labels(
+                    "c", ["a"] * 20 + [None] * 5 + ["b"] * 15
+                ),
+            ],
+        )
+        space = preprocess(table)
+        assert not np.isnan(space.matrix).any()
+        # Missing numeric = mean imputation = 0 after z-scoring.
+        assert (space.matrix[:8, space.features_of("x")[0]] == 0.0).all()
+        # Missing categorical = all-zero dummy block.
+        c_block = space.matrix[20:25][:, space.features_of("c")]
+        assert (c_block == 0.0).all()
+
+    def test_wide_categorical_excluded(self, rng):
+        table = Table(
+            "t",
+            [
+                NumericColumn("x", rng.normal(0, 1, 100)),
+                CategoricalColumn.from_labels(
+                    "wide", [f"v{i % 80}" for i in range(100)]
+                ),
+            ],
+        )
+        space = preprocess(table, max_categorical_cardinality=50)
+        assert space.dropped_wide == ("wide",)
+        assert space.n_features == 1
+
+    def test_column_subset(self, mixed_table):
+        space = preprocess(mixed_table, columns=("income", "city"))
+        assert set(space.used_columns) == {"income", "city"}
+
+    def test_unknown_column_rejected(self, mixed_table):
+        with pytest.raises(KeyError):
+            preprocess(mixed_table, columns=("nope",))
+
+    def test_no_features_left_rejected(self):
+        table = Table(
+            "t",
+            [CategoricalColumn.from_labels("id", ["a", "b", "c"])],
+        )
+        with pytest.raises(ValueError, match="no features"):
+            preprocess(table)
+
+    def test_keep_keys_option(self, mixed_table):
+        space = preprocess(mixed_table, drop_keys=False)
+        assert space.dropped_keys == ()
+        # 60-label id exceeds the cardinality cap instead.
+        assert "id" in space.dropped_wide
+
+    def test_scalers_invert_medoid_coordinates(self, mixed_table):
+        space = preprocess(mixed_table)
+        stats = space.scalers["income"]
+        original = mixed_table.column("income").values
+        scaled = space.matrix[:, space.features_of("income")[0]]
+        np.testing.assert_allclose(stats.invert(scaled), original, rtol=1e-9)
+
+    def test_constant_numeric_column_tolerated(self, rng):
+        table = Table(
+            "t",
+            [
+                NumericColumn("const", np.full(30, 7.0)),
+                NumericColumn("x", rng.normal(0, 1, 30)),
+            ],
+        )
+        space = preprocess(table)
+        const = space.matrix[:, space.features_of("const")[0]]
+        assert (const == 0.0).all()

@@ -1,0 +1,97 @@
+"""Unit tests for the column dependency graph."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import planted_themes
+from repro.graph.dependency import build_dependency_graph
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.table import Table
+
+
+@pytest.fixture
+def themed():
+    return planted_themes(
+        n_rows=400,
+        group_sizes={"eco": 3, "health": 3},
+        noise=0.3,
+        seed=5,
+    )
+
+
+class TestBuildGraph:
+    def test_shape_and_diagonal(self, themed):
+        graph = build_dependency_graph(themed.table)
+        n = themed.table.n_columns
+        assert graph.weights.shape == (n, n)
+        assert np.allclose(np.diag(graph.weights), 1.0)
+        assert np.allclose(graph.weights, graph.weights.T)
+
+    def test_within_group_beats_across_group(self, themed):
+        graph = build_dependency_graph(themed.table)
+        within = graph.weight("eco_0", "eco_1")
+        across = graph.weight("eco_0", "health_0")
+        assert within > 2 * across
+
+    def test_dissimilarity_properties(self, themed):
+        graph = build_dependency_graph(themed.table)
+        dissimilarity = graph.dissimilarity()
+        assert np.allclose(np.diag(dissimilarity), 0.0)
+        assert dissimilarity.min() >= 0.0
+        assert dissimilarity.max() <= 1.0
+
+    def test_edges_sorted_strongest_first(self, themed):
+        graph = build_dependency_graph(themed.table)
+        edges = graph.edges()
+        weights = [w for _, _, w in edges]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_edge_threshold(self, themed):
+        graph = build_dependency_graph(themed.table)
+        assert all(w >= 0.5 for _, _, w in graph.edges(min_weight=0.5))
+
+    def test_networkx_view(self, themed):
+        graph = build_dependency_graph(themed.table)
+        view = graph.to_networkx(min_weight=0.4)
+        assert set(view.nodes) == set(graph.columns)
+        for a, b, data in view.edges(data=True):
+            assert data["weight"] >= 0.4
+
+    def test_column_subset(self, themed):
+        graph = build_dependency_graph(
+            themed.table, columns=("eco_0", "eco_1")
+        )
+        assert graph.columns == ("eco_0", "eco_1")
+
+    def test_sampled_estimation_close_to_full(self, themed):
+        full = build_dependency_graph(themed.table)
+        sampled = build_dependency_graph(
+            themed.table, sample=200, rng=np.random.default_rng(0)
+        )
+        # Sampled weights track the full-data weights.
+        delta = np.abs(full.weights - sampled.weights).max()
+        assert delta < 0.25
+
+    def test_correlation_measures(self, themed):
+        for measure in ("pearson", "spearman"):
+            graph = build_dependency_graph(themed.table, measure=measure)
+            within = graph.weight("eco_0", "eco_1")
+            across = graph.weight("eco_0", "health_0")
+            assert within > across
+
+    def test_correlation_zero_for_categorical(self, rng):
+        table = Table(
+            "t",
+            [
+                NumericColumn("x", rng.normal(0, 1, 50)),
+                CategoricalColumn.from_labels(
+                    "c", list(rng.choice(["a", "b"], 50))
+                ),
+            ],
+        )
+        graph = build_dependency_graph(table, measure="pearson")
+        assert graph.weight("x", "c") == 0.0
+
+    def test_unknown_measure_rejected(self, themed):
+        with pytest.raises(ValueError):
+            build_dependency_graph(themed.table, measure="cosine")

@@ -1,0 +1,108 @@
+"""Unit tests for session save/replay."""
+
+import json
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.datasets.synthetic import mixed_blobs
+from repro.server.persistence import (
+    replay_session,
+    save_session,
+    session_to_dict,
+)
+from repro.viz.export import export_map_json
+
+CONFIG = BlaeuConfig(map_k_values=(2, 3), seed=5)
+
+
+@pytest.fixture
+def engine():
+    blaeu = Blaeu(CONFIG)
+    blaeu.register(mixed_blobs(n_rows=300, k=2, seed=61).table)
+    return blaeu
+
+
+def _navigate(engine):
+    explorer = engine.explore("mixed_blobs")
+    data_map = explorer.open_columns(("x0", "x1"))
+    target = max(data_map.leaves(), key=lambda r: r.n_rows)
+    explorer.zoom(target.region_id)
+    explorer.project_columns(("x2", "cat0"))
+    return explorer
+
+
+class TestSaveReplay:
+    def test_roundtrip_restores_identical_state(self, engine, tmp_path):
+        explorer = _navigate(engine)
+        path = tmp_path / "session.json"
+        save_session(path, "mixed_blobs", explorer)
+
+        fresh_engine = Blaeu(CONFIG)
+        fresh_engine.register(mixed_blobs(n_rows=300, k=2, seed=61).table)
+        replayed = replay_session(path, fresh_engine)
+
+        assert replayed.depth == explorer.depth
+        assert replayed.state.columns == explorer.state.columns
+        assert export_map_json(replayed.state.map) == export_map_json(
+            explorer.state.map
+        )
+
+    def test_session_file_is_small_and_readable(self, engine, tmp_path):
+        explorer = _navigate(engine)
+        path = tmp_path / "session.json"
+        save_session(path, "mixed_blobs", explorer)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == "blaeu.session/1"
+        assert payload["table"] == "mixed_blobs"
+        assert [step["do"] for step in payload["steps"]] == [
+            "open_columns", "zoom", "project_columns",
+        ]
+        assert path.stat().st_size < 2000
+
+    def test_theme_actions_roundtrip(self, engine, tmp_path):
+        explorer = engine.explore("mixed_blobs")
+        theme = explorer.themes()[0]
+        explorer.open_theme(theme.name)
+        explorer.project(theme.name)
+        record = session_to_dict("mixed_blobs", explorer)
+        assert record["steps"][0] == {"do": "open_theme", "theme": theme.name}
+        assert record["steps"][1] == {"do": "project", "theme": theme.name}
+
+        path = tmp_path / "s.json"
+        save_session(path, "mixed_blobs", explorer)
+        replayed = replay_session(path, engine)
+        assert replayed.depth == 2
+
+    def test_rollback_reflected_in_saved_file(self, engine, tmp_path):
+        explorer = _navigate(engine)
+        explorer.rollback()  # drop the projection
+        path = tmp_path / "s.json"
+        save_session(path, "mixed_blobs", explorer)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert [step["do"] for step in payload["steps"]] == [
+            "open_columns", "zoom",
+        ]
+
+    def test_wrong_format_rejected(self, engine, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a blaeu session"):
+            replay_session(path, engine)
+
+    def test_unknown_step_rejected(self, engine, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "blaeu.session/1",
+                    "table": "mixed_blobs",
+                    "seed": 5,
+                    "steps": [{"do": "teleport"}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="teleport"):
+            replay_session(path, engine)

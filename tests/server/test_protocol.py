@@ -1,0 +1,67 @@
+"""Unit tests for the JSON protocol layer."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    COMMANDS,
+    ErrorResponse,
+    ProtocolError,
+    Request,
+    Response,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_valid_request(self):
+        request = parse_request('{"command": "themes", "table": "t"}')
+        assert request.command == "themes"
+        assert request.arg("table") == "t"
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            parse_request("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            parse_request('["zoom"]')
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(ProtocolError, match="command"):
+            parse_request('{"table": "t"}')
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown command"):
+            parse_request('{"command": "frobnicate"}')
+
+    def test_missing_required_arguments_listed(self):
+        with pytest.raises(ProtocolError, match="region"):
+            parse_request('{"command": "zoom", "session": "s"}')
+
+    @pytest.mark.parametrize("command,required", sorted(COMMANDS.items()))
+    def test_each_command_validates_requirements(self, command, required):
+        body = {"command": command}
+        body.update({name: "x" for name in required})
+        request = parse_request(json.dumps(body))
+        assert request.command == command
+
+
+class TestSerialization:
+    def test_request_roundtrip(self):
+        request = Request(command="zoom", args={"session": "s", "region": "r0"})
+        back = parse_request(request.to_json())
+        assert back == request
+
+    def test_response_wire_format(self):
+        response = Response({"sql": "SELECT 1"})
+        payload = json.loads(response.to_json())
+        assert payload == {"ok": True, "sql": "SELECT 1"}
+        assert response.ok
+
+    def test_error_wire_format(self):
+        error = ErrorResponse(error="boom", command="zoom")
+        payload = json.loads(error.to_json())
+        assert payload == {"ok": False, "error": "boom", "command": "zoom"}
+        assert not error.ok

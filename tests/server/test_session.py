@@ -1,0 +1,146 @@
+"""Unit tests for the session manager (the NodeJS tier's behaviour)."""
+
+import json
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.datasets.synthetic import mixed_blobs
+from repro.server.session import SessionManager
+
+
+@pytest.fixture
+def manager():
+    engine = Blaeu(BlaeuConfig(map_k_values=(2, 3)))
+    engine.register(mixed_blobs(n_rows=300, k=2, seed=71).table)
+    return SessionManager(engine)
+
+
+def send(manager, **body):
+    return json.loads(manager.handle_json(json.dumps(body)))
+
+
+def open_session(manager, session="s1"):
+    themes = send(manager, command="themes", table="mixed_blobs")
+    theme = themes["themes"]["themes"][0]["name"]
+    return send(
+        manager, command="open", session=session,
+        table="mixed_blobs", theme=theme,
+    )
+
+
+class TestLifecycle:
+    def test_tables(self, manager):
+        response = send(manager, command="tables")
+        assert response == {"ok": True, "tables": ["mixed_blobs"]}
+
+    def test_themes(self, manager):
+        response = send(manager, command="themes", table="mixed_blobs")
+        assert response["ok"]
+        assert response["themes"]["themes"]
+
+    def test_open_returns_map(self, manager):
+        response = open_session(manager)
+        assert response["ok"]
+        assert response["map"]["n_rows"] == 300
+        assert manager.session_ids() == ("s1",)
+
+    def test_open_by_theme_index(self, manager):
+        response = send(
+            manager, command="open", session="s1",
+            table="mixed_blobs", theme=0,
+        )
+        assert response["ok"]
+
+    def test_duplicate_session_rejected(self, manager):
+        open_session(manager)
+        response = send(
+            manager, command="open", session="s1",
+            table="mixed_blobs", theme=0,
+        )
+        assert not response["ok"]
+        assert "already exists" in response["error"]
+
+    def test_close(self, manager):
+        open_session(manager)
+        response = send(manager, command="close", session="s1")
+        assert response == {"ok": True, "closed": "s1"}
+        assert manager.session_ids() == ()
+
+    def test_new_session_id_monotonic(self, manager):
+        assert manager.new_session_id() == "s1"
+        assert manager.new_session_id() == "s2"
+
+
+class TestNavigationCommands:
+    def test_zoom_and_rollback(self, manager):
+        opened = open_session(manager)
+        children = opened["map"]["root"]["children"]
+        biggest = max(children, key=lambda c: c["value"])
+        zoomed = send(manager, command="zoom", session="s1", region=biggest["id"])
+        assert zoomed["ok"]
+        assert zoomed["map"]["n_rows"] == biggest["value"]
+        rolled = send(manager, command="rollback", session="s1")
+        assert rolled["map"]["n_rows"] == 300
+
+    def test_project(self, manager):
+        open_session(manager)
+        response = send(manager, command="project", session="s1", theme=0)
+        assert response["ok"]
+
+    def test_highlight(self, manager):
+        open_session(manager)
+        response = send(
+            manager, command="highlight", session="s1",
+            region="r", columns=["cat0"],
+        )
+        assert response["ok"]
+        assert response["highlight"]["n_rows"] == 300
+        assert "cat0" in response["highlight"]["categories"]
+
+    def test_highlight_columns_must_be_list(self, manager):
+        open_session(manager)
+        response = send(
+            manager, command="highlight", session="s1",
+            region="r", columns="cat0",
+        )
+        assert not response["ok"]
+
+    def test_sql_and_history(self, manager):
+        open_session(manager)
+        sql = send(manager, command="sql", session="s1")
+        assert sql["sql"].startswith("SELECT")
+        history = send(manager, command="history", session="s1")
+        assert len(history["history"]) == 1
+
+
+class TestErrorHandling:
+    def test_unknown_session_is_error_response(self, manager):
+        response = send(manager, command="zoom", session="ghost", region="r0")
+        assert not response["ok"]
+        assert "ghost" in response["error"]
+        assert response["command"] == "zoom"
+
+    def test_unknown_region_is_error_response(self, manager):
+        open_session(manager)
+        response = send(manager, command="zoom", session="s1", region="r99")
+        assert not response["ok"]
+
+    def test_malformed_json_is_error_response(self, manager):
+        response = json.loads(manager.handle_json("{broken"))
+        assert not response["ok"]
+        assert "malformed" in response["error"]
+
+    def test_unknown_table_is_error_response(self, manager):
+        response = send(manager, command="themes", table="ghost")
+        assert not response["ok"]
+
+    def test_rollback_at_root_is_error_response(self, manager):
+        open_session(manager)
+        response = send(manager, command="rollback", session="s1")
+        assert not response["ok"]
+
+    def test_close_unknown_session(self, manager):
+        response = send(manager, command="close", session="ghost")
+        assert not response["ok"]

@@ -1,0 +1,110 @@
+"""Unit tests for group-by aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.table.aggregate import Aggregate, aggregate
+from repro.table.predicates import Comparison
+
+
+class TestAggregateSpec:
+    def test_names_and_sql(self):
+        assert Aggregate("count").name == "count"
+        assert Aggregate("count").to_sql() == "COUNT(*)"
+        assert Aggregate("mean", "income").name == "mean_income"
+        assert Aggregate("mean", "income").to_sql() == 'AVG("income")'
+        assert Aggregate("sum", "x").to_sql() == 'SUM("x")'
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Aggregate("median", "x")
+        with pytest.raises(ValueError):
+            Aggregate("mean")  # needs a column
+
+
+class TestGlobalAggregation:
+    def test_whole_table(self, people):
+        result = aggregate(
+            people,
+            [Aggregate("count"), Aggregate("mean", "age"),
+             Aggregate("min", "income"), Aggregate("max", "income")],
+        )
+        record = result.group(None)
+        assert record["count"] == 6
+        assert record["mean_age"] == pytest.approx(38.2)  # NaN skipped
+        assert record["min_income"] == 20.0
+        assert record["max_income"] == 50.0
+
+    def test_count_of_column_skips_missing(self, people):
+        result = aggregate(people, [Aggregate("count", "age")])
+        assert result.group(None)["count_age"] == 5
+
+    def test_where_filter(self, people):
+        result = aggregate(
+            people,
+            [Aggregate("count")],
+            where=Comparison("age", "<", 40),
+        )
+        assert result.group(None)["count"] == 3
+
+    def test_empty_aggregates_rejected(self, people):
+        with pytest.raises(ValueError):
+            aggregate(people, [])
+
+    def test_all_missing_numeric_gives_nan(self, people):
+        result = aggregate(
+            people,
+            [Aggregate("mean", "age")],
+            where=Comparison("name", "==", "cho"),
+        )
+        assert math.isnan(result.group(None)["mean_age"])
+
+
+class TestGroupBy:
+    def test_per_group_records(self, people):
+        result = aggregate(
+            people,
+            [Aggregate("count"), Aggregate("mean", "income")],
+            by="city",
+        )
+        assert result.group("ams")["count"] == 3
+        assert result.group("nyc")["count"] == 2
+        # fox has a missing city: its own None group.
+        assert result.group(None)["count"] == 1
+        assert result.group("ams")["mean_income"] == pytest.approx(24.0)
+
+    def test_labels_sorted_by_count(self, people):
+        result = aggregate(people, [Aggregate("count")], by="city")
+        assert result.labels()[0] == "ams"
+        assert result.labels()[-1] is None
+
+    def test_group_by_numeric_rejected(self, people):
+        with pytest.raises(TypeError):
+            aggregate(people, [Aggregate("count")], by="age")
+
+    def test_mean_of_categorical_rejected(self, people):
+        with pytest.raises(TypeError):
+            aggregate(people, [Aggregate("mean", "city")])
+
+    def test_sql_rendering(self, people):
+        result = aggregate(
+            people,
+            [Aggregate("count"), Aggregate("mean", "income")],
+            by="city",
+            where=Comparison("age", ">", 20),
+        )
+        assert result.sql == (
+            'SELECT "city", COUNT(*), AVG("income") FROM "people" '
+            'WHERE "age" > 20 GROUP BY "city"'
+        )
+
+    def test_empty_groups_not_listed(self, people):
+        result = aggregate(
+            people,
+            [Aggregate("count")],
+            by="city",
+            where=Comparison("city", "==", "ams"),
+        )
+        assert set(result.groups) == {"ams"}

@@ -1,0 +1,254 @@
+"""Unit and property tests for the predicate algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.predicates import (
+    And,
+    Between,
+    Comparison,
+    Everything,
+    In,
+    IsMissing,
+    Not,
+    Or,
+)
+from repro.table.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        "t",
+        [
+            NumericColumn("x", [1.0, 2.0, 3.0, np.nan, 5.0]),
+            CategoricalColumn.from_labels("c", ["a", "b", "a", "c", None]),
+        ],
+    )
+
+
+class TestComparison:
+    def test_numeric_operators(self, table):
+        assert Comparison("x", "<", 3).mask(table).tolist() == [
+            True, True, False, False, False,
+        ]
+        assert Comparison("x", ">=", 3).mask(table).tolist() == [
+            False, False, True, False, True,
+        ]
+        assert Comparison("x", "==", 2).mask(table).tolist() == [
+            False, True, False, False, False,
+        ]
+
+    def test_missing_never_matches(self, table):
+        # Row 3 has x = NaN: neither < nor >= may match it.
+        low = Comparison("x", "<", 100).mask(table)
+        high = Comparison("x", ">=", -100).mask(table)
+        assert not low[3] and not high[3]
+
+    def test_categorical_equality(self, table):
+        assert Comparison("c", "==", "a").mask(table).tolist() == [
+            True, False, True, False, False,
+        ]
+        # != excludes the match AND the missing cell (SQL semantics).
+        assert Comparison("c", "!=", "a").mask(table).tolist() == [
+            False, True, False, True, False,
+        ]
+
+    def test_unknown_category_matches_nothing(self, table):
+        assert not Comparison("c", "==", "zebra").mask(table).any()
+
+    def test_ordering_on_categorical_rejected(self, table):
+        with pytest.raises(TypeError):
+            Comparison("c", "<", "a").mask(table)
+
+    def test_string_vs_numeric_rejected(self, table):
+        with pytest.raises(TypeError):
+            Comparison("x", "==", "a").mask(table)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("x", "~", 1)
+
+    def test_sql_rendering(self):
+        assert Comparison("x", "<", 3).to_sql() == '"x" < 3'
+        assert Comparison("x", "!=", 2.5).to_sql() == '"x" <> 2.5'
+        assert Comparison("c", "==", "a").to_sql() == "\"c\" = 'a'"
+
+    def test_sql_escapes_quotes(self):
+        assert Comparison('we"ird', "==", "o'hare").to_sql() == (
+            "\"we\"\"ird\" = 'o''hare'"
+        )
+
+
+class TestBetweenInMissing:
+    def test_between_half_open(self, table):
+        assert Between("x", 2.0, 5.0).mask(table).tolist() == [
+            False, True, True, False, False,
+        ]
+
+    def test_between_sql(self):
+        assert Between("x", 1.0, 2.5).to_sql() == '"x" >= 1 AND "x" < 2.5'
+
+    def test_in_matches_label_set(self, table):
+        assert In("c", ["a", "c"]).mask(table).tolist() == [
+            True, False, True, True, False,
+        ]
+
+    def test_in_deduplicates_and_sorts(self):
+        predicate = In("c", ["b", "a", "b"])
+        assert predicate.labels == ("a", "b")
+        assert predicate.to_sql() == "\"c\" IN ('a', 'b')"
+
+    def test_is_missing(self, table):
+        assert IsMissing("x").mask(table).tolist() == [
+            False, False, False, True, False,
+        ]
+        assert IsMissing("c").to_sql() == '"c" IS NULL'
+
+
+class TestConnectives:
+    def test_and_or_not(self, table):
+        conjunction = Comparison("x", ">", 1) & Comparison("c", "==", "a")
+        assert conjunction.mask(table).tolist() == [
+            False, False, True, False, False,
+        ]
+        disjunction = Comparison("x", ">", 4) | Comparison("c", "==", "b")
+        assert disjunction.mask(table).tolist() == [
+            False, True, False, False, True,
+        ]
+        negation = ~Comparison("x", "<", 3)
+        assert negation.mask(table).tolist() == [
+            False, False, True, True, True,
+        ]
+
+    def test_and_of_drops_everything(self):
+        p = Comparison("x", "<", 1)
+        assert And.of(Everything(), p) is p
+        assert isinstance(And.of(Everything(), Everything()), Everything)
+
+    def test_or_of_absorbs_everything(self):
+        p = Comparison("x", "<", 1)
+        assert isinstance(Or.of(Everything(), p), Everything)
+
+    def test_and_flattens_nesting(self):
+        a, b, c = (Comparison("x", "<", float(v)) for v in (1, 2, 3))
+        nested = And.of(And.of(a, b), c)
+        assert isinstance(nested, And)
+        assert len(nested.operands) == 3
+
+    def test_sql_parenthesizes_nested_connectives(self):
+        a = Comparison("x", "<", 1)
+        b = Comparison("x", ">", 0)
+        c = Comparison("c", "==", "a")
+        expression = And.of(Or((a, b)), c)
+        assert expression.to_sql() == '("x" < 1 OR "x" > 0) AND "c" = \'a\''
+
+    def test_columns_collects_references(self):
+        expression = And.of(
+            Comparison("x", "<", 1), Or.of(Comparison("c", "==", "a"), IsMissing("y"))
+        )
+        assert expression.columns() == frozenset({"x", "c", "y"})
+
+    def test_empty_connective_rejected(self):
+        with pytest.raises(ValueError):
+            And([])
+
+    def test_everything(self, table):
+        assert Everything().mask(table).all()
+        assert Everything().to_sql() == "TRUE"
+        assert Everything().columns() == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+
+_values = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+@st.composite
+def predicates(draw, depth: int = 2):
+    """Random predicates over columns x (numeric) and c (categorical a/b/c)."""
+    if depth == 0:
+        kind = draw(st.sampled_from(["cmp", "between", "in", "missing"]))
+        if kind == "cmp":
+            op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+            return Comparison("x", op, draw(_values))
+        if kind == "between":
+            low = draw(_values)
+            high = draw(_values)
+            return Between("x", min(low, high), max(low, high))
+        if kind == "in":
+            labels = draw(
+                st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3)
+            )
+            return In("c", labels)
+        return IsMissing(draw(st.sampled_from(["x", "c"])))
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if kind == "leaf":
+        return draw(predicates(depth=0))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    left = draw(predicates(depth=depth - 1))
+    right = draw(predicates(depth=depth - 1))
+    return And((left, right)) if kind == "and" else Or((left, right))
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    xs = draw(
+        st.lists(
+            st.one_of(_values, st.just(float("nan"))), min_size=n, max_size=n
+        )
+    )
+    cs = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", None]), min_size=n, max_size=n
+        )
+    )
+    return Table(
+        "t",
+        [NumericColumn("x", xs), CategoricalColumn.from_labels("c", cs)],
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(), predicate=predicates())
+def test_de_morgan_laws_hold(table, predicate):
+    other = Comparison("x", ">", 0.0)
+    left = Not(And((predicate, other))).mask(table)
+    right = Or((Not(predicate), Not(other))).mask(table)
+    assert (left == right).all()
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(), predicate=predicates())
+def test_not_is_involutive(table, predicate):
+    assert (Not(Not(predicate)).mask(table) == predicate.mask(table)).all()
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(), predicate=predicates())
+def test_select_returns_exactly_matching_rows(table, predicate):
+    mask = predicate.mask(table)
+    selected = table.select(predicate)
+    assert selected.n_rows == int(mask.sum())
+
+
+@settings(max_examples=120, deadline=None)
+@given(table=tables(), predicate=predicates())
+def test_mask_shape_and_dtype(table, predicate):
+    mask = predicate.mask(table)
+    assert mask.dtype == bool
+    assert mask.shape == (table.n_rows,)
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicate=predicates())
+def test_sql_rendering_never_crashes_and_is_nonempty(predicate):
+    sql = predicate.to_sql()
+    assert isinstance(sql, str) and sql

@@ -1,0 +1,124 @@
+"""Unit tests for cost-complexity and legibility pruning."""
+
+import numpy as np
+import pytest
+
+from repro.table.column import NumericColumn
+from repro.table.table import Table
+from repro.tree.cart import CartParams, fit_tree
+from repro.tree.prune import (
+    cost_complexity_prune,
+    prune_for_legibility,
+    pruning_path,
+)
+
+
+@pytest.fixture
+def noisy_tree(rng):
+    """A deliberately overgrown tree on noisy threshold data."""
+    n = 300
+    x = rng.uniform(0, 10, n)
+    labels = ((x >= 5) ^ (rng.random(n) < 0.08)).astype(np.intp)  # 8% noise
+    table = Table(
+        "t",
+        [NumericColumn("x", x), NumericColumn("z", rng.normal(0, 1, n))],
+    )
+    tree = fit_tree(
+        table, labels,
+        params=CartParams(max_depth=6, min_samples_leaf=2, min_samples_split=4),
+    )
+    return table, labels, tree
+
+
+class TestCostComplexity:
+    def test_alpha_zero_keeps_tree(self, noisy_tree):
+        _, _, tree = noisy_tree
+        pruned = cost_complexity_prune(tree, 0.0)
+        assert pruned.n_leaves() <= tree.n_leaves()
+
+    def test_large_alpha_collapses_to_stump_or_root(self, noisy_tree):
+        _, _, tree = noisy_tree
+        pruned = cost_complexity_prune(tree, 1e9)
+        assert pruned.n_leaves() == 1
+
+    def test_monotone_in_alpha(self, noisy_tree):
+        _, _, tree = noisy_tree
+        sizes = [
+            cost_complexity_prune(tree, alpha).n_leaves()
+            for alpha in (0.0, 0.5, 2.0, 10.0, 1e9)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_negative_alpha_rejected(self, noisy_tree):
+        _, _, tree = noisy_tree
+        with pytest.raises(ValueError):
+            cost_complexity_prune(tree, -1.0)
+
+    def test_original_untouched(self, noisy_tree):
+        _, _, tree = noisy_tree
+        before = tree.n_leaves()
+        cost_complexity_prune(tree, 1e9)
+        assert tree.n_leaves() == before
+
+
+class TestPruningPath:
+    def test_path_ends_at_root(self, noisy_tree):
+        _, _, tree = noisy_tree
+        path = pruning_path(tree)
+        assert path[0] == (0.0, tree.n_leaves())
+        assert path[-1][1] == 1
+        leaf_counts = [leaves for _, leaves in path]
+        assert leaf_counts == sorted(leaf_counts, reverse=True)
+
+
+class TestLegibility:
+    def test_leaf_cap_enforced(self, noisy_tree):
+        _, _, tree = noisy_tree
+        pruned = prune_for_legibility(tree, target_leaves=4, min_accuracy=0.0)
+        assert pruned.n_leaves() <= 4
+
+    def test_every_class_keeps_a_leaf(self, rng):
+        # Three classes, one of them small: pruning must not erase it.
+        x = np.concatenate([
+            rng.uniform(0, 3, 100),
+            rng.uniform(4, 7, 100),
+            rng.uniform(8, 10, 12),
+        ])
+        labels = np.concatenate([
+            np.zeros(100), np.ones(100), np.full(12, 2)
+        ]).astype(np.intp)
+        table = Table("t", [NumericColumn("x", x)])
+        tree = fit_tree(table, labels)
+        pruned = prune_for_legibility(tree, target_leaves=3, min_accuracy=0.5)
+        predicted_classes = {
+            node.prediction for node in pruned.root.walk() if node.is_leaf
+        }
+        assert predicted_classes == {0, 1, 2}
+
+    def test_cleanup_removes_redundant_pure_leaves(self, rng):
+        # Two clusters; the tree may split one cluster into two pure
+        # leaves.  Cleanup merges them at negligible accuracy cost.
+        x = np.concatenate([rng.uniform(0, 4, 100), rng.uniform(6, 10, 100)])
+        labels = (x >= 5).astype(np.intp)
+        table = Table("t", [NumericColumn("x", x), NumericColumn("z", rng.normal(0, 1, 200))])
+        tree = fit_tree(
+            table, labels,
+            params=CartParams(max_depth=5, min_samples_leaf=2, min_samples_split=4),
+        )
+        pruned = prune_for_legibility(tree, target_leaves=8, min_accuracy=0.95)
+        assert pruned.n_leaves() <= max(2, tree.n_leaves())
+        assert pruned.accuracy(table, labels) >= 0.95
+
+    def test_invalid_arguments_rejected(self, noisy_tree):
+        _, _, tree = noisy_tree
+        with pytest.raises(ValueError):
+            prune_for_legibility(tree, target_leaves=0)
+        with pytest.raises(ValueError):
+            prune_for_legibility(tree, target_leaves=2, min_accuracy=1.5)
+
+    def test_accuracy_floor_respected_below_cap(self, noisy_tree):
+        table, labels, tree = noisy_tree
+        pruned = prune_for_legibility(
+            tree, target_leaves=tree.n_leaves(), min_accuracy=0.9
+        )
+        assert pruned.accuracy(table, labels) >= 0.9

@@ -1,0 +1,87 @@
+"""Unit tests for rule extraction (tree → predicates)."""
+
+import numpy as np
+import pytest
+
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.predicates import Everything
+from repro.table.table import Table
+from repro.tree.cart import fit_tree
+from repro.tree.rules import describe_leaf, leaf_predicates, tree_rules
+
+
+@pytest.fixture
+def fitted(rng):
+    n = 300
+    x = rng.uniform(0, 10, n)
+    city = rng.choice(["ams", "nyc"], n)
+    labels = ((x >= 5).astype(int) + (city == "nyc")).astype(np.intp)  # 0,1,2
+    table = Table(
+        "t",
+        [
+            NumericColumn("x", x),
+            CategoricalColumn.from_labels("city", list(city)),
+        ],
+    )
+    return table, labels, fit_tree(table, labels)
+
+
+class TestLeafPredicates:
+    def test_one_rule_per_leaf(self, fitted):
+        _, _, tree = fitted
+        rules = leaf_predicates(tree)
+        assert len(rules) == tree.n_leaves()
+
+    def test_rules_partition_complete_rows(self, fitted):
+        table, _, tree = fitted
+        rules = leaf_predicates(tree)
+        coverage = np.zeros(table.n_rows, dtype=int)
+        for rule in rules:
+            coverage += rule.predicate.mask(table).astype(int)
+        # No missing values in this table: every row matches exactly one
+        # leaf predicate.
+        assert (coverage == 1).all()
+
+    def test_rule_predictions_match_tree(self, fitted):
+        table, _, tree = fitted
+        predictions = tree.predict(table)
+        for rule in leaf_predicates(tree):
+            mask = rule.predicate.mask(table)
+            if mask.any():
+                assert (predictions[mask] == rule.prediction).all()
+
+    def test_sql_rendering(self, fitted):
+        _, _, tree = fitted
+        for rule in leaf_predicates(tree):
+            sql = rule.to_sql()
+            assert isinstance(sql, str) and sql
+
+    def test_stump_rule_is_everything(self):
+        table = Table("t", [NumericColumn("x", [1.0, 2.0])])
+        tree = fit_tree(table, np.zeros(2, dtype=int))
+        rules = leaf_predicates(tree)
+        assert len(rules) == 1
+        assert isinstance(rules[0].predicate, Everything)
+
+
+class TestTreeRules:
+    def test_one_predicate_per_class(self, fitted):
+        table, _, tree = fitted
+        rules = tree_rules(tree)
+        predictions = tree.predict(table)
+        assert set(rules) == set(np.unique(predictions).tolist())
+
+    def test_class_predicate_covers_exactly_its_rows(self, fitted):
+        table, _, tree = fitted
+        predictions = tree.predict(table)
+        for cls, predicate in tree_rules(tree).items():
+            mask = predicate.mask(table)
+            assert (mask == (predictions == cls)).all()
+
+
+class TestDescribeLeaf:
+    def test_empty_path(self):
+        assert describe_leaf([]) == "all rows"
+
+    def test_joined_conditions(self):
+        assert describe_leaf(["x < 5", "city = ams"]) == "x < 5 and city = ams"

@@ -1,0 +1,64 @@
+"""Unit tests for the dependency-graph renderer (Figure 2)."""
+
+import pytest
+
+from repro.datasets.synthetic import planted_themes
+from repro.graph.dependency import build_dependency_graph
+from repro.viz.graphview import render_dependency_graph, render_weight_matrix
+
+
+@pytest.fixture(scope="module")
+def graph():
+    planted = planted_themes(
+        n_rows=400, group_sizes={"eco": 3, "health": 3}, noise=0.3, seed=15
+    )
+    return build_dependency_graph(planted.table)
+
+
+class TestRenderGraph:
+    def test_communities_rendered_separately(self, graph):
+        text = render_dependency_graph(graph, min_weight=0.25)
+        assert "community 0" in text
+        assert "community 1" in text
+        # Members of the same planted group appear with their neighbours.
+        assert "eco_0 --" in text
+        assert "health_0 --" in text
+
+    def test_edges_respect_threshold(self, graph):
+        text = render_dependency_graph(graph, min_weight=0.25)
+        for token in text.split():
+            if token.startswith("(") and token.endswith(")"):
+                weight = float(token.strip("(),"))
+                assert weight >= 0.25
+
+    def test_isolated_columns_listed(self):
+        planted = planted_themes(
+            n_rows=300, group_sizes={"a": 2, "b": 1}, noise=0.3, seed=3
+        )
+        graph = build_dependency_graph(planted.table)
+        text = render_dependency_graph(graph, min_weight=0.5)
+        assert "isolated:" in text
+
+    def test_deterministic(self, graph):
+        assert render_dependency_graph(graph) == render_dependency_graph(graph)
+
+
+class TestRenderMatrix:
+    def test_shape(self, graph):
+        lines = render_weight_matrix(graph).splitlines()
+        # header rows + one line per column + legend
+        assert len(lines) == 2 + graph.n_columns + 1
+        assert lines[0].startswith("WEIGHT MATRIX")
+
+    def test_diagonal_is_strongest_shade(self, graph):
+        lines = render_weight_matrix(graph).splitlines()[2:-1]
+        width = max(len(name) for name in graph.columns) + 1
+        for i, line in enumerate(lines):
+            assert line[width + i] == "@"  # unit diagonal
+
+    def test_truncation_marker(self):
+        planted = planted_themes(
+            n_rows=150, group_sizes={"g": 25}, noise=0.3, seed=4
+        )
+        graph = build_dependency_graph(planted.table)
+        assert "(truncated)" in render_weight_matrix(graph, max_columns=5)

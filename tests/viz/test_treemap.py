@@ -1,0 +1,101 @@
+"""Unit and property tests for the treemap layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.datamap import DataMap, Region
+from repro.core.mapping import build_map
+from repro.datasets.synthetic import numeric_blobs
+from repro.table.predicates import Everything
+from repro.viz.treemap import Rect, treemap_layout
+
+
+@pytest.fixture(scope="module")
+def data_map() -> DataMap:
+    planted = numeric_blobs(n_rows=400, k=3, n_features=2, spread=0.4, seed=77)
+    return build_map(
+        planted.table,
+        planted.table.column_names,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestLayout:
+    def test_root_covers_canvas(self, data_map):
+        rectangles = treemap_layout(data_map, width=2.0, height=3.0)
+        root = rectangles["r"]
+        assert (root.x, root.y, root.width, root.height) == (0, 0, 2.0, 3.0)
+
+    def test_every_region_has_a_rectangle(self, data_map):
+        rectangles = treemap_layout(data_map)
+        assert set(rectangles) == {
+            region.region_id for region in data_map.regions()
+        }
+
+    def test_areas_proportional_to_counts(self, data_map):
+        rectangles = treemap_layout(data_map)
+        total = data_map.n_rows
+        for region in data_map.regions():
+            expected = region.n_rows / total
+            assert rectangles[region.region_id].area == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_children_tile_their_parent(self, data_map):
+        rectangles = treemap_layout(data_map)
+        for region in data_map.regions():
+            if region.is_leaf:
+                continue
+            parent = rectangles[region.region_id]
+            child_area = sum(
+                rectangles[c.region_id].area for c in region.children
+            )
+            assert child_area == pytest.approx(parent.area, abs=1e-9)
+            for child in region.children:
+                rect = rectangles[child.region_id]
+                assert rect.x >= parent.x - 1e-9
+                assert rect.y >= parent.y - 1e-9
+                assert rect.x + rect.width <= parent.x + parent.width + 1e-9
+                assert rect.y + rect.height <= parent.y + parent.height + 1e-9
+
+    def test_leaves_do_not_overlap(self, data_map):
+        rectangles = treemap_layout(data_map)
+        leaves = [rectangles[r.region_id] for r in data_map.leaves()]
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1 :]:
+                overlap_w = max(
+                    0.0, min(a.x + a.width, b.x + b.width) - max(a.x, b.x)
+                )
+                overlap_h = max(
+                    0.0, min(a.y + a.height, b.y + b.height) - max(a.y, b.y)
+                )
+                assert overlap_w * overlap_h == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_canvas_rejected(self, data_map):
+        with pytest.raises(ValueError):
+            treemap_layout(data_map, width=0.0)
+
+
+class TestRect:
+    def test_area_and_contains(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.area == 12.0
+        assert rect.contains(1.0, 2.0)
+        assert rect.contains(3.9, 5.9)
+        assert not rect.contains(4.0, 2.0)  # half-open far edge
+
+    def test_zero_count_region_zero_area(self):
+        # A map with an empty child must not crash the layout.
+        child_a = Region("r0", "a", Everything(), n_rows=10, depth=1, cluster=0)
+        child_b = Region("r1", "b", Everything(), n_rows=0, depth=1, cluster=1)
+        root = Region(
+            "r", "all", Everything(), n_rows=10, depth=0,
+            children=[child_a, child_b],
+        )
+        data_map = DataMap(
+            root=root, columns=("x",), k=2,
+            silhouette=0.0, fidelity=1.0, sample_size=10,
+        )
+        rectangles = treemap_layout(data_map)
+        assert rectangles["r1"].area == 0.0
+        assert rectangles["r0"].area == pytest.approx(1.0)
