@@ -11,6 +11,11 @@ Run with::
 
     python -m repro <data.csv> [more.csv …]
     python -m repro --demo hollywood|countries|lofar
+    python -m repro serve [--host H] [--port P] [--cache-size N] \
+        [--cache-ttl S] [--workers N] (<data.csv> … | --demo <name>)
+
+``serve`` boots the HTTP service (:mod:`repro.service`) instead of the
+interactive shell.
 
 Commands inside the session::
 
@@ -44,7 +49,7 @@ from repro.core.navigation import Explorer
 from repro.viz.charts import text_histogram
 from repro.viz.render import render_map, render_region_panel, render_theme_view
 
-__all__ = ["BlaeuShell", "main"]
+__all__ = ["BlaeuShell", "main", "serve_main"]
 
 _DEMOS = ("hollywood", "countries", "lofar")
 
@@ -251,9 +256,72 @@ def build_engine(argv: list[str]) -> Blaeu:
     return engine
 
 
+def serve_main(argv: list[str]) -> None:
+    """The ``serve`` subcommand: boot the HTTP service over the data."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="blaeu serve",
+        description="Serve Blaeu's protocol commands over HTTP.",
+    )
+    parser.add_argument("data", nargs="*", help="CSV files to register")
+    parser.add_argument(
+        "--demo", choices=_DEMOS, help="serve a bundled demo dataset"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="bind port (0: pick free)"
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="shared map-cache capacity (entries)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="map-cache entry lifetime in seconds (default: no expiry)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker threads for map builds"
+    )
+    args = parser.parse_args(argv)
+    if args.demo and args.data:
+        parser.error("give either CSV files or --demo, not both")
+    if args.demo:
+        engine_argv = ["--demo", args.demo]
+    elif args.data:
+        engine_argv = list(args.data)
+    else:
+        parser.error("provide CSV files or --demo <name>")
+
+    from repro.service.app import BlaeuService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
+            workers=args.workers,
+            # Admission bound scales with the pool so large --workers
+            # values don't trip the max_pending >= workers invariant.
+            max_pending=max(64, args.workers * 4),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    engine = build_engine(engine_argv)
+    BlaeuService(engine, config).run()
+
+
 def main(argv: list[str] | None = None) -> None:
     """Entry point for ``python -m repro``."""
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        serve_main(argv[1:])
+        return
     engine = build_engine(argv)
     shell = BlaeuShell(engine)
     print("blaeu — type 'help' for commands, 'quit' to leave")

@@ -8,6 +8,9 @@ them and the defaults document the paper's operating point.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.tree.cart import CartParams
@@ -95,3 +98,14 @@ class BlaeuConfig:
             raise ValueError("prune_leaf_factor must be at least 1")
         if not 0.0 <= self.prune_min_fidelity <= 1.0:
             raise ValueError("prune_min_fidelity must be in [0, 1]")
+
+    def digest(self) -> str:
+        """A stable hash of every knob (nested dataclasses included).
+
+        Two configs with equal field values share a digest; any changed
+        knob changes it.  Used as a cache-key component so results
+        computed under one configuration are never served under another.
+        """
+        payload = dataclasses.asdict(self)
+        text = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

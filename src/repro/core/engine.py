@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap
-from repro.core.mapping import build_map
+from repro.core.mapping import build_map_cached
 from repro.core.navigation import Explorer
 from repro.core.themes import ThemeSet, extract_themes
 from repro.table.database import Database
@@ -34,10 +34,15 @@ __all__ = ["Blaeu"]
 class Blaeu:
     """The top-level engine: catalog + mapping + navigation sessions."""
 
-    def __init__(self, config: BlaeuConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BlaeuConfig | None = None,
+        map_cache: object | None = None,
+    ) -> None:
         self._config = config or BlaeuConfig()
         self._database = Database(seed=self._config.seed)
         self._theme_cache: dict[str, ThemeSet] = {}
+        self._map_cache = map_cache
 
     @property
     def config(self) -> BlaeuConfig:
@@ -48,6 +53,19 @@ class Blaeu:
     def database(self) -> Database:
         """The underlying catalog (MonetDB's role)."""
         return self._database
+
+    @property
+    def map_cache(self) -> object | None:
+        """The shared map result cache (``None`` when caching is off)."""
+        return self._map_cache
+
+    def set_map_cache(self, cache: object | None) -> None:
+        """Install (or remove) a shared map result cache.
+
+        The cache must expose ``get(key)``/``put(key, value)``; existing
+        explorers keep the cache they were created with.
+        """
+        self._map_cache = cache
 
     # ------------------------------------------------------------------
     # Data ingestion
@@ -89,10 +107,22 @@ class Blaeu:
         """A one-shot data map over explicit columns (no session)."""
         table = self._database.table(table_name)
         rng = np.random.default_rng(self._config.seed)
-        return build_map(table, columns, config=self._config, rng=rng, k=k)
+        return build_map_cached(
+            table,
+            columns,
+            config=self._config,
+            rng=rng,
+            k=k,
+            cache=self._map_cache,
+        )
 
     def explore(self, table_name: str) -> Explorer:
         """Start an interactive exploration session over a table."""
         table = self._database.table(table_name)
         themes = self._theme_cache.get(table_name)
-        return Explorer(table, config=self._config, themes=themes)
+        return Explorer(
+            table,
+            config=self._config,
+            themes=themes,
+            map_cache=self._map_cache,
+        )

@@ -20,6 +20,8 @@ step" — that approximation quality is reported as ``fidelity``.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.cluster.clara import clara
@@ -35,7 +37,82 @@ from repro.table.table import Table
 from repro.tree.cart import DecisionTree, TreeNode, fit_tree
 from repro.tree.prune import prune_for_legibility
 
-__all__ = ["build_map"]
+__all__ = ["build_map", "build_map_cached", "cache_key_seed", "map_cache_key"]
+
+
+def cache_key_seed(cache_key: object) -> int:
+    """A deterministic RNG seed derived from a cache key.
+
+    Cache-aware callers seed each build from its key instead of from a
+    session-local RNG stream: otherwise the RNG state a build sees would
+    depend on which earlier actions hit the cache, and the same action
+    path could yield different maps depending on cache warmth.
+    """
+    digest = hashlib.sha256(repr(cache_key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def map_cache_key(
+    table: Table,
+    selection_sql: str,
+    columns: tuple[str, ...],
+    config: BlaeuConfig,
+    k: int | None = None,
+) -> tuple[str, str, str, tuple[str, ...], int | None]:
+    """The canonical cache key of one map-building request.
+
+    Combines the *content* fingerprint of the base table, the config
+    digest and the canonical action path (selection predicate rendered
+    as SQL, plus the active columns) — so two sessions that navigated to
+    the same place share a key even if they got there independently.
+    """
+    return (table.fingerprint(), config.digest(), selection_sql, tuple(columns), k)
+
+
+def build_map_cached(
+    table: Table,
+    columns: tuple[str, ...],
+    config: BlaeuConfig | None = None,
+    rng: np.random.Generator | None = None,
+    k: int | None = None,
+    cache: "object | None" = None,
+    selection: Predicate | None = None,
+) -> DataMap:
+    """:func:`build_map` behind an optional shared result cache.
+
+    ``table`` is the *base* table; ``selection`` (default: everything)
+    is applied lazily, only on a cache miss — a hit costs one lookup,
+    not an O(rows) predicate evaluation.  ``cache`` is any object with
+    ``get(key)``/``put(key, value)`` (see
+    :class:`repro.service.cache.LRUCache`).  On a hit the stored
+    :class:`DataMap` is returned as-is — maps are treated as immutable
+    once built, so sharing one across sessions is safe.
+
+    When a cache is installed the build RNG is seeded from the cache
+    key (via :func:`cache_key_seed`), so the map an action path
+    produces never depends on cache warmth or on which session built
+    it first; without a cache the caller's ``rng`` stream is used,
+    preserving the original session-sequential behaviour.
+    """
+    config = config or BlaeuConfig()
+    cache_key = None
+    if cache is not None:
+        selection_sql = selection.to_sql() if selection is not None else "TRUE"
+        cache_key = map_cache_key(
+            table, selection_sql, tuple(columns), config, k=k
+        )
+        hit = cache.get(cache_key)
+        if hit is not None:
+            return hit
+        rng = np.random.default_rng(cache_key_seed(cache_key))
+    if selection is None or isinstance(selection, Everything):
+        subset = table
+    else:
+        subset = table.select(selection)
+    data_map = build_map(subset, columns, config=config, rng=rng, k=k)
+    if cache is not None:
+        cache.put(cache_key, data_map)
+    return data_map
 
 
 def build_map(

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap, Region
-from repro.core.mapping import build_map
+from repro.core.mapping import build_map_cached
 from repro.core.themes import Theme, ThemeSet, extract_themes
 from repro.table.column import CategoricalColumn, NumericColumn
 from repro.table.predicates import And, Everything, Predicate
@@ -68,6 +68,11 @@ class Explorer:
         Engine knobs.
     themes:
         Pre-extracted themes (otherwise computed lazily on first access).
+    map_cache:
+        Optional shared result cache (``get(key)``/``put(key, value)``).
+        When set, maps for (table content, config, action path) triples
+        already built — by this session or any other sharing the cache —
+        are reused instead of re-clustered.
     """
 
     def __init__(
@@ -75,11 +80,13 @@ class Explorer:
         table: Table,
         config: BlaeuConfig | None = None,
         themes: ThemeSet | None = None,
+        map_cache: object | None = None,
     ) -> None:
         self._table = table
         self._config = config or BlaeuConfig()
         self._rng = np.random.default_rng(self._config.seed)
         self._themes = themes
+        self._map_cache = map_cache
         self._stack: list[ExplorationState] = []
 
     # ------------------------------------------------------------------
@@ -316,9 +323,13 @@ class Explorer:
         columns: tuple[str, ...],
         action: str,
     ) -> DataMap:
-        subset = self._table.select(selection)
-        data_map = build_map(
-            subset, columns, config=self._config, rng=self._rng
+        data_map = build_map_cached(
+            self._table,
+            columns,
+            config=self._config,
+            rng=self._rng,
+            cache=self._map_cache,
+            selection=selection,
         )
         self._stack.append(
             ExplorationState(

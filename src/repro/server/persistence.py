@@ -11,6 +11,8 @@ restarts, and a session can be handed to a colleague as a file.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.core.engine import Blaeu
@@ -52,11 +54,31 @@ def session_to_dict(table_name: str, explorer: Explorer) -> dict[str, object]:
 def save_session(
     path: str | Path, table_name: str, explorer: Explorer
 ) -> None:
-    """Write the exploration to ``path`` as JSON."""
+    """Write the exploration to ``path`` as JSON, atomically.
+
+    The payload goes to a temporary file in the destination directory
+    first and is moved into place with :func:`os.replace`, so a crash
+    mid-write leaves either the old file or the new one — never a
+    truncated hybrid.
+    """
     payload = session_to_dict(table_name, explorer)
-    Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    path = Path(path)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+        raise
 
 
 def replay_session(path: str | Path, engine: Blaeu) -> Explorer:
@@ -64,6 +86,13 @@ def replay_session(path: str | Path, engine: Blaeu) -> Explorer:
 
     The engine must already hold the session's table; with the same
     engine seed the replayed maps are identical to the saved run's.
+
+    Caveat: the replaying engine must match the saving engine's map
+    *caching* mode as well.  A cache-enabled engine seeds each build
+    from its cache key (so results are independent of cache warmth),
+    while a cache-free engine draws from the session RNG stream —
+    replaying a file across the two modes can produce maps whose
+    region ids differ from the recorded zoom targets.
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     if payload.get("format") != _FORMAT:

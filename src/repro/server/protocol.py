@@ -8,6 +8,7 @@ command set covers the UI's verbs exactly:
 command     arguments
 ========== =====================================================
 tables      —
+catalog     —
 themes      table
 open        session, table, theme (name or index)
 map         session
@@ -37,6 +38,7 @@ __all__ = [
 #: Commands the dispatcher understands, with their required arguments.
 COMMANDS: dict[str, tuple[str, ...]] = {
     "tables": (),
+    "catalog": (),
     "themes": ("table",),
     "open": ("session", "table", "theme"),
     "map": ("session",),

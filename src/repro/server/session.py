@@ -11,11 +11,13 @@ back as :class:`~repro.server.protocol.ErrorResponse`.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from repro.core.engine import Blaeu
 from repro.core.navigation import Explorer, Highlight
 from repro.server.protocol import (
+    COMMANDS,
     ErrorResponse,
     ProtocolError,
     Request,
@@ -34,15 +36,33 @@ class Session:
     session_id: str
     table_name: str
     explorer: Explorer
+    #: Serializes commands against this session: the Explorer's state
+    #: stack is not safe under concurrent mutation.
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 class SessionManager:
-    """Dispatches protocol requests onto engine sessions."""
+    """Dispatches protocol requests onto engine sessions.
+
+    Dispatch is thread-safe: the session registry is guarded by one
+    lock, each session carries its own lock, and commands against
+    *different* sessions run concurrently — the serving layer's worker
+    pool relies on that to overlap slow map builds across clients.
+
+    Known limitation: commands against the *same* session serialize on
+    its lock while occupying a worker thread each, so one client
+    pipelining many commands at one session can tie up several workers.
+    Per-session work queues (one worker slot per session) are the
+    planned fix when sharding lands.
+    """
 
     def __init__(self, engine: Blaeu) -> None:
         self._engine = engine
         self._sessions: dict[str, Session] = {}
         self._counter = 0
+        self._lock = threading.RLock()
+        self._themes_lock = threading.Lock()
+        self._reserved: set[str] = set()
 
     @property
     def engine(self) -> Blaeu:
@@ -51,12 +71,14 @@ class SessionManager:
 
     def session_ids(self) -> tuple[str, ...]:
         """Active session ids."""
-        return tuple(self._sessions)
+        with self._lock:
+            return tuple(self._sessions)
 
     def new_session_id(self) -> str:
         """A fresh session id (``s1``, ``s2``, …)."""
-        self._counter += 1
-        return f"s{self._counter}"
+        with self._lock:
+            self._counter += 1
+            return f"s{self._counter}"
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -79,6 +101,21 @@ class SessionManager:
                 command=request.command,
             )
         try:
+            if "session" in COMMANDS.get(request.command, ()) and (
+                request.command not in ("open", "close")
+            ):
+                session = self._require(request)
+                with session.lock:
+                    # Re-verify under the lock: a concurrent close +
+                    # reopen may have replaced the id with a *new*
+                    # session guarded by a different lock.
+                    with self._lock:
+                        if self._sessions.get(session.session_id) is not session:
+                            raise KeyError(
+                                f"no session {session.session_id!r}; it was "
+                                "closed concurrently"
+                            )
+                    return handler(request)
             return handler(request)
         except (KeyError, ValueError, RuntimeError) as error:
             return ErrorResponse(error=str(error), command=request.command)
@@ -90,9 +127,13 @@ class SessionManager:
     def _handle_tables(self, request: Request) -> Response:
         return Response({"tables": list(self._engine.tables())})
 
+    def _handle_catalog(self, request: Request) -> Response:
+        return Response({"catalog": self._engine.database.catalog()})
+
     def _handle_themes(self, request: Request) -> Response:
         table = str(request.arg("table"))
-        themes = self._engine.themes(table)
+        with self._themes_lock:
+            themes = self._engine.themes(table)
         return Response(
             {"table": table, "themes": json.loads(export_themes_json(themes))}
         )
@@ -100,17 +141,26 @@ class SessionManager:
     def _handle_open(self, request: Request) -> Response:
         session_id = str(request.arg("session"))
         table = str(request.arg("table"))
-        if session_id in self._sessions:
-            raise ValueError(f"session {session_id!r} already exists")
-        explorer = self._engine.explore(table)
-        theme = request.arg("theme")
-        if isinstance(theme, int):
-            data_map = explorer.open_theme(theme)
-        else:
-            data_map = explorer.open_theme(str(theme))
-        self._sessions[session_id] = Session(
-            session_id=session_id, table_name=table, explorer=explorer
-        )
+        with self._lock:
+            if session_id in self._sessions or session_id in self._reserved:
+                raise ValueError(f"session {session_id!r} already exists")
+            # Reserve the id so a concurrent open of the same id fails
+            # fast instead of racing; the map build runs unlocked.
+            self._reserved.add(session_id)
+        try:
+            explorer = self._engine.explore(table)
+            theme = request.arg("theme")
+            if isinstance(theme, int):
+                data_map = explorer.open_theme(theme)
+            else:
+                data_map = explorer.open_theme(str(theme))
+            with self._lock:
+                self._sessions[session_id] = Session(
+                    session_id=session_id, table_name=table, explorer=explorer
+                )
+        finally:
+            with self._lock:
+                self._reserved.discard(session_id)
         return Response(
             {"session": session_id, "map": json.loads(export_map_json(data_map))}
         )
@@ -191,20 +241,32 @@ class SessionManager:
 
     def _handle_close(self, request: Request) -> Response:
         session_id = str(request.arg("session"))
-        if session_id not in self._sessions:
-            raise KeyError(f"no session {session_id!r}")
-        del self._sessions[session_id]
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise KeyError(f"no session {session_id!r}")
+        # Wait for any in-flight command on the session before removing
+        # it, so close never yanks an explorer out from under a zoom.
+        with session.lock:
+            with self._lock:
+                if self._sessions.get(session_id) is not session:
+                    raise KeyError(
+                        f"no session {session_id!r}; it was closed "
+                        "concurrently"
+                    )
+                del self._sessions[session_id]
         return Response({"closed": session_id})
 
     def _require(self, request: Request) -> Session:
         session_id = str(request.arg("session"))
-        try:
-            return self._sessions[session_id]
-        except KeyError:
-            raise KeyError(
-                f"no session {session_id!r}; open one first "
-                f"(active: {list(self._sessions)})"
-            ) from None
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise KeyError(
+                    f"no session {session_id!r}; open one first "
+                    f"(active: {list(self._sessions)})"
+                ) from None
 
 
 def _highlight_payload(highlight: Highlight) -> dict[str, object]:

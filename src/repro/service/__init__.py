@@ -1,0 +1,33 @@
+"""The serving layer: a concurrent HTTP front-end over the engine.
+
+The paper's architecture (Figure 4) puts a server between the browser
+and the DBMS; this package is that tier, grown for the ROADMAP's
+"heavy traffic" north star:
+
+* :mod:`repro.service.cache` — an LRU+TTL result cache shared across
+  sessions, so two users navigating to the same place reuse one
+  clustering run.
+* :mod:`repro.service.pool` — a bounded worker pool that keeps slow
+  map builds off the event loop.
+* :mod:`repro.service.metrics` — request counters and latency
+  histograms, rendered at ``/metrics``.
+* :mod:`repro.service.http` — a stdlib-only ``asyncio`` HTTP/1.1
+  server.
+* :mod:`repro.service.app` — the wiring: engine + session manager +
+  cache + pool behind JSON endpoints, with graceful shutdown.
+"""
+
+from repro.service.app import BlaeuService, ServiceConfig
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.metrics import Metrics
+from repro.service.pool import PoolSaturatedError, WorkerPool
+
+__all__ = [
+    "BlaeuService",
+    "ServiceConfig",
+    "CacheStats",
+    "LRUCache",
+    "Metrics",
+    "WorkerPool",
+    "PoolSaturatedError",
+]

@@ -1,0 +1,355 @@
+"""The serving application: engine + cache + pool behind HTTP routes.
+
+:class:`BlaeuService` is the composition root of the serving layer.  It
+installs a shared :class:`~repro.service.cache.LRUCache` on the engine
+(so every session's map builds go through it), wraps a thread-safe
+:class:`~repro.server.session.SessionManager`, and exposes the protocol
+commands as JSON endpoints:
+
+========================== ==========================================
+route                       meaning
+========================== ==========================================
+``GET /healthz``            liveness + basic stats
+``GET /metrics``            Prometheus-style counters and histograms
+``GET /tables``             registered table names
+``GET /catalog``            tables with content fingerprints
+``POST /api/<command>``     any protocol command; body = its arguments
+========================== ==========================================
+
+Engine work runs on the worker pool, never on the event loop; error
+responses map onto HTTP statuses (unknown command / bad arguments →
+400, missing session or table → 404, saturated pool → 503).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.core.engine import Blaeu
+from repro.server.protocol import (
+    COMMANDS,
+    ErrorResponse,
+    ProtocolError,
+    Response,
+    parse_request,
+)
+from repro.server.session import SessionManager
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    json_response,
+    text_response,
+)
+from repro.service.metrics import Metrics
+from repro.service.pool import PoolSaturatedError, WorkerPool
+
+__all__ = ["BlaeuService", "ServiceConfig"]
+
+#: Error prefixes that mean "the thing you named does not exist".
+_NOT_FOUND_PREFIXES = ("no session ", "no table ", "no theme ", "no region ")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving layer (the engine has its own config)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    cache_size: int = 256
+    cache_ttl: float | None = None
+    workers: int = 4
+    max_pending: int = 64
+    read_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        if self.cache_ttl is not None and self.cache_ttl <= 0:
+            raise ValueError("cache_ttl must be positive (or None)")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.max_pending < self.workers:
+            raise ValueError("max_pending must be >= workers")
+
+
+class BlaeuService:
+    """The HTTP service over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine with tables already registered.  The service installs
+        its shared map cache on it (unless the engine already has one).
+    config:
+        Serving-layer knobs.
+    """
+
+    def __init__(
+        self, engine: Blaeu, config: ServiceConfig | None = None
+    ) -> None:
+        self._config = config or ServiceConfig()
+        self._engine = engine
+        if engine.map_cache is None:
+            engine.set_map_cache(
+                LRUCache(
+                    max_size=self._config.cache_size,
+                    ttl=self._config.cache_ttl,
+                )
+            )
+        self._manager = SessionManager(engine)
+        self._metrics = Metrics()
+        self._pool = WorkerPool(
+            workers=self._config.workers,
+            max_pending=self._config.max_pending,
+        )
+        self._http = HttpServer(
+            self._route,
+            host=self._config.host,
+            port=self._config.port,
+            read_timeout=self._config.read_timeout,
+        )
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The serving-layer configuration."""
+        return self._config
+
+    @property
+    def manager(self) -> SessionManager:
+        """The session manager (shared with in-process callers)."""
+        return self._manager
+
+    @property
+    def cache(self) -> object:
+        """The shared map result cache (usually an :class:`LRUCache`).
+
+        An engine may arrive with its own duck-typed cache installed
+        (``get``/``put`` is the only required surface), so callers that
+        want statistics must go through :meth:`cache_stats`.
+        """
+        return self._engine.map_cache
+
+    def cache_stats(self) -> "CacheStats | None":
+        """The cache's statistics, or ``None`` for stat-less caches."""
+        stats = getattr(self._engine.map_cache, "stats", None)
+        return stats() if callable(stats) else None
+
+    @property
+    def metrics(self) -> Metrics:
+        """The metric registry behind ``/metrics``."""
+        return self._metrics
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The worker pool running engine commands."""
+        return self._pool
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        return self._http.port
+
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._http.host
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket; returns once requests are served."""
+        await self._http.start()
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain workers."""
+        await self._http.stop()
+        self._pool.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or task cancellation)."""
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._http.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point with SIGINT/SIGTERM-triggered shutdown."""
+        asyncio.run(self._run())
+
+    async def _run(self) -> None:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
+                loop.add_signal_handler(signum, stop_requested.set)
+        print(
+            f"blaeu service listening on http://{self.host}:{self.port} "
+            f"({len(self._engine.tables())} tables, "
+            f"cache={self._config.cache_size}, "
+            f"workers={self._config.workers})"
+        )
+        serve_task = asyncio.create_task(self.serve_forever())
+        await stop_requested.wait()
+        await self.stop()
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(self, request: HttpRequest) -> HttpResponse:
+        started = time.perf_counter()
+        try:
+            route, response = await self._dispatch(request)
+        except HttpError as error:
+            # Count request-level failures (e.g. malformed JSON bodies)
+            # too — otherwise abusive traffic is invisible in /metrics.
+            route, response = request.path, json_response(
+                {"ok": False, "error": error.message}, error.status
+            )
+        self._metrics.observe_request(
+            route, response.status, time.perf_counter() - started
+        )
+        return response
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> tuple[str, HttpResponse]:
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return path, self._handle_healthz(request)
+        if path == "/metrics":
+            return path, self._handle_metrics(request)
+        if path == "/tables":
+            return path, await self._run_command(request, "tables", {})
+        if path == "/catalog":
+            return path, await self._run_command(request, "catalog", {})
+        if path.startswith("/api/"):
+            command = path[len("/api/") :]
+            if request.method != "POST":
+                return path, json_response(
+                    {"ok": False, "error": "use POST for /api/ commands"},
+                    405,
+                )
+            if command not in COMMANDS:
+                return "/api/<unknown>", json_response(
+                    {
+                        "ok": False,
+                        "error": (
+                            f"unknown command {command!r}; "
+                            f"known: {sorted(COMMANDS)}"
+                        ),
+                    },
+                    404,
+                )
+            return path, await self._run_command(
+                request, command, request.json()
+            )
+        return "/<unknown>", json_response(
+            {"ok": False, "error": f"no route {request.path!r}"}, 404
+        )
+
+    def _handle_healthz(self, request: HttpRequest) -> HttpResponse:
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        cache = self.cache_stats()
+        pool = self._pool.stats()
+        payload: dict[str, object] = {
+            "ok": True,
+            "status": "healthy",
+            "uptime_seconds": round(uptime, 3),
+            "tables": len(self._engine.tables()),
+            "sessions": len(self._manager.session_ids()),
+            "pool": {
+                "in_flight": pool.in_flight,
+                "workers": pool.workers,
+            },
+        }
+        if cache is not None:
+            payload["cache"] = {
+                "size": cache.size,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+            }
+        return json_response(payload)
+
+    def _handle_metrics(self, request: HttpRequest) -> HttpResponse:
+        cache = self.cache_stats()
+        pool = self._pool.stats()
+        if cache is not None:
+            self._metrics.set_gauge("blaeu_cache_entries", cache.size)
+            self._metrics.set_gauge("blaeu_cache_hits_total", cache.hits)
+            self._metrics.set_gauge("blaeu_cache_misses_total", cache.misses)
+            self._metrics.set_gauge(
+                "blaeu_cache_evictions_total", cache.evictions
+            )
+        self._metrics.set_gauge("blaeu_pool_in_flight", pool.in_flight)
+        self._metrics.set_gauge("blaeu_pool_completed_total", pool.completed)
+        self._metrics.set_gauge("blaeu_pool_failed_total", pool.failed)
+        self._metrics.set_gauge("blaeu_pool_rejected_total", pool.rejected)
+        self._metrics.set_gauge(
+            "blaeu_sessions_active", len(self._manager.session_ids())
+        )
+        return text_response(self._metrics.render())
+
+    async def _run_command(
+        self,
+        request: HttpRequest,
+        command: str,
+        args: dict[str, object],
+    ) -> HttpResponse:
+        """Validate a protocol command and run it on the worker pool."""
+        payload = dict(args)
+        payload["command"] = command  # the route, not the body, is authoritative
+        try:
+            parsed = parse_request(json.dumps(payload))
+        except ProtocolError as error:
+            return json_response({"ok": False, "error": str(error)}, 400)
+        except TypeError as error:
+            return json_response(
+                {"ok": False, "error": f"unserializable arguments: {error}"},
+                400,
+            )
+        try:
+            result = await self._pool.run(self._manager.handle, parsed)
+        except PoolSaturatedError as error:
+            return json_response({"ok": False, "error": str(error)}, 503)
+        if isinstance(result, Response):
+            return json_response({"ok": True, **result.payload})
+        assert isinstance(result, ErrorResponse)
+        return json_response(
+            {"ok": False, "error": result.error, "command": command},
+            self._error_status(result.error),
+        )
+
+    @staticmethod
+    def _error_status(error: str) -> int:
+        """Map an engine error message onto an HTTP status.
+
+        ``str(KeyError(...))`` wraps the message in quotes, so strip
+        them before matching the not-found prefixes.
+        """
+        if error.lstrip("'\"").startswith(_NOT_FOUND_PREFIXES):
+            return 404
+        return 400

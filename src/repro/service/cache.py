@@ -1,0 +1,175 @@
+"""A thread-safe LRU + TTL result cache shared across sessions.
+
+Blaeu's interactivity comes from not recomputing: once one user's zoom
+has paid for a CLARA/PAM run, every other session that navigates to the
+same (table content, configuration, action path) triple should get the
+finished map back in microseconds.  Keys are built by
+:func:`repro.core.mapping.map_cache_key` from the table's content
+fingerprint, the config digest and the canonical action path — never
+from session ids — which is what makes the cache safely *shared*.
+
+Eviction is least-recently-used with an optional time-to-live; both are
+enforced on every access, and an injectable clock keeps the TTL logic
+deterministically testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded mapping with LRU eviction and optional per-entry TTL.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of entries; inserting beyond it evicts the least
+        recently used entry.
+    ttl:
+        Seconds an entry stays valid after insertion; ``None`` disables
+        expiry.  Expired entries count as misses and are dropped lazily
+        on access (plus eagerly by :meth:`purge_expired`).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 256,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self._max_size = max_size
+        self._ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[object, float]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------
+    # Mapping operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value, or ``None`` on miss/expiry (moves to MRU)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, stored_at = entry
+            if self._ttl is not None and self._clock() - stored_at > self._ttl:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, self._clock())
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def purge_expired(self) -> int:
+        """Eagerly drop expired entries; returns how many were removed."""
+        if self._ttl is None:
+            return 0
+        with self._lock:
+            now = self._clock()
+            stale = [
+                key
+                for key, (_, stored_at) in self._entries.items()
+                if now - stored_at > self._ttl
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._expirations += len(stale)
+            return len(stale)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if self._ttl is not None and self._clock() - entry[1] > self._ttl:
+                return False
+            return True
+
+    @property
+    def max_size(self) -> int:
+        """The eviction bound."""
+        return self._max_size
+
+    @property
+    def ttl(self) -> float | None:
+        """The per-entry time-to-live in seconds (``None``: no expiry)."""
+        return self._ttl
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                max_size=self._max_size,
+            )

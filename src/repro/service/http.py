@@ -1,0 +1,325 @@
+"""A stdlib-only ``asyncio`` HTTP/1.1 server for the serving layer.
+
+No framework: the container ships only the scientific toolchain, and
+the protocol surface Blaeu needs — short JSON requests and responses —
+fits in a few hundred lines of careful parsing.  The server supports
+keep-alive (interactive clients issue many small requests per
+connection), bounds header and body sizes, enforces a per-read timeout
+so dead peers cannot pin sockets, and hands every request to an async
+handler that returns an :class:`HttpResponse`.
+
+The handler contract is deliberately tiny so the app layer stays
+testable without sockets::
+
+    async def handler(request: HttpRequest) -> HttpResponse: ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "json_response",
+    "text_response",
+]
+
+#: Hard caps keeping a hostile or broken peer from exhausting memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request-level failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> dict[str, object]:
+        """The body parsed as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise HttpError(400, f"malformed JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return payload
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One HTTP response the server will serialize."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json; charset=utf-8"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def serialize(self, keep_alive: bool) -> bytes:
+        """The full wire representation of the response."""
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("ascii") + self.body
+
+
+def json_response(
+    payload: dict[str, object], status: int = 200
+) -> HttpResponse:
+    """A JSON response from a payload dictionary."""
+    body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return HttpResponse(status=status, body=body)
+
+
+def text_response(text: str, status: int = 200) -> HttpResponse:
+    """A plain-text response (used by ``/metrics``)."""
+    return HttpResponse(
+        status=status,
+        body=text.encode("utf-8"),
+        content_type="text/plain; charset=utf-8",
+    )
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+class HttpServer:
+    """An asyncio TCP server speaking enough HTTP/1.1 for the app layer.
+
+    Parameters
+    ----------
+    handler:
+        The async request handler; exceptions it leaks become 500s.
+    host / port:
+        Bind address.  ``port=0`` picks a free port (tests, benchmarks);
+        the real port is available as :attr:`port` after :meth:`start`.
+    read_timeout:
+        Seconds an idle connection may sit between requests.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        read_timeout: float = 30.0,
+    ) -> None:
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._read_timeout = read_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task[None]] = set()
+
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when 0 was asked)."""
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self._port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (call :meth:`start` first)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel open connections, wait for them."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), timeout=self._read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except HttpError as error:
+                    response = json_response(
+                        {"ok": False, "error": error.message}, error.status
+                    )
+                    writer.write(response.serialize(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:  # client closed the connection
+                    break
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                try:
+                    response = await self._handler(request)
+                except HttpError as error:
+                    response = json_response(
+                        {"ok": False, "error": error.message}, error.status
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - last resort
+                    response = json_response(
+                        {"ok": False, "error": f"internal error: {error}"},
+                        500,
+                    )
+                writer.write(response.serialize(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionError):
+            # ConnectionError covers reset *and* broken-pipe: a peer
+            # vanishing mid-write is routine, not a server fault.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> HttpRequest | None:
+        """Parse one request off the stream (``None`` on clean EOF)."""
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionResetError) as error:
+            raise HttpError(400, f"unreadable request line: {error}") from error
+        if not request_line:
+            return None
+        if len(request_line) > MAX_REQUEST_LINE:
+            raise HttpError(413, "request line too long")
+        try:
+            method, target, version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError) as error:
+            raise HttpError(400, "malformed request line") from error
+        if not version.startswith("HTTP/1."):
+            raise HttpError(400, f"unsupported protocol {version!r}")
+
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError as error:
+                # One header line overflowed the stream reader's limit.
+                raise HttpError(413, "header line too long") from error
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise HttpError(413, "headers too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            try:
+                name, _, value = line.decode("latin-1").partition(":")
+            except UnicodeDecodeError as error:  # pragma: no cover
+                raise HttpError(400, "undecodable header") from error
+            headers[name.strip().lower()] = value.strip()
+
+        body = b""
+        length_text = headers.get("content-length")
+        if length_text is not None and "transfer-encoding" in headers:
+            # RFC 9112 §6.1: ambiguous framing, a smuggling vector.
+            raise HttpError(
+                400, "both Content-Length and Transfer-Encoding present"
+            )
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError as error:
+                raise HttpError(400, "invalid Content-Length") from error
+            if length < 0:
+                raise HttpError(400, "negative Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise HttpError(413, "request body too large")
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError as error:
+                    raise HttpError(400, "truncated request body") from error
+        elif headers.get("transfer-encoding", "").lower() == "chunked":
+            raise HttpError(400, "chunked request bodies are not supported")
+
+        parts = urlsplit(target)
+        return HttpRequest(
+            method=method.upper(),
+            path=unquote(parts.path) or "/",
+            query=parse_qs(parts.query),
+            headers=headers,
+            body=body,
+        )

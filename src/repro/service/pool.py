@@ -1,0 +1,121 @@
+"""A bounded worker pool that keeps slow work off the event loop.
+
+Map construction (CLARA/PAM + CART) takes tens to hundreds of
+milliseconds — far too long to run on the asyncio event loop, where it
+would stall every connected client.  :class:`WorkerPool` runs such work
+on a small thread pool with an explicit admission bound: when
+``max_pending`` jobs are already in flight the pool *refuses* new work
+(:class:`PoolSaturatedError`) instead of queueing unboundedly, which
+the HTTP layer translates to ``503`` — load shedding, not latency
+collapse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+__all__ = ["PoolSaturatedError", "PoolStats", "WorkerPool"]
+
+T = TypeVar("T")
+
+
+class PoolSaturatedError(RuntimeError):
+    """The pool is at its admission limit; shed the request."""
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A point-in-time snapshot of pool load."""
+
+    workers: int
+    in_flight: int
+    max_pending: int
+    completed: int
+    failed: int
+    rejected: int
+
+
+class WorkerPool:
+    """A ThreadPoolExecutor with admission control and async submission.
+
+    Parameters
+    ----------
+    workers:
+        Threads executing jobs concurrently.
+    max_pending:
+        Maximum jobs admitted at once (running + queued).  Submissions
+        beyond it raise :class:`PoolSaturatedError` immediately.
+    """
+
+    def __init__(self, workers: int = 4, max_pending: int = 64) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_pending < workers:
+            raise ValueError("max_pending must be >= workers")
+        self._workers = workers
+        self._max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="blaeu-worker"
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._closed = False
+
+    async def run(self, fn: Callable[..., T], *args: Any) -> T:
+        """Run ``fn(*args)`` on a worker thread; await its result.
+
+        Raises :class:`PoolSaturatedError` when the admission bound is
+        reached and ``RuntimeError`` after :meth:`shutdown`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            if self._in_flight >= self._max_pending:
+                self._rejected += 1
+                raise PoolSaturatedError(
+                    f"worker pool saturated ({self._in_flight} jobs in "
+                    f"flight, limit {self._max_pending})"
+                )
+            # Submit while still holding the lock so a concurrent
+            # shutdown() cannot slip between the check and the submit.
+            try:
+                future = self._executor.submit(fn, *args)
+            except RuntimeError as error:
+                raise RuntimeError("worker pool is shut down") from error
+            self._in_flight += 1
+        try:
+            result = await asyncio.wrap_future(future)
+        except BaseException:
+            with self._lock:
+                self._in_flight -= 1
+                self._failed += 1
+            raise
+        with self._lock:
+            self._in_flight -= 1
+            self._completed += 1
+        return result
+
+    def stats(self) -> PoolStats:
+        """A consistent snapshot of the pool counters."""
+        with self._lock:
+            return PoolStats(
+                workers=self._workers,
+                in_flight=self._in_flight,
+                max_pending=self._max_pending,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)

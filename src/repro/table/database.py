@@ -93,6 +93,23 @@ class Database:
         """Registered table names, in registration order."""
         return tuple(self._tables)
 
+    def catalog(self) -> list[dict[str, object]]:
+        """One record per registered table, content fingerprint included.
+
+        The fingerprint identifies the table *content* (schema + column
+        bytes), so clients — and the service's shared map cache — can
+        tell whether two names refer to the same data.
+        """
+        return [
+            {
+                "name": table.name,
+                "n_rows": table.n_rows,
+                "n_columns": table.n_columns,
+                "fingerprint": table.fingerprint(),
+            }
+            for table in self._tables.values()
+        ]
+
     def __contains__(self, name: object) -> bool:
         return name in self._tables
 

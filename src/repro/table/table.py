@@ -15,6 +15,7 @@ All operations return new tables; nothing is mutated in place.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -42,7 +43,7 @@ class Table:
         significant (the theme view lists columns in table order).
     """
 
-    __slots__ = ("_name", "_columns", "_order", "_n_rows")
+    __slots__ = ("_name", "_columns", "_order", "_n_rows", "_fingerprint")
 
     def __init__(self, name: str, columns: Sequence[Column]) -> None:
         if not name:
@@ -63,6 +64,7 @@ class Table:
         self._columns = {column.name: column for column in columns}
         self._order = tuple(names)
         self._n_rows = lengths.pop()
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -138,6 +140,49 @@ class Table:
     def has_column(self, name: str) -> bool:
         """Whether a column called ``name`` exists."""
         return name in self._columns
+
+    def fingerprint(self) -> str:
+        """A stable content hash over schema and column bytes.
+
+        Two tables with the same columns (names, kinds, order) and the
+        same cell values share a fingerprint, regardless of their table
+        names — so cached results keyed on the fingerprint survive
+        ``rename`` and re-registration.  Computed once, then memoized
+        (tables are immutable).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"blaeu.table/1:{self._n_rows}".encode())
+            for column in self.columns:
+                digest.update(b"\x00col\x00")
+                digest.update(column.name.encode("utf-8"))
+                digest.update(b"\x00")
+                digest.update(column.kind.value.encode("ascii"))
+                digest.update(b"\x00")
+                if isinstance(column, NumericColumn):
+                    # Zero out missing cells: NaN payload bytes are not
+                    # canonical, the mask is hashed separately below.
+                    values = np.where(column.missing_mask, 0.0, column.values)
+                    digest.update(np.ascontiguousarray(values).tobytes())
+                elif isinstance(column, CategoricalColumn):
+                    digest.update(
+                        np.ascontiguousarray(column.codes).tobytes()
+                    )
+                    # Length-prefix each category: joining by a
+                    # delimiter alone is ambiguous when a category
+                    # itself contains the delimiter byte.
+                    digest.update(
+                        len(column.categories).to_bytes(4, "big")
+                    )
+                    for category in column.categories:
+                        encoded = category.encode("utf-8")
+                        digest.update(len(encoded).to_bytes(4, "big"))
+                        digest.update(encoded)
+                digest.update(
+                    np.ascontiguousarray(column.missing_mask).tobytes()
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def numeric_columns(self) -> tuple[NumericColumn, ...]:
         """All numeric columns, in table order."""

@@ -1,0 +1,139 @@
+"""Tests for cache-aware map building across engine sessions."""
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.core.mapping import map_cache_key
+from repro.datasets.synthetic import mixed_blobs
+from repro.service.cache import LRUCache
+
+CONFIG = BlaeuConfig(map_k_values=(2, 3), seed=5)
+
+
+@pytest.fixture
+def engine():
+    blaeu = Blaeu(CONFIG, map_cache=LRUCache(max_size=16))
+    blaeu.register(mixed_blobs(n_rows=300, k=2, seed=61).table)
+    return blaeu
+
+
+class TestConfigDigest:
+    def test_equal_configs_share_a_digest(self):
+        assert BlaeuConfig().digest() == BlaeuConfig().digest()
+
+    def test_any_knob_changes_the_digest(self):
+        base = BlaeuConfig()
+        assert base.digest() != BlaeuConfig(seed=1).digest()
+        assert base.digest() != BlaeuConfig(map_sample_size=999).digest()
+        assert base.digest() != BlaeuConfig(map_k_values=(2, 3)).digest()
+
+
+class TestMapCacheKey:
+    def test_key_combines_content_config_and_action_path(self):
+        table = mixed_blobs(n_rows=100, k=2, seed=3).table
+        key = map_cache_key(table, "TRUE", ("x0", "x1"), CONFIG)
+        assert key == (
+            table.fingerprint(),
+            CONFIG.digest(),
+            "TRUE",
+            ("x0", "x1"),
+            None,
+        )
+
+    def test_different_selections_get_different_keys(self):
+        table = mixed_blobs(n_rows=100, k=2, seed=3).table
+        a = map_cache_key(table, "TRUE", ("x0",), CONFIG)
+        b = map_cache_key(table, '"x0" < 1', ("x0",), CONFIG)
+        assert a != b
+
+
+class TestSharedCacheAcrossSessions:
+    def test_two_explorers_share_one_clustering_run(self, engine):
+        cache = engine.map_cache
+        first = engine.explore("mixed_blobs")
+        first.open_columns(("x0", "x1"))
+        assert cache.stats().misses == 1
+        assert cache.stats().hits == 0
+
+        second = engine.explore("mixed_blobs")
+        second_map = second.open_columns(("x0", "x1"))
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        # The exact same map object is served to both sessions.
+        assert second_map is first.state.map
+
+    def test_zoom_paths_are_cached_by_action_path(self, engine):
+        first = engine.explore("mixed_blobs")
+        data_map = first.open_columns(("x0", "x1"))
+        target = max(data_map.leaves(), key=lambda r: r.n_rows)
+        first.zoom(target.region_id)
+        before = engine.map_cache.stats()
+
+        second = engine.explore("mixed_blobs")
+        second.open_columns(("x0", "x1"))
+        second.zoom(target.region_id)
+        after = engine.map_cache.stats()
+        assert after.hits == before.hits + 2  # the open and the zoom
+        assert after.misses == before.misses
+
+    def test_different_columns_do_not_collide(self, engine):
+        explorer = engine.explore("mixed_blobs")
+        explorer.open_columns(("x0", "x1"))
+        other = engine.explore("mixed_blobs")
+        other.open_columns(("x1", "x2"))
+        stats = engine.map_cache.stats()
+        assert stats.misses == 2
+        assert stats.hits == 0
+
+    def test_maps_do_not_depend_on_cache_warmth(self):
+        """The same action path yields the same map, hit or miss.
+
+        Engine 1's second session opens from a *warm* cache before
+        zooming (a miss); engine 2's single session pays for both
+        builds.  The zoom maps must still be identical — the build RNG
+        is derived from the cache key, not from session history.
+        """
+        from repro.viz.export import export_map_json
+
+        def zoom_map(engine, warm_first):
+            if warm_first:
+                warmup = engine.explore("mixed_blobs")
+                warmup.open_columns(("x0", "x1"))
+            explorer = engine.explore("mixed_blobs")
+            data_map = explorer.open_columns(("x0", "x1"))
+            target = max(data_map.leaves(), key=lambda r: r.n_rows)
+            return explorer.zoom(target.region_id)
+
+        engines = []
+        for _ in range(2):
+            blaeu = Blaeu(CONFIG, map_cache=LRUCache(max_size=16))
+            blaeu.register(mixed_blobs(n_rows=300, k=2, seed=61).table)
+            engines.append(blaeu)
+        warm = zoom_map(engines[0], warm_first=True)
+        cold = zoom_map(engines[1], warm_first=False)
+        assert export_map_json(warm) == export_map_json(cold)
+
+    def test_one_shot_map_uses_the_cache(self, engine):
+        engine.map("mixed_blobs", ("x0", "x1"), k=2)
+        engine.map("mixed_blobs", ("x0", "x1"), k=2)
+        stats = engine.map_cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_cache_off_by_default(self):
+        blaeu = Blaeu(CONFIG)
+        blaeu.register(mixed_blobs(n_rows=120, k=2, seed=9).table)
+        assert blaeu.map_cache is None
+        explorer = blaeu.explore("mixed_blobs")
+        data_map = explorer.open_columns(("x0", "x1"))
+        assert data_map.n_rows == 120
+
+    def test_set_map_cache_installs_and_removes(self):
+        blaeu = Blaeu(CONFIG)
+        cache = LRUCache(max_size=4)
+        blaeu.set_map_cache(cache)
+        assert blaeu.map_cache is cache
+        blaeu.set_map_cache(None)
+        assert blaeu.map_cache is None

@@ -106,3 +106,62 @@ class TestSaveReplay:
         )
         with pytest.raises(ValueError, match="teleport"):
             replay_session(path, engine)
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temporary_files(self, engine, tmp_path):
+        explorer = _navigate(engine)
+        save_session(tmp_path / "session.json", "mixed_blobs", explorer)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["session.json"]
+
+    def test_save_replaces_existing_file_atomically(self, engine, tmp_path):
+        explorer = _navigate(engine)
+        path = tmp_path / "session.json"
+        path.write_text("old contents", encoding="utf-8")
+        save_session(path, "mixed_blobs", explorer)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == "blaeu.session/1"
+
+    def test_crash_mid_write_preserves_the_old_file(
+        self, engine, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        explorer = _navigate(engine)
+        path = tmp_path / "session.json"
+        path.write_text("precious old session", encoding="utf-8")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_session(path, "mixed_blobs", explorer)
+        # The old file is untouched and the temp file was cleaned up.
+        assert path.read_text(encoding="utf-8") == "precious old session"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["session.json"]
+
+    def test_empty_history_saves_cleanly(self, engine, tmp_path):
+        explorer = engine.explore("mixed_blobs")  # no map opened yet
+        path = tmp_path / "session.json"
+        save_session(path, "mixed_blobs", explorer)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["steps"] == []
+
+    def test_failed_serialization_writes_nothing(
+        self, engine, tmp_path, monkeypatch
+    ):
+        import repro.server.persistence as persistence
+
+        explorer = _navigate(engine)
+        path = tmp_path / "session.json"
+
+        def exploding_serializer(table_name, exp):
+            raise ValueError("simulated serialization failure")
+
+        monkeypatch.setattr(
+            persistence, "session_to_dict", exploding_serializer
+        )
+        with pytest.raises(ValueError, match="simulated serialization"):
+            save_session(path, "mixed_blobs", explorer)
+        assert list(tmp_path.iterdir()) == []

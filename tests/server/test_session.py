@@ -144,3 +144,75 @@ class TestErrorHandling:
     def test_close_unknown_session(self, manager):
         response = send(manager, command="close", session="ghost")
         assert not response["ok"]
+
+
+class TestCatalogCommand:
+    def test_catalog_lists_fingerprints(self, manager):
+        response = send(manager, command="catalog")
+        assert response["ok"] is True
+        (record,) = response["catalog"]
+        assert record["name"] == "mixed_blobs"
+        assert record["n_rows"] == 300
+        assert len(record["fingerprint"]) == 64
+
+
+class TestConcurrentDispatch:
+    def test_parallel_opens_and_navigation(self, manager):
+        """Many threads driving distinct sessions must not corrupt state."""
+        import threading
+
+        themes = send(manager, command="themes", table="mixed_blobs")
+        theme = themes["themes"]["themes"][0]["name"]
+        errors = []
+
+        def worker(index):
+            session = f"t{index}"
+            try:
+                response = send(
+                    manager, command="open", session=session,
+                    table="mixed_blobs", theme=theme,
+                )
+                if not response["ok"]:
+                    errors.append(response)
+                    return
+                for command in ("map", "sql", "history", "close"):
+                    response = send(manager, command=command, session=session)
+                    if not response["ok"]:
+                        errors.append(response)
+            except Exception as error:  # pragma: no cover
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert manager.session_ids() == ()
+
+    def test_concurrent_duplicate_opens_admit_exactly_one(self, manager):
+        import threading
+
+        themes = send(manager, command="themes", table="mixed_blobs")
+        theme = themes["themes"]["themes"][0]["name"]
+        outcomes = []
+        barrier = threading.Barrier(4, timeout=30)
+
+        def worker():
+            barrier.wait()
+            response = send(
+                manager, command="open", session="shared",
+                table="mixed_blobs", theme=theme,
+            )
+            outcomes.append(response["ok"])
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert outcomes.count(True) == 1
+        assert outcomes.count(False) == 3
+        assert manager.session_ids() == ("shared",)

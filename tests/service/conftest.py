@@ -1,0 +1,108 @@
+"""Fixtures for the serving-layer tests: a real service on a real port."""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.datasets.synthetic import mixed_blobs
+from repro.service.app import BlaeuService, ServiceConfig
+
+
+class RunningService:
+    """A :class:`BlaeuService` running its event loop on a thread."""
+
+    def __init__(self, engine: Blaeu, config: ServiceConfig) -> None:
+        self._engine = engine
+        self._config = config
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self.service: BlaeuService | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "RunningService":
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("service failed to start within 15s")
+        return self
+
+    def stop(self) -> None:
+        assert self._loop is not None and self._stop_event is not None
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=15)
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None
+        return self.service.port
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.service = BlaeuService(self._engine, self._config)
+        await self.service.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        serve_task = asyncio.create_task(self.service.serve_forever())
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.service.stop()
+        serve_task.cancel()
+
+    # ------------------------------------------------------------------
+    # Client helpers
+    # ------------------------------------------------------------------
+
+    def get(self, path: str) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=30
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def post(self, path: str, body: object) -> tuple[int, dict]:
+        payload = (
+            body if isinstance(body, bytes) else json.dumps(body).encode()
+        )
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST",
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        status, body = self.get(path)
+        return status, json.loads(body)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """A service over a small synthetic table, torn down after the module."""
+    engine = Blaeu(BlaeuConfig(map_k_values=(2, 3), seed=5))
+    engine.register(mixed_blobs(n_rows=300, k=2, seed=61).table)
+    running = RunningService(
+        engine, ServiceConfig(port=0, workers=2, max_pending=32)
+    ).start()
+    yield running
+    running.stop()

@@ -1,0 +1,169 @@
+"""Unit tests for the shared LRU+TTL result cache."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import LRUCache
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(max_size=4)
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_put_refreshes_value(self):
+        cache = LRUCache(max_size=4)
+        cache.put("k", "old")
+        cache.put("k", "new")
+        assert cache.get("k") == "new"
+        assert len(cache) == 1
+
+    def test_contains_and_invalidate(self):
+        cache = LRUCache(max_size=4)
+        cache.put("k", "v")
+        assert "k" in cache
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert "k" not in cache
+
+    def test_clear_keeps_statistics(self):
+        cache = LRUCache(max_size=4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="max_size"):
+            LRUCache(max_size=0)
+        with pytest.raises(ValueError, match="ttl"):
+            LRUCache(max_size=1, ttl=0)
+
+
+class TestEviction:
+    def test_lru_entry_evicted_first(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_size_never_exceeds_bound(self):
+        cache = LRUCache(max_size=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats().evictions == 7
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=4, ttl=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.0)
+        assert cache.get("k") == "v"
+        clock.advance(2.0)
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.size == 0
+
+    def test_expired_entry_counts_as_miss(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=4, ttl=1.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(2.0)
+        cache.get("k")
+        assert cache.stats().misses == 1
+        assert cache.stats().hits == 0
+
+    def test_contains_respects_ttl(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=4, ttl=1.0, clock=clock)
+        cache.put("k", "v")
+        assert "k" in cache
+        clock.advance(1.5)
+        assert "k" not in cache
+
+    def test_purge_expired_drops_only_stale_entries(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=8, ttl=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(8.0)
+        cache.put("fresh", 2)
+        clock.advance(4.0)  # "old" is 12s old, "fresh" 4s
+        assert cache.purge_expired() == 1
+        assert "old" not in cache
+        assert cache.get("fresh") == 2
+
+    def test_purge_is_noop_without_ttl(self):
+        cache = LRUCache(max_size=4)
+        cache.put("k", "v")
+        assert cache.purge_expired() == 0
+        assert cache.get("k") == "v"
+
+    def test_put_resets_entry_age(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=4, ttl=10.0, clock=clock)
+        cache.put("k", "v1")
+        clock.advance(8.0)
+        cache.put("k", "v2")
+        clock.advance(8.0)  # 16s since first put, 8s since refresh
+        assert cache.get("k") == "v2"
+
+
+class TestConcurrency:
+    def test_parallel_puts_and_gets_stay_bounded(self):
+        cache = LRUCache(max_size=32)
+        errors: list[Exception] = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(200):
+                    cache.put((base, i % 40), i)
+                    cache.get((base, (i + 1) % 40))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32

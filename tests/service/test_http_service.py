@@ -1,0 +1,276 @@
+"""End-to-end tests of the HTTP service: routes, errors, concurrency."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+
+class TestHealthAndMetrics:
+    def test_healthz_reports_service_state(self, service):
+        status, payload = service.get_json("/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["status"] == "healthy"
+        assert payload["tables"] == 1
+        assert "cache" in payload and "pool" in payload
+
+    def test_metrics_renders_prometheus_text(self, service):
+        service.get_json("/healthz")  # guarantee at least one request
+        status, body = service.get("/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "blaeu_requests_total" in text
+        assert "blaeu_cache_entries" in text
+        assert "blaeu_pool_in_flight" in text
+        assert 'route="/healthz"' in text
+
+
+class TestCatalogRoutes:
+    def test_tables_lists_registered_tables(self, service):
+        status, payload = service.get_json("/tables")
+        assert status == 200
+        assert payload == {"ok": True, "tables": ["mixed_blobs"]}
+
+    def test_catalog_carries_content_fingerprints(self, service):
+        status, payload = service.get_json("/catalog")
+        assert status == 200
+        (record,) = payload["catalog"]
+        assert record["name"] == "mixed_blobs"
+        assert record["n_rows"] == 300
+        assert len(record["fingerprint"]) == 64
+        assert all(c in "0123456789abcdef" for c in record["fingerprint"])
+
+
+class TestProtocolCommands:
+    def test_full_navigation_roundtrip(self, service):
+        status, opened = service.post(
+            "/api/open",
+            {"session": "nav", "table": "mixed_blobs", "theme": 0},
+        )
+        assert status == 200
+        assert opened["session"] == "nav"
+        assert opened["map"]["type"] == "blaeu.map"
+
+        def leaves(node):
+            children = node.get("children")
+            if not children:
+                return [node]
+            return [leaf for child in children for leaf in leaves(child)]
+
+        biggest = max(leaves(opened["map"]["root"]), key=lambda r: r["value"])
+        status, zoomed = service.post(
+            "/api/zoom", {"session": "nav", "region": biggest["id"]}
+        )
+        assert status == 200
+        assert zoomed["map"]["n_rows"] == biggest["value"]
+
+        status, sql = service.post("/api/sql", {"session": "nav"})
+        assert status == 200
+        assert sql["sql"].startswith("SELECT")
+
+        status, history = service.post("/api/history", {"session": "nav"})
+        assert status == 200
+        assert len(history["history"]) == 2
+
+        status, rolled = service.post("/api/rollback", {"session": "nav"})
+        assert status == 200
+        assert rolled["map"]["n_rows"] == 300
+
+        status, closed = service.post("/api/close", {"session": "nav"})
+        assert status == 200
+        assert closed == {"ok": True, "closed": "nav"}
+
+    def test_themes_command(self, service):
+        status, payload = service.post(
+            "/api/themes", {"table": "mixed_blobs"}
+        )
+        assert status == 200
+        assert payload["themes"]["type"] == "blaeu.themes"
+
+    def test_repeated_open_hits_shared_cache(self, service):
+        before = service.service.cache.stats()
+        status, _ = service.post(
+            "/api/open",
+            {"session": "cache-a", "table": "mixed_blobs", "theme": 0},
+        )
+        assert status == 200
+        status, _ = service.post(
+            "/api/open",
+            {"session": "cache-b", "table": "mixed_blobs", "theme": 0},
+        )
+        assert status == 200
+        after = service.service.cache.stats()
+        assert after.hits > before.hits
+        for session in ("cache-a", "cache-b"):
+            service.post("/api/close", {"session": session})
+
+
+class TestErrorPaths:
+    def test_unknown_command_is_404(self, service):
+        status, payload = service.post("/api/frobnicate", {})
+        assert status == 404
+        assert payload["ok"] is False
+        assert "unknown command" in payload["error"]
+
+    def test_missing_arguments_are_400(self, service):
+        status, payload = service.post("/api/zoom", {"session": "s"})
+        assert status == 400
+        assert "region" in payload["error"]
+
+    def test_missing_session_is_404(self, service):
+        status, payload = service.post(
+            "/api/zoom", {"session": "ghost", "region": "r0"}
+        )
+        assert status == 404
+        assert "no session" in payload["error"]
+        assert payload["command"] == "zoom"
+
+    def test_missing_table_is_404(self, service):
+        status, payload = service.post(
+            "/api/themes", {"table": "nope"}
+        )
+        assert status == 404
+        assert "no table" in payload["error"]
+
+    def test_engine_rejection_is_400(self, service):
+        service.post(
+            "/api/open",
+            {"session": "dup", "table": "mixed_blobs", "theme": 0},
+        )
+        status, payload = service.post(
+            "/api/open",
+            {"session": "dup", "table": "mixed_blobs", "theme": 0},
+        )
+        assert status == 400
+        assert "already exists" in payload["error"]
+        service.post("/api/close", {"session": "dup"})
+
+    def test_malformed_json_body_is_400(self, service):
+        status, payload = service.post("/api/tables", b"{not json")
+        assert status == 400
+        assert "malformed JSON" in payload["error"]
+
+    def test_non_object_json_body_is_400(self, service):
+        status, payload = service.post("/api/tables", b'["list"]')
+        assert status == 400
+        assert "object" in payload["error"]
+
+    def test_get_on_api_route_is_405(self, service):
+        status, payload = service.get_json("/api/tables")
+        assert status == 405
+
+    def test_unknown_route_is_404(self, service):
+        status, payload = service.get_json("/nowhere")
+        assert status == 404
+        assert "no route" in payload["error"]
+
+    def test_body_command_cannot_override_route(self, service):
+        # /api/tables with a smuggled "command" still runs `tables`.
+        status, payload = service.post(
+            "/api/tables", {"command": "close", "session": "nav"}
+        )
+        assert status == 200
+        assert "tables" in payload
+
+    def test_oversized_header_line_gets_413(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nX-Huge: "
+                + b"a" * (70 * 1024)
+                + b"\r\n\r\n"
+            )
+            response = sock.recv(4096)
+        assert b"413" in response.split(b"\r\n", 1)[0]
+
+    def test_conflicting_framing_headers_get_400(self, service):
+        # Content-Length + Transfer-Encoding together is a smuggling
+        # vector; the server must refuse rather than pick one.
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /api/tables HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"0\r\n\r\n"
+            )
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+    def test_huge_content_length_gets_413(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /api/tables HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 999999999\r\n\r\n"
+            )
+            response = sock.recv(4096)
+        assert b"413" in response.split(b"\r\n", 1)[0]
+
+    def test_malformed_request_line_gets_400(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=10
+        ) as sock:
+            sock.sendall(b"NOT A REQUEST\r\n\r\n")
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+
+class TestConcurrency:
+    def test_many_concurrent_clients_share_one_table(self, service):
+        n_clients = 12
+        errors: list[str] = []
+        barrier = threading.Barrier(n_clients, timeout=30)
+
+        def client(index: int) -> None:
+            session = f"conc-{index}"
+            try:
+                barrier.wait()
+                status, opened = service.post(
+                    "/api/open",
+                    {"session": session, "table": "mixed_blobs", "theme": 0},
+                )
+                if status != 200:
+                    errors.append(f"open {status}: {opened}")
+                    return
+                status, _ = service.post("/api/map", {"session": session})
+                if status != 200:
+                    errors.append(f"map {status}")
+                status, _ = service.post("/api/close", {"session": session})
+                if status != 200:
+                    errors.append(f"close {status}")
+            except Exception as error:  # pragma: no cover
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        # All sessions were closed again.
+        status, payload = service.get_json("/healthz")
+        assert status == 200
+
+    def test_keep_alive_serves_many_requests_per_connection(self, service):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", service.port, timeout=30
+        )
+        try:
+            for _ in range(5):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                body = json.loads(response.read())
+                assert body["ok"] is True
+        finally:
+            connection.close()

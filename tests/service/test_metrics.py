@@ -1,0 +1,73 @@
+"""Unit tests for the metrics registry and histogram."""
+
+import pytest
+
+from repro.service.metrics import Histogram, Metrics
+
+
+class TestHistogram:
+    def test_observations_land_in_le_buckets(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.005)
+        histogram.observe(0.01)  # le="0.01" includes the bound itself
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # +Inf bucket
+        cumulative = dict(histogram.cumulative())
+        assert cumulative[0.01] == 2
+        assert cumulative[0.1] == 2
+        assert cumulative[1.0] == 3
+        assert cumulative[float("inf")] == 4
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.515)
+
+    def test_quantile_reports_bucket_bound(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            histogram.observe(0.005)
+        histogram.observe(0.5)
+        assert histogram.quantile(0.5) == 0.01
+        assert histogram.quantile(1.0) == 1.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestMetrics:
+    def test_request_counting_by_route_and_status(self):
+        metrics = Metrics()
+        metrics.observe_request("/api/zoom", 200, 0.05)
+        metrics.observe_request("/api/zoom", 200, 0.07)
+        metrics.observe_request("/api/zoom", 404, 0.001)
+        metrics.observe_request("/healthz", 200, 0.001)
+        assert metrics.request_count() == 4
+        assert metrics.request_count("/api/zoom") == 3
+        assert metrics.histogram("/api/zoom").count == 3
+        assert metrics.histogram("/missing") is None
+
+    def test_render_exposes_counters_histograms_and_gauges(self):
+        metrics = Metrics()
+        metrics.observe_request("/api/open", 200, 0.02)
+        metrics.set_gauge("blaeu_cache_entries", 3)
+        text = metrics.render()
+        assert (
+            'blaeu_requests_total{route="/api/open",status="200"} 1' in text
+        )
+        assert 'blaeu_request_seconds_bucket{route="/api/open",le="0.025"} 1' in text
+        assert 'le="+Inf"' in text
+        assert 'blaeu_request_seconds_count{route="/api/open"} 1' in text
+        assert "blaeu_cache_entries 3" in text
+        assert text.endswith("\n")
+
+    def test_gauges_overwrite(self):
+        metrics = Metrics()
+        metrics.set_gauge("g", 1)
+        metrics.set_gauge("g", 2)
+        assert "g 2" in metrics.render()

@@ -1,0 +1,120 @@
+"""Unit tests for the bounded worker pool."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service.pool import PoolSaturatedError, WorkerPool
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestRun:
+    def test_runs_function_off_the_event_loop(self):
+        pool = WorkerPool(workers=2, max_pending=4)
+
+        async def main():
+            loop_thread = threading.get_ident()
+            worker_thread = await pool.run(threading.get_ident)
+            return loop_thread, worker_thread
+
+        loop_thread, worker_thread = run(main())
+        assert worker_thread != loop_thread
+        pool.shutdown()
+        assert pool.stats().completed == 1
+
+    def test_returns_value_and_propagates_exceptions(self):
+        pool = WorkerPool(workers=1, max_pending=2)
+
+        async def main():
+            assert await pool.run(lambda: 41 + 1) == 42
+            with pytest.raises(ZeroDivisionError):
+                await pool.run(lambda: 1 / 0)
+
+        run(main())
+        stats = pool.stats()
+        assert stats.completed == 1  # failures are counted separately
+        assert stats.failed == 1
+        assert stats.in_flight == 0
+        pool.shutdown()
+
+    def test_concurrent_jobs_overlap(self):
+        pool = WorkerPool(workers=4, max_pending=8)
+        barrier = threading.Barrier(3, timeout=5)
+
+        async def main():
+            # Three jobs meet at a barrier: only possible if they run
+            # concurrently on separate worker threads.
+            jobs = [asyncio.ensure_future(pool.run(barrier.wait)) for _ in range(3)]
+            await asyncio.wait_for(asyncio.gather(*jobs), timeout=5)
+
+        run(main())
+        pool.shutdown()
+
+
+class TestAdmissionControl:
+    def test_saturation_raises_instead_of_queueing(self):
+        pool = WorkerPool(workers=1, max_pending=1)
+        release = threading.Event()
+
+        async def main():
+            blocker = asyncio.ensure_future(pool.run(release.wait))
+            await asyncio.sleep(0.05)  # let the blocker occupy the slot
+            with pytest.raises(PoolSaturatedError):
+                await pool.run(lambda: None)
+            release.set()
+            await blocker
+
+        run(main())
+        stats = pool.stats()
+        assert stats.rejected == 1
+        assert stats.completed == 1
+        pool.shutdown()
+
+    def test_slot_freed_after_completion(self):
+        pool = WorkerPool(workers=1, max_pending=1)
+
+        async def main():
+            await pool.run(lambda: None)
+            await pool.run(lambda: None)  # would raise if the slot leaked
+
+        run(main())
+        assert pool.stats().in_flight == 0
+        pool.shutdown()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            WorkerPool(workers=4, max_pending=2)
+
+
+class TestShutdown:
+    def test_shutdown_refuses_new_work(self):
+        pool = WorkerPool(workers=1, max_pending=2)
+        pool.shutdown()
+
+        async def main():
+            with pytest.raises(RuntimeError, match="shut down"):
+                await pool.run(lambda: None)
+
+        run(main())
+
+    def test_shutdown_waits_for_running_jobs(self):
+        pool = WorkerPool(workers=1, max_pending=2)
+        finished = []
+
+        async def main():
+            task = asyncio.ensure_future(
+                pool.run(lambda: (time.sleep(0.1), finished.append(True)))
+            )
+            await asyncio.sleep(0.02)
+            pool.shutdown(wait=True)
+            await task
+
+        run(main())
+        assert finished == [True]

@@ -1,0 +1,108 @@
+"""Smoke test: ``python -m repro serve`` boots and answers requests."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+ENV = {**os.environ, "PYTHONPATH": SRC}
+
+CSV = """name,x,y,group
+a,1.0,2.0,red
+b,1.1,2.1,red
+c,1.2,1.9,red
+d,8.0,9.0,blue
+e,8.1,9.2,blue
+f,7.9,8.8,blue
+g,1.05,2.05,red
+h,8.05,9.05,blue
+i,1.15,1.95,red
+j,7.95,9.1,blue
+k,1.08,2.02,red
+l,8.02,8.95,blue
+"""
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "points.csv"
+    path.write_text(CSV)
+    return path
+
+
+def test_serve_boots_and_round_trips_one_request(csv_path):
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--cache-size",
+            "16",
+            "--workers",
+            "2",
+            str(csv_path),
+        ],
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # The banner line carries the resolved port (we asked for 0).
+        assert process.stdout is not None
+        line = process.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        assert match, f"unexpected banner: {line!r}"
+        port = int(match.group(1))
+
+        deadline = time.monotonic() + 10
+        payload = None
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=5
+                ) as response:
+                    payload = json.loads(response.read())
+                break
+            except OSError:
+                time.sleep(0.1)
+        assert payload is not None, "service never answered /healthz"
+        assert payload["ok"] is True
+        assert payload["tables"] == 1
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/tables", timeout=5
+        ) as response:
+            tables = json.loads(response.read())
+        assert tables == {"ok": True, "tables": ["points"]}
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            process.kill()
+            process.wait(timeout=10)
+
+
+def test_serve_requires_data_or_demo():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "serve"],
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode != 0
+    assert "CSV files or --demo" in result.stderr
