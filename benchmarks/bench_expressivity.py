@@ -12,7 +12,6 @@ discrete alternatives stand in for the continuous space of range queries.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.config import BlaeuConfig

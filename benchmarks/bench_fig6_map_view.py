@@ -9,7 +9,6 @@ the region-panel (highlight) query — the per-click costs of the UI.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.config import BlaeuConfig

@@ -19,7 +19,7 @@ Run with::
 from repro import Blaeu
 from repro.datasets import oecd
 from repro.datasets.oecd import LABOR_THEME, UNEMPLOYMENT_THEME
-from repro.viz import render_map, render_region_panel, render_theme_view
+from repro.viz import render_map, render_theme_view
 
 
 def main() -> None:

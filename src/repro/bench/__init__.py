@@ -1,0 +1,36 @@
+"""The repo's benchmark harness — stable records, comparable over time.
+
+``repro.bench`` wraps the exploratory scripts under ``benchmarks/`` with
+a *stable contract*: every run emits a ``BENCH_<suite>.json`` report
+(schema in :mod:`repro.bench.schema`) whose gated metrics can be compared
+against a checked-in baseline.  CI runs the suites in ``--smoke`` mode
+and fails on regressions above a threshold, which turns the repo's perf
+trajectory from anecdotes into a guarded time series.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench --suite clustering --smoke
+    PYTHONPATH=src python -m repro.bench --suite service --smoke \
+        --check benchmarks/baselines/BENCH_service.json
+"""
+
+from repro.bench.runner import main, run_suite
+from repro.bench.schema import (
+    DEFAULT_NOISE_FLOOR_SECONDS,
+    SCHEMA_VERSION,
+    BenchReport,
+    BenchResult,
+    Regression,
+    compare_reports,
+)
+
+__all__ = [
+    "DEFAULT_NOISE_FLOOR_SECONDS",
+    "SCHEMA_VERSION",
+    "BenchReport",
+    "BenchResult",
+    "Regression",
+    "compare_reports",
+    "main",
+    "run_suite",
+]

@@ -1,0 +1,158 @@
+"""The benchmark runner CLI — ``python -m repro.bench``.
+
+Runs a suite, writes ``BENCH_<suite>.json`` (and the repo's standard
+one-line ``BENCH {json}`` stdout record), and optionally gates against a
+checked-in baseline::
+
+    python -m repro.bench --suite clustering --smoke
+    python -m repro.bench --suite service --smoke \
+        --check benchmarks/baselines/BENCH_service.json --threshold 0.25
+
+Exit status is 0 on success and 1 when any gated metric regressed past
+the threshold.  ``--inject-slowdown F`` multiplies every gated timing by
+``F`` *after* measurement — a self-test knob: CI's regression gate is
+only trustworthy if an injected 2x slowdown demonstrably turns it red.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.bench.schema import (
+    DEFAULT_NOISE_FLOOR_SECONDS,
+    BenchReport,
+    compare_reports,
+)
+from repro.bench.suites import SUITES
+
+__all__ = ["main", "run_suite"]
+
+
+def run_suite(suite: str, smoke: bool = False) -> BenchReport:
+    """Run one named suite and return its report."""
+    try:
+        runner = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; available: {sorted(SUITES)}"
+        ) from None
+    return BenchReport(suite=suite, smoke=smoke, results=tuple(runner(smoke)))
+
+
+def _inject_slowdown(report: BenchReport, factor: float) -> BenchReport:
+    """Scale every gated timing by ``factor`` (gate self-test only).
+
+    The factor is recorded in the report itself, and the comparer
+    refuses baselines carrying one — a self-test artifact accidentally
+    committed as a baseline would otherwise loosen the gate silently.
+    """
+    slowed = tuple(
+        replace(
+            result,
+            metrics={
+                name: value * factor if name in result.gated else value
+                for name, value in result.metrics.items()
+            },
+        )
+        for result in report.results
+    )
+    return replace(report, results=slowed, injected_slowdown=factor)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        required=True,
+        help="which suite to run",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="trimmed workload for CI (headline shapes preserved)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("."),
+        help="directory for BENCH_<suite>.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare gated metrics against this baseline report",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative slowdown before --check fails (default 0.25)",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=DEFAULT_NOISE_FLOOR_SECONDS,
+        metavar="SECONDS",
+        help="baselines below this are padded up to it before the "
+        "threshold test (default %(default)s)",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply gated timings by FACTOR after measuring "
+        "(self-test for the regression gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.suite, smoke=args.smoke)
+    if args.inject_slowdown != 1.0:
+        print(
+            f"note: injecting a synthetic {args.inject_slowdown:g}x slowdown "
+            "into all gated metrics"
+        )
+        report = _inject_slowdown(report, args.inject_slowdown)
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = args.out_dir / f"BENCH_{args.suite}.json"
+    out_path.write_text(report.to_json(), encoding="utf-8")
+    print("BENCH " + json.dumps(report.to_dict(), sort_keys=True))
+    print(f"wrote {out_path}")
+
+    if args.check is not None:
+        baseline = BenchReport.from_json(args.check.read_text(encoding="utf-8"))
+        regressions = compare_reports(
+            report,
+            baseline,
+            threshold=args.threshold,
+            noise_floor=args.noise_floor,
+        )
+        if regressions:
+            print(
+                f"PERF REGRESSION: {len(regressions)} gated metric(s) worse "
+                f"than {args.check} by more than "
+                f"{args.threshold:.0%}:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+            return 1
+        print(
+            f"perf check OK: no gated metric regressed more than "
+            f"{args.threshold:.0%} vs {args.check}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,259 @@
+"""The stable JSON schema of a benchmark report.
+
+A report is a flat, diff-friendly document::
+
+    {
+      "schema_version": 1,
+      "suite": "clustering",
+      "smoke": true,
+      "host": {"cpus": 4, "platform": "...", "python": "...", "numpy": "..."},
+      "results": [
+        {
+          "name": "clara_map_build",
+          "params": {"n_rows": 20000, "k": 8, ...},
+          "metrics": {"serial_seconds": 0.41, "parallel_speedup": 2.7, ...},
+          "gated": ["serial_seconds", "parallel_seconds"]
+        }
+      ]
+    }
+
+``metrics`` mixes timings with derived ratios and correctness flags;
+only the names listed in ``gated`` (always lower-is-better timings) are
+compared against a baseline by :func:`compare_reports`.  Bump
+``SCHEMA_VERSION`` on any incompatible change — the comparer refuses to
+diff across versions rather than silently mismatching fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "BenchReport",
+    "Regression",
+    "compare_reports",
+    "host_info",
+]
+
+SCHEMA_VERSION = 1
+
+
+def host_info() -> dict[str, object]:
+    """The machine context a report was produced on (informational)."""
+    import numpy
+
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+    }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's record: workload shape, measurements, gating."""
+
+    name: str
+    params: dict[str, object] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    gated: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        missing = [m for m in self.gated if m not in self.metrics]
+        if missing:
+            raise ValueError(
+                f"benchmark {self.name!r} gates unknown metrics {missing}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "gated": list(self.gated),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "BenchResult":
+        raw_metrics = dict(payload.get("metrics", {}))  # type: ignore[arg-type]
+        return cls(
+            name=str(payload["name"]),
+            params=dict(payload.get("params", {})),  # type: ignore[arg-type]
+            metrics={str(k): float(v) for k, v in raw_metrics.items()},
+            gated=tuple(payload.get("gated", ())),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """A full suite run: every benchmark's result plus provenance."""
+
+    suite: str
+    smoke: bool
+    results: tuple[BenchResult, ...]
+    host: dict[str, object] = field(default_factory=host_info)
+    schema_version: int = SCHEMA_VERSION
+    #: Synthetic slowdown factor applied to gated metrics (1.0 = none).
+    #: Recorded so a self-test run can never pass as a real measurement.
+    injected_slowdown: float = 1.0
+
+    def result(self, name: str) -> BenchResult:
+        """The named benchmark's result; ``KeyError`` when absent."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(
+            f"no benchmark named {name!r}; "
+            f"available: {[r.name for r in self.results]}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "smoke": self.smoke,
+            "host": dict(self.host),
+            "injected_slowdown": self.injected_slowdown,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "BenchReport":
+        version = int(payload.get("schema_version", 0))  # type: ignore[arg-type]
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"report schema_version {version} != supported {SCHEMA_VERSION}"
+            )
+        return cls(
+            suite=str(payload["suite"]),
+            smoke=bool(payload["smoke"]),
+            results=tuple(
+                BenchResult.from_dict(entry)  # type: ignore[arg-type]
+                for entry in payload.get("results", ())  # type: ignore[union-attr]
+            ),
+            host=dict(payload.get("host", {})),  # type: ignore[arg-type]
+            schema_version=version,
+            injected_slowdown=float(
+                payload.get("injected_slowdown", 1.0)  # type: ignore[arg-type]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchReport":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that got worse than the baseline allows."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (∞ for a benchmark missing entirely)."""
+        if self.baseline <= 0:
+            return float("inf")
+        return self.current / self.baseline
+
+    def __str__(self) -> str:
+        return (
+            f"{self.benchmark}.{self.metric}: {self.current:.4g} vs "
+            f"baseline {self.baseline:.4g} ({self.ratio:.2f}x)"
+        )
+
+
+#: Below this many seconds a timing is mostly scheduler/allocator noise;
+#: such baselines are padded up to the floor before the threshold test.
+DEFAULT_NOISE_FLOOR_SECONDS = 0.05
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold: float = 0.25,
+    noise_floor: float = DEFAULT_NOISE_FLOOR_SECONDS,
+) -> list[Regression]:
+    """Gated metrics of ``current`` that regressed past ``threshold``.
+
+    A metric regresses when
+    ``current > max(baseline, noise_floor) * (1 + threshold)`` — all
+    gated metrics are lower-is-better timings, and padding tiny
+    baselines up to ``noise_floor`` keeps millisecond-scale measurements
+    from tripping the gate on scheduler jitter.  A benchmark present in
+    the baseline but absent from the current run counts as a regression
+    of every gated metric it had — silently dropping a benchmark must
+    not turn CI green.  The *baseline's* gate list is authoritative, so
+    a regression cannot be waved through by un-gating a metric in the
+    new code.
+
+    The reports must be comparable: same suite, same smoke flag, and —
+    per benchmark — the same workload ``params``.  Any mismatch raises
+    ``ValueError`` instead of producing a meaningless diff (e.g. a
+    full-mode baseline would otherwise silently neuter a smoke-mode
+    gate).
+    """
+    if current.suite != baseline.suite:
+        raise ValueError(
+            f"suite mismatch: current {current.suite!r} vs "
+            f"baseline {baseline.suite!r}"
+        )
+    if current.smoke != baseline.smoke:
+        raise ValueError(
+            f"smoke mismatch: current smoke={current.smoke} vs baseline "
+            f"smoke={baseline.smoke}; regenerate the baseline with the "
+            "same mode"
+        )
+    if baseline.injected_slowdown != 1.0:
+        raise ValueError(
+            f"baseline carries a synthetic {baseline.injected_slowdown:g}x "
+            "slowdown (a gate self-test artifact); regenerate it from a "
+            "clean run"
+        )
+    regressions: list[Regression] = []
+    for reference in baseline.results:
+        try:
+            measured = current.result(reference.name)
+        except KeyError:
+            for metric in reference.gated:
+                regressions.append(
+                    Regression(
+                        benchmark=reference.name,
+                        metric=metric,
+                        baseline=reference.metrics[metric],
+                        current=float("inf"),
+                    )
+                )
+            continue
+        if measured.params != reference.params:
+            raise ValueError(
+                f"workload mismatch for {reference.name!r}: current params "
+                f"{measured.params} vs baseline {reference.params}; "
+                "regenerate the baseline"
+            )
+        for metric in reference.gated:
+            base_value = reference.metrics[metric]
+            value = measured.metrics.get(metric, float("inf"))
+            if value > max(base_value, noise_floor) * (1.0 + threshold):
+                regressions.append(
+                    Regression(
+                        benchmark=reference.name,
+                        metric=metric,
+                        baseline=base_value,
+                        current=value,
+                    )
+                )
+    return regressions

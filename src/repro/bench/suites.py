@@ -1,0 +1,295 @@
+"""The benchmark suites behind ``python -m repro.bench``.
+
+Two suites cover the two layers the ROADMAP cares about:
+
+* ``clustering`` — the map-building kernels: parallel CLARA vs the
+  serial reference (same seed, bit-identical required), shared-distance
+  k selection vs the legacy per-k recomputation, the Manhattan kernel's
+  time/peak-memory, and the float32 distance opt-in.
+* ``service`` — wraps ``benchmarks/bench_service_throughput.py`` (cold vs
+  warm cache, concurrent throughput) into the stable report schema.
+
+Every workload is seeded, so reports differ across runs only by wall
+time.  The headline ``clara_map_build`` workload stays at the acceptance
+shape (n≈20k, k=8) even in ``--smoke`` mode — it is sub-second; smoke
+only trims repetition and the secondary workloads.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.bench.schema import BenchResult
+from repro.cluster.clara import clara
+from repro.cluster.distance import (
+    euclidean_distances,
+    manhattan_distances,
+    pairwise_distances,
+)
+from repro.cluster.pam import pam
+from repro.cluster.silhouette import SharedSilhouette, monte_carlo_silhouette
+
+__all__ = ["SUITES", "run_clustering", "run_service"]
+
+
+def _blobs(n: int, d: int, k: int, seed: int) -> np.ndarray:
+    """Well-separated Gaussian blobs — the standard workload matrix."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10.0, 10.0, size=(k, d))
+    assignment = rng.integers(0, k, size=n)
+    return centers[assignment] + rng.normal(0.0, 0.8, size=(n, d))
+
+
+def _best_of(fn: Callable[[], object], rounds: int) -> tuple[float, object]:
+    """Minimum wall time over ``rounds`` runs, plus the last result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _clusterings_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.labels, b.labels)
+        and np.array_equal(a.medoids, b.medoids)
+        and a.cost == b.cost
+        and a.n_iterations == b.n_iterations
+    )
+
+
+# ----------------------------------------------------------------------
+# clustering suite
+# ----------------------------------------------------------------------
+
+
+def _bench_clara_map_build(smoke: bool) -> BenchResult:
+    """Parallel vs serial CLARA at the acceptance shape (n≈20k, k=8)."""
+    n, d, k = 20_000, 8, 8
+    n_draws, sample_size = 5, 400
+    rounds = 2 if smoke else 4
+    points = _blobs(n, d, k, seed=8)
+
+    def run(n_jobs: int):
+        return clara(
+            points,
+            k,
+            n_draws=n_draws,
+            sample_size=sample_size,
+            rng=np.random.default_rng(123),
+            n_jobs=n_jobs,
+        )
+
+    serial_seconds, serial = _best_of(lambda: run(1), rounds)
+    parallel_seconds, parallel = _best_of(lambda: run(0), rounds)
+    identical = _clusterings_equal(serial, parallel)
+    if not identical:
+        raise AssertionError(
+            "parallel CLARA diverged from the serial reference at the same "
+            "seed — the determinism contract is broken"
+        )
+    return BenchResult(
+        name="clara_map_build",
+        params={
+            "n_rows": n,
+            "n_features": d,
+            "k": k,
+            "n_draws": n_draws,
+            "sample_size": sample_size,
+            "rounds": rounds,
+        },
+        metrics={
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parallel_speedup": serial_seconds / parallel_seconds,
+            "identical_results": float(identical),
+            "cost": serial.cost,
+        },
+        gated=("serial_seconds", "parallel_seconds"),
+    )
+
+
+def _bench_kselect_shared(smoke: bool) -> BenchResult:
+    """Shared-distance k sweep vs the legacy per-k recomputation."""
+    n, d, true_k = (600, 6, 4) if smoke else (1_000, 6, 4)
+    k_values = (2, 3, 4, 5, 6)
+    rounds = 2 if smoke else 3
+    points = _blobs(n, d, true_k, seed=21)
+
+    def legacy() -> list[tuple[int, float]]:
+        # The pre-PR path: every candidate k rebuilt the full pairwise
+        # matrix for PAM and re-drew fresh Monte-Carlo subsamples.
+        scored = []
+        for k in k_values:
+            matrix = pairwise_distances(points)
+            clustering = pam(matrix, k)
+            score = monte_carlo_silhouette(
+                points,
+                clustering.labels,
+                n_subsamples=8,
+                subsample_size=200,
+                rng=np.random.default_rng(1000 + k),
+            )
+            scored.append((k, score))
+        return scored
+
+    def shared() -> list[tuple[int, float]]:
+        matrix = pairwise_distances(points)
+        scorer = SharedSilhouette(points, distances=matrix)
+        scored = []
+        for k in k_values:
+            clustering = pam(matrix, k, validate=False)
+            scored.append((k, scorer.score(clustering.labels)))
+        return scored
+
+    legacy_seconds, legacy_scores = _best_of(legacy, rounds)
+    shared_seconds, shared_scores = _best_of(shared, rounds)
+
+    def pick(scored: list[tuple[int, float]]) -> int:
+        return max(scored, key=lambda c: (c[1], -c[0]))[0]
+    return BenchResult(
+        name="kselect_shared",
+        params={
+            "n_rows": n,
+            "n_features": d,
+            "k_values": list(k_values),
+            "rounds": rounds,
+        },
+        metrics={
+            "legacy_seconds": legacy_seconds,
+            "shared_seconds": shared_seconds,
+            "shared_speedup": legacy_seconds / shared_seconds,
+            "same_k": float(pick(legacy_scores) == pick(shared_scores)),
+        },
+        gated=("shared_seconds",),
+    )
+
+
+def _bench_manhattan(smoke: bool) -> BenchResult:
+    """The L1 kernel after the in-place scratch-buffer rewrite."""
+    n, d = (800, 16) if smoke else (1_500, 24)
+    rounds = 2 if smoke else 3
+    points = _blobs(n, d, 4, seed=33)
+
+    seconds, _ = _best_of(lambda: manhattan_distances(points), rounds)
+    tracemalloc.start()
+    manhattan_distances(points)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return BenchResult(
+        name="manhattan_distances",
+        params={"n_rows": n, "n_features": d, "rounds": rounds},
+        metrics={
+            "seconds": seconds,
+            "peak_mb": peak / 1e6,
+            "matrix_mb": n * n * 8 / 1e6,
+        },
+        gated=("seconds",),
+    )
+
+
+def _bench_float32(smoke: bool) -> BenchResult:
+    """float32 opt-in: throughput vs float64 and the accuracy bound."""
+    n, d = (1_500, 16) if smoke else (3_000, 16)
+    rounds = 2 if smoke else 3
+    points = _blobs(n, d, 4, seed=55)
+
+    f64_seconds, f64 = _best_of(lambda: euclidean_distances(points), rounds)
+    f32_seconds, f32 = _best_of(
+        lambda: euclidean_distances(points, dtype="float32"), rounds
+    )
+    error = float(np.abs(np.asarray(f32, dtype=np.float64) - f64).max())
+    scale = float(np.asarray(f64).max())
+    return BenchResult(
+        name="float32_euclidean",
+        params={"n_rows": n, "n_features": d, "rounds": rounds},
+        metrics={
+            "float64_seconds": f64_seconds,
+            "float32_seconds": f32_seconds,
+            "float32_speedup": f64_seconds / f32_seconds,
+            "max_abs_error": error,
+            "max_rel_error": error / scale if scale else 0.0,
+        },
+        gated=("float32_seconds",),
+    )
+
+
+def run_clustering(smoke: bool) -> list[BenchResult]:
+    """The clustering suite — the map-building hot path, kernel by kernel."""
+    return [
+        _bench_clara_map_build(smoke),
+        _bench_kselect_shared(smoke),
+        _bench_manhattan(smoke),
+        _bench_float32(smoke),
+    ]
+
+
+# ----------------------------------------------------------------------
+# service suite
+# ----------------------------------------------------------------------
+
+
+def _benchmarks_dir() -> Path:
+    """Locate the repo's ``benchmarks/`` scripts directory."""
+    candidates: Iterable[Path] = (
+        Path.cwd() / "benchmarks",
+        Path(__file__).resolve().parents[3] / "benchmarks",
+    )
+    for candidate in candidates:
+        if (candidate / "bench_service_throughput.py").is_file():
+            return candidate
+    raise FileNotFoundError(
+        "cannot locate benchmarks/bench_service_throughput.py; run from the "
+        "repository root or keep the source layout intact"
+    )
+
+
+def run_service(smoke: bool) -> list[BenchResult]:
+    """The serving-layer suite: one result wrapping the throughput script."""
+    script = _benchmarks_dir() / "bench_service_throughput.py"
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_service_throughput", script
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    record = module.run_benchmark(smoke=smoke)
+    return [
+        BenchResult(
+            name="service_throughput",
+            params={
+                "n_rows": record["n_rows"],
+                "n_clients": record["n_clients"],
+            },
+            metrics={
+                "cold_open_seconds": float(record["cold_open_seconds"]),
+                "warm_open_seconds_median": float(
+                    record["warm_open_seconds_median"]
+                ),
+                "warm_cold_speedup": float(record["warm_cold_speedup"]),
+                "concurrent_seconds": float(record["concurrent_seconds"]),
+                "throughput_rps": float(record["throughput_rps"]),
+                "healthz_probe_max_seconds": float(
+                    record["healthz_probe_max_seconds"] or 0.0
+                ),
+                "cache_hit_rate": float(record["cache_hit_rate"]),
+            },
+            gated=("cold_open_seconds", "concurrent_seconds"),
+        )
+    ]
+
+
+#: suite name → runner.  ``run_suite`` and the CLI dispatch through this.
+SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
+    "clustering": run_clustering,
+    "service": run_service,
+}

@@ -10,22 +10,24 @@ Everything here is implemented from the original references on top of
 NumPy; a Lloyd's k-means is included as the comparison baseline.
 """
 
+from repro.cluster.assignment import assign_to_medoids
+from repro.cluster.clara import clara
 from repro.cluster.distance import (
     euclidean_distances,
     gower_distances,
     manhattan_distances,
     pairwise_distances,
 )
-from repro.cluster.pam import Clustering, pam
-from repro.cluster.clara import clara
 from repro.cluster.kmeans import kmeans
+from repro.cluster.kselect import KSelection, select_k, select_k_points
+from repro.cluster.pam import Clustering, pam
+from repro.cluster.parallel import map_in_order, resolve_jobs
 from repro.cluster.silhouette import (
+    SharedSilhouette,
     mean_silhouette,
     monte_carlo_silhouette,
     silhouette_samples,
 )
-from repro.cluster.kselect import KSelection, select_k
-from repro.cluster.assignment import assign_to_medoids
 from repro.cluster.validation import (
     adjusted_rand_index,
     clustering_nmi,
@@ -35,6 +37,7 @@ from repro.cluster.validation import (
 __all__ = [
     "Clustering",
     "KSelection",
+    "SharedSilhouette",
     "adjusted_rand_index",
     "assign_to_medoids",
     "clara",
@@ -43,11 +46,14 @@ __all__ = [
     "gower_distances",
     "kmeans",
     "manhattan_distances",
+    "map_in_order",
     "mean_silhouette",
     "monte_carlo_silhouette",
     "pairwise_distances",
     "pam",
     "purity",
+    "resolve_jobs",
     "select_k",
+    "select_k_points",
     "silhouette_samples",
 ]

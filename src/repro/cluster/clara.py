@@ -6,6 +6,12 @@ modest samples, runs PAM on each, extends each sample's medoids to the
 whole dataset, and keeps the medoid set with the lowest *full-data* cost.
 The quadratic PAM work is confined to the sample, so the overall cost is
 O(draws · (s² + k·n)) instead of PAM's O(k·n²).
+
+The draws are independent, so they fan out across a thread pool
+(``n_jobs``).  Each draw owns a child generator spawned from the caller's
+RNG (``rng.spawn``), which makes the randomness a function of the draw
+index alone — parallel runs are **bit-identical** to serial runs with the
+same seed, whatever the worker count.
 """
 
 from __future__ import annotations
@@ -14,8 +20,10 @@ import numpy as np
 
 from repro.cluster.distance import distances_to_points, pairwise_distances
 from repro.cluster.pam import Clustering, pam
+from repro.cluster.parallel import map_in_order
 
 __all__ = ["clara"]
+
 
 #: Kaufman & Rousseeuw's recommended sample size: 40 + 2k.
 def default_sample_size(k: int) -> int:
@@ -30,6 +38,8 @@ def clara(
     sample_size: int | None = None,
     metric: str = "euclidean",
     rng: np.random.Generator | None = None,
+    n_jobs: int | None = None,
+    dtype: object = None,
 ) -> Clustering:
     """Cluster a large point matrix around ``k`` medoids via sampling.
 
@@ -48,7 +58,14 @@ def clara(
         ``euclidean`` or ``manhattan`` (must support point-to-medoid
         distances for the assignment step).
     rng:
-        Source of sampling randomness.
+        Source of sampling randomness.  Each draw gets its own child
+        generator spawned from it, so results depend only on the seed —
+        not on the worker count.
+    n_jobs:
+        Draw-level parallelism: ``None``/``1`` serial, ``0`` all cores,
+        otherwise that many worker threads.
+    dtype:
+        Distance-kernel dtype (``float32`` opt-in; default float64).
 
     Returns
     -------
@@ -72,28 +89,46 @@ def clara(
 
     if sample_size >= n:
         # Sampling would be the identity; fall through to plain PAM.
-        full = pam(pairwise_distances(points, metric), k, rng=rng)
+        full = pam(
+            pairwise_distances(points, metric, dtype=dtype),
+            k,
+            rng=rng,
+            validate=False,
+        )
         return full
 
-    best: Clustering | None = None
-    for _ in range(n_draws):
-        sample_indices = rng.choice(n, size=sample_size, replace=False)
+    def run_draw(draw_rng: np.random.Generator) -> Clustering:
+        sample_indices = draw_rng.choice(n, size=sample_size, replace=False)
         sample_indices.sort()
         sample = points[sample_indices]
-        sample_result = pam(pairwise_distances(sample, metric), k, rng=rng)
+        sample_result = pam(
+            pairwise_distances(sample, metric, dtype=dtype),
+            k,
+            rng=draw_rng,
+            validate=False,
+        )
         medoid_rows = sample_indices[sample_result.medoids]
 
-        to_medoids = distances_to_points(points, points[medoid_rows], metric)
+        to_medoids = distances_to_points(
+            points, points[medoid_rows], metric, dtype=dtype
+        )
         labels = np.argmin(to_medoids, axis=1).astype(np.intp)
         cost = float(to_medoids[np.arange(n), labels].sum())
-        if best is None or cost < best.cost:
-            best = Clustering(
-                labels=labels,
-                medoids=medoid_rows.astype(np.intp),
-                cost=cost,
-                n_iterations=sample_result.n_iterations,
-            )
-    assert best is not None  # n_draws >= 1 guarantees at least one draw
+        return Clustering(
+            labels=labels,
+            medoids=medoid_rows.astype(np.intp),
+            cost=cost,
+            n_iterations=sample_result.n_iterations,
+        )
+
+    draws = map_in_order(run_draw, rng.spawn(n_draws), n_jobs=n_jobs)
+
+    # First strictly-better draw wins — the same tie-breaking a serial
+    # loop applies, so the choice is independent of completion order.
+    best = draws[0]
+    for candidate in draws[1:]:
+        if candidate.cost < best.cost:
+            best = candidate
     return _relabel_by_size(best)
 
 

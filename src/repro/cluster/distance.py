@@ -8,6 +8,11 @@ is the substrate under all horizontal and vertical clustering.  It offers:
   values — the classic choice for k-medoids over mixed data and the
   natural companion of the paper's preprocessing (normalized continuous
   variables + dummy-coded categories).
+
+Every dense kernel accepts an optional ``dtype``: ``float32`` halves the
+memory traffic of the n×n matrices and roughly doubles throughput on
+memory-bound shapes, at a bounded accuracy cost (see the accuracy tests).
+The default stays ``float64``.
 """
 
 from __future__ import annotations
@@ -20,17 +25,33 @@ __all__ = [
     "gower_distances",
     "pairwise_distances",
     "distances_to_points",
+    "resolve_dtype",
 ]
 
+#: dtypes the distance kernels may compute in.
+_ALLOWED_DTYPES = (np.float32, np.float64)
 
-def euclidean_distances(points: np.ndarray) -> np.ndarray:
+
+def resolve_dtype(dtype: object) -> np.dtype:
+    """Normalize a dtype knob (``None``/str/np.dtype) to float32/float64."""
+    if dtype is None:
+        return np.dtype(np.float64)
+    resolved = np.dtype(dtype)
+    if resolved.type not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"distance dtype must be float32 or float64, got {resolved}"
+        )
+    return resolved
+
+
+def euclidean_distances(points: np.ndarray, dtype: object = None) -> np.ndarray:
     """Dense n×n Euclidean distance matrix.
 
     Uses the Gram-matrix expansion ``||a-b||² = ||a||² + ||b||² − 2a·b``
     with clipping against negative rounding; exact enough for clustering
     while an order of magnitude faster than pairwise loops.
     """
-    points = _as_matrix(points)
+    points = _as_matrix(points, dtype)
     squared_norms = (points**2).sum(axis=1)
     gram = points @ points.T
     squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
@@ -40,15 +61,22 @@ def euclidean_distances(points: np.ndarray) -> np.ndarray:
     return squared
 
 
-def manhattan_distances(points: np.ndarray) -> np.ndarray:
-    """Dense n×n Manhattan (L1) distance matrix."""
-    points = _as_matrix(points)
+def manhattan_distances(points: np.ndarray, dtype: object = None) -> np.ndarray:
+    """Dense n×n Manhattan (L1) distance matrix.
+
+    Accumulates one feature at a time into a single reused n×n scratch
+    buffer: peak memory is two n×n arrays total (output + scratch), not a
+    fresh broadcast temporary per feature.
+    """
+    points = _as_matrix(points, dtype)
     n, d = points.shape
-    out = np.zeros((n, n), dtype=np.float64)
-    # One feature at a time keeps peak memory at O(n^2), not O(n^2 d).
+    out = np.zeros((n, n), dtype=points.dtype)
+    scratch = np.empty((n, n), dtype=points.dtype)
     for j in range(d):
         column = points[:, j]
-        out += np.abs(column[:, None] - column[None, :])
+        np.subtract(column[:, None], column[None, :], out=scratch)
+        np.abs(scratch, out=scratch)
+        out += scratch
     return out
 
 
@@ -56,6 +84,7 @@ def gower_distances(
     points: np.ndarray,
     numeric_mask: np.ndarray | None = None,
     ranges: np.ndarray | None = None,
+    dtype: object = None,
 ) -> np.ndarray:
     """Gower's general dissimilarity for mixed features with missing values.
 
@@ -72,7 +101,11 @@ def gower_distances(
         Boolean length-d mask, ``True`` for numeric features (default all).
     ranges:
         Per-feature ranges for scaling; computed from the data if omitted.
+    dtype:
+        Output dtype; the accumulation itself stays float64 because the
+        per-pair averages mix range-scaled magnitudes.
     """
+    out_dtype = resolve_dtype(dtype)
     points = _as_matrix(points)
     n, d = points.shape
     if numeric_mask is None:
@@ -107,30 +140,35 @@ def gower_distances(
     with np.errstate(invalid="ignore", divide="ignore"):
         out = np.where(weight > 0, numerator / weight, 1.0)
     np.fill_diagonal(out, 0.0)
-    return out
+    return out.astype(out_dtype, copy=False)
 
 
-def pairwise_distances(points: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+def pairwise_distances(
+    points: np.ndarray, metric: str = "euclidean", dtype: object = None
+) -> np.ndarray:
     """Dispatch to a named metric (``euclidean``, ``manhattan``, ``gower``)."""
     if metric == "euclidean":
-        return euclidean_distances(points)
+        return euclidean_distances(points, dtype=dtype)
     if metric == "manhattan":
-        return manhattan_distances(points)
+        return manhattan_distances(points, dtype=dtype)
     if metric == "gower":
-        return gower_distances(points)
+        return gower_distances(points, dtype=dtype)
     raise ValueError(f"unknown metric {metric!r}")
 
 
 def distances_to_points(
-    points: np.ndarray, references: np.ndarray, metric: str = "euclidean"
+    points: np.ndarray,
+    references: np.ndarray,
+    metric: str = "euclidean",
+    dtype: object = None,
 ) -> np.ndarray:
     """n×m distances from each point to each reference point.
 
     The CLARA assignment step and out-of-sample medoid assignment both
     need point-to-medoid (not full pairwise) distances.
     """
-    points = _as_matrix(points)
-    references = _as_matrix(references)
+    points = _as_matrix(points, dtype)
+    references = _as_matrix(references, dtype)
     if points.shape[1] != references.shape[1]:
         raise ValueError(
             f"dimensionality mismatch: {points.shape[1]} vs {references.shape[1]}"
@@ -146,29 +184,41 @@ def distances_to_points(
         np.maximum(squared, 0.0, out=squared)
         return np.sqrt(squared)
     if metric == "manhattan":
-        out = np.zeros((points.shape[0], references.shape[0]))
+        out = np.zeros((points.shape[0], references.shape[0]), dtype=points.dtype)
+        scratch = np.empty_like(out)
         for j in range(points.shape[1]):
-            out += np.abs(points[:, j][:, None] - references[:, j][None, :])
+            np.subtract(
+                points[:, j][:, None], references[:, j][None, :], out=scratch
+            )
+            np.abs(scratch, out=scratch)
+            out += scratch
         return out
     raise ValueError(f"unknown metric {metric!r} for point-to-point distances")
 
 
-def _as_matrix(points: np.ndarray) -> np.ndarray:
-    points = np.asarray(points, dtype=np.float64)
+def _as_matrix(points: np.ndarray, dtype: object = None) -> np.ndarray:
+    points = np.asarray(points, dtype=resolve_dtype(dtype))
     if points.ndim != 2:
         raise ValueError(f"expected a 2-d matrix, got shape {points.shape}")
     return points
 
 
 def validate_distance_matrix(matrix: np.ndarray) -> np.ndarray:
-    """Check symmetry, zero diagonal and non-negativity; return as float64."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+    """Check symmetry, zero diagonal and non-negativity.
+
+    Floating-point matrices keep their dtype (so float32 pipelines stay
+    float32 end-to-end); everything else is promoted to float64.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.dtype.type not in _ALLOWED_DTYPES:
+        matrix = matrix.astype(np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"distance matrix must be square, got {matrix.shape}")
     if matrix.size:
-        if not np.allclose(matrix, matrix.T, atol=1e-9):
+        atol = 1e-9 if matrix.dtype == np.float64 else 1e-4
+        if not np.allclose(matrix, matrix.T, atol=atol):
             raise ValueError("distance matrix must be symmetric")
-        if not np.allclose(np.diag(matrix), 0.0, atol=1e-9):
+        if not np.allclose(np.diag(matrix), 0.0, atol=atol):
             raise ValueError("distance matrix must have a zero diagonal")
         if matrix.min() < -1e-12:
             raise ValueError("distance matrix must be non-negative")

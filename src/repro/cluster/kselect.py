@@ -6,6 +6,11 @@ that: it runs the clusterer for each k in a range, scores each result with
 the (exact or Monte-Carlo) silhouette, and returns every scored candidate
 plus the winner — the candidates matter because Blaeu shows users the
 quality of the partition they are looking at.
+
+Both selectors share their distance work across the whole k sweep: the
+matrix (or the Monte-Carlo subsample matrices) is computed **once per
+feature matrix**, not once per candidate k — see
+:class:`~repro.cluster.silhouette.SharedSilhouette`.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.cluster.distance import validate_distance_matrix
 from repro.cluster.pam import Clustering, pam
-from repro.cluster.silhouette import mean_silhouette, monte_carlo_silhouette
+from repro.cluster.silhouette import SharedSilhouette, mean_silhouette
 
 __all__ = ["KCandidate", "KSelection", "select_k", "select_k_points"]
 
@@ -60,21 +66,24 @@ def select_k(
     """Pick k by exact silhouette over a precomputed distance matrix.
 
     Used for themes, where the "points" are columns and the matrix is the
-    dependency-graph dissimilarity (small: one row per column).
-    Ties favour the smaller k (simpler maps).
+    dependency-graph dissimilarity (small: one row per column).  The
+    matrix is validated once up front; the per-k PAM runs and silhouette
+    evaluations all reuse it as-is.  Ties favour the smaller k (simpler
+    maps).
     """
+    distances = validate_distance_matrix(distances)
     n = distances.shape[0]
     usable = [k for k in k_values if 2 <= k <= max(n - 1, 1)]
     if not usable:
         # Too few points to split: a single cluster is the only option.
-        clustering = pam(distances, 1, rng=rng)
+        clustering = pam(distances, 1, rng=rng, validate=False)
         only = KCandidate(k=1, clustering=clustering, silhouette=0.0)
         return KSelection(candidates=(only,), best=only)
 
     candidates: list[KCandidate] = []
     for k in usable:
-        clustering = pam(distances, k, rng=rng)
-        score = mean_silhouette(distances, clustering.labels)
+        clustering = pam(distances, k, rng=rng, validate=False)
+        score = mean_silhouette(distances, clustering.labels, validate=False)
         candidates.append(KCandidate(k=k, clustering=clustering, silhouette=score))
     best = max(candidates, key=lambda c: (c.silhouette, -c.k))
     return KSelection(candidates=tuple(candidates), best=best)
@@ -87,12 +96,26 @@ def select_k_points(
     n_subsamples: int = 8,
     subsample_size: int = 200,
     rng: np.random.Generator | None = None,
+    exact_threshold: int | None = None,
+    metric: str = "euclidean",
+    dtype: object = None,
+    shared: SharedSilhouette | None = None,
 ) -> KSelection:
-    """Pick k for a point matrix using the Monte-Carlo silhouette.
+    """Pick k for a point matrix, sharing distance work across the sweep.
 
     ``cluster_fn(points, k)`` supplies the clusterings (PAM on a sample or
-    CLARA, depending on scale — the engine decides).  This is the
+    CLARA, depending on scale — the engine decides).  Scoring goes through
+    one :class:`SharedSilhouette` built up front: below
+    ``exact_threshold`` rows the full matrix is computed once and every k
+    is scored exactly; above it the Monte-Carlo subsample matrices are
+    drawn once and shared by all candidates.  This is the
     interaction-time path: scoring cost does not grow with the table.
+
+    Callers that already hold distance structures (e.g. the mapping
+    engine) pass their own ``shared`` scorer; it then *replaces* the
+    scoring configuration entirely — ``n_subsamples``,
+    ``subsample_size``, ``exact_threshold``, ``metric`` and ``dtype``
+    are read only when this function builds the scorer itself.
     """
     points = np.asarray(points, dtype=np.float64)
     n = points.shape[0]
@@ -106,16 +129,20 @@ def select_k_points(
         return KSelection(candidates=(only,), best=only)
 
     rng = rng or np.random.default_rng()
+    if shared is None:
+        shared = SharedSilhouette(
+            points,
+            n_subsamples=n_subsamples,
+            subsample_size=subsample_size,
+            metric=metric,
+            exact_threshold=exact_threshold,
+            rng=rng,
+            dtype=dtype,
+        )
     candidates: list[KCandidate] = []
     for k in usable:
         clustering = cluster_fn(points, k)
-        score = monte_carlo_silhouette(
-            points,
-            clustering.labels,
-            n_subsamples=n_subsamples,
-            subsample_size=subsample_size,
-            rng=rng,
-        )
+        score = shared.score(clustering.labels)
         candidates.append(KCandidate(k=k, clustering=clustering, silhouette=score))
     best = max(candidates, key=lambda c: (c.silhouette, -c.k))
     return KSelection(candidates=tuple(candidates), best=best)

@@ -71,6 +71,7 @@ def pam(
     k: int,
     max_iter: int = 200,
     rng: np.random.Generator | None = None,
+    validate: bool = True,
 ) -> Clustering:
     """Cluster the points of a dissimilarity matrix around ``k`` medoids.
 
@@ -87,8 +88,16 @@ def pam(
     rng:
         Only used to break exact ties deterministically; PAM itself is
         deterministic given the matrix.
+    validate:
+        Check the matrix (symmetry, zero diagonal, non-negativity) before
+        clustering.  Hot paths that build the matrix with
+        :func:`~repro.cluster.distance.pairwise_distances` skip the O(n²)
+        re-check by passing ``False``.
     """
-    distances = validate_distance_matrix(distances)
+    if validate:
+        distances = validate_distance_matrix(distances)
+    else:
+        distances = np.asarray(distances)
     n = distances.shape[0]
     if not 1 <= k <= n:
         raise ValueError(f"k must be in [1, {n}], got {k}")

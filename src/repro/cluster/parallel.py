@@ -1,0 +1,59 @@
+"""Deterministic fan-out helpers for the clustering hot paths.
+
+CLARA's draws are embarrassingly parallel: each one samples, runs PAM on
+the sample, and extends the medoids to the full data — all pure NumPy,
+which releases the GIL inside the heavy kernels (GEMM, reductions).  A
+thread pool therefore gives real speedup without pickling the feature
+matrix into worker processes.
+
+The helpers here keep parallel execution *bit-identical* to serial: work
+items are dispatched with their index and results are re-assembled in
+submission order, so downstream "first best wins" tie-breaking sees the
+exact sequence the serial loop would.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "map_in_order"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(n_jobs: int | None, n_items: int | None = None) -> int:
+    """Turn an ``n_jobs`` knob into a concrete worker count.
+
+    ``None`` or ``1`` mean serial; ``0`` (and any negative value) means
+    "all available cores".  The result is clamped to ``n_items`` when
+    given — more workers than work is pure overhead.
+    """
+    if n_jobs is None:
+        workers = 1
+    elif n_jobs <= 0:
+        workers = os.cpu_count() or 1
+    else:
+        workers = n_jobs
+    if n_items is not None:
+        workers = min(workers, max(n_items, 1))
+    return max(workers, 1)
+
+
+def map_in_order(
+    fn: Callable[[T], R], items: Sequence[T], n_jobs: int | None = None
+) -> list[R]:
+    """``[fn(item) for item in items]``, optionally on a thread pool.
+
+    Results come back in *submission order* regardless of completion
+    order, and any worker exception propagates to the caller.  With one
+    worker (or one item) this is a plain loop — no pool, no overhead —
+    which also guarantees the serial path stays the reference behaviour.
+    """
+    workers = resolve_jobs(n_jobs, n_items=len(items))
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items))

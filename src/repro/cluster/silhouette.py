@@ -5,7 +5,10 @@ region is, and it selects the number of clusters k.  Because the exact
 statistic is O(n²), the paper "computes the silhouette scores in a
 Monte-Carlo fashion: it extracts a few sub-samples from the user's
 selection, computes the clustering quality of those, and averages the
-results" (§3).  Both estimators live here.
+results" (§3).  Both estimators live here, plus
+:class:`SharedSilhouette` — the structure k selection scores every
+candidate against: the distance matrices (full, or one per subsample)
+are computed **once per feature matrix** and reused across all k.
 """
 
 from __future__ import annotations
@@ -14,18 +17,30 @@ import numpy as np
 
 from repro.cluster.distance import pairwise_distances, validate_distance_matrix
 
-__all__ = ["silhouette_samples", "mean_silhouette", "monte_carlo_silhouette"]
+__all__ = [
+    "silhouette_samples",
+    "mean_silhouette",
+    "monte_carlo_silhouette",
+    "SharedSilhouette",
+]
 
 
-def silhouette_samples(distances: np.ndarray, labels: np.ndarray) -> np.ndarray:
+def silhouette_samples(
+    distances: np.ndarray, labels: np.ndarray, validate: bool = True
+) -> np.ndarray:
     """Per-point silhouette values ``s(i) = (b_i − a_i) / max(a_i, b_i)``.
 
     ``a_i`` is the mean distance to the point's own cluster (excluding
     itself), ``b_i`` the smallest mean distance to any other cluster.
     Points in singleton clusters get ``s(i) = 0`` by Rousseeuw's
-    convention.  Values lie in ``[-1, 1]``.
+    convention.  Values lie in ``[-1, 1]``.  ``validate=False`` skips the
+    O(n²) matrix check when the caller scores many labelings of one
+    already-checked matrix.
     """
-    distances = validate_distance_matrix(distances)
+    if validate:
+        distances = validate_distance_matrix(distances)
+    else:
+        distances = np.asarray(distances)
     labels = np.asarray(labels)
     n = distances.shape[0]
     if labels.shape != (n,):
@@ -68,9 +83,11 @@ def silhouette_samples(distances: np.ndarray, labels: np.ndarray) -> np.ndarray:
     return np.clip(out, -1.0, 1.0)
 
 
-def mean_silhouette(distances: np.ndarray, labels: np.ndarray) -> float:
+def mean_silhouette(
+    distances: np.ndarray, labels: np.ndarray, validate: bool = True
+) -> float:
     """The average silhouette width — the paper's model-selection score."""
-    values = silhouette_samples(distances, labels)
+    values = silhouette_samples(distances, labels, validate=validate)
     return float(values.mean()) if values.size else 0.0
 
 
@@ -105,30 +122,108 @@ def monte_carlo_silhouette(
     Subsamples whose points all share one label are skipped (their
     silhouette is undefined); if every draw degenerates the result is 0.
     """
-    points = np.asarray(points, dtype=np.float64)
-    labels = np.asarray(labels)
-    if points.ndim != 2:
-        raise ValueError(f"points must be a 2-d matrix, got {points.shape}")
-    if labels.shape != (points.shape[0],):
-        raise ValueError("labels must align with points")
-    if n_subsamples < 1:
-        raise ValueError(f"n_subsamples must be >= 1, got {n_subsamples}")
-    if subsample_size < 2:
-        raise ValueError(f"subsample_size must be >= 2, got {subsample_size}")
-    rng = rng or np.random.default_rng()
-    n = points.shape[0]
+    shared = SharedSilhouette(
+        points,
+        n_subsamples=n_subsamples,
+        subsample_size=subsample_size,
+        metric=metric,
+        rng=rng,
+    )
+    return shared.score(labels)
 
-    if subsample_size >= n:
-        return mean_silhouette(pairwise_distances(points, metric), labels)
 
-    estimates: list[float] = []
-    for _ in range(n_subsamples):
-        chosen = rng.choice(n, size=subsample_size, replace=False)
-        sub_labels = labels[chosen]
-        if np.unique(sub_labels).size < 2:
-            continue
-        sub_distances = pairwise_distances(points[chosen], metric)
-        estimates.append(mean_silhouette(sub_distances, sub_labels))
-    if not estimates:
-        return 0.0
-    return float(np.mean(estimates))
+class SharedSilhouette:
+    """Silhouette scorer whose distance work is done once, not once per k.
+
+    k selection evaluates the same point set under many labelings (one
+    per candidate k).  The distance matrices those evaluations need
+    depend only on the *points*, so this class computes them a single
+    time at construction:
+
+    * **exact mode** (``n <= max(exact_threshold, subsample_size)``): the
+      full pairwise matrix, validated once; every :meth:`score` is the
+      exact mean silhouette.
+    * **sampled mode** (above the row threshold): ``n_subsamples`` index
+      sets are drawn once and each subsample's distance matrix cached;
+      :meth:`score` averages the exact silhouettes of the cached
+      subsamples — the paper's Monte-Carlo estimator, minus the repeated
+      matrix builds.
+
+    A caller that already owns the full matrix (e.g. the mapping engine,
+    which feeds it to PAM) passes it via ``distances`` and gets exact
+    scoring for free.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_subsamples: int = 8,
+        subsample_size: int = 200,
+        metric: str = "euclidean",
+        exact_threshold: int | None = None,
+        rng: np.random.Generator | None = None,
+        dtype: object = None,
+        distances: np.ndarray | None = None,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be a 2-d matrix, got {points.shape}")
+        if n_subsamples < 1:
+            raise ValueError(f"n_subsamples must be >= 1, got {n_subsamples}")
+        if subsample_size < 2:
+            raise ValueError(f"subsample_size must be >= 2, got {subsample_size}")
+        n = points.shape[0]
+        self.n_points = n
+        threshold = max(
+            exact_threshold if exact_threshold is not None else 0, subsample_size
+        )
+
+        self._full: np.ndarray | None = None
+        self._subsamples: list[tuple[np.ndarray, np.ndarray]] = []
+        if distances is not None:
+            distances = np.asarray(distances)
+            if distances.shape != (n, n):
+                raise ValueError(
+                    f"distances shape {distances.shape} does not match "
+                    f"{n} points"
+                )
+            self._full = distances
+        elif n <= threshold:
+            self._full = pairwise_distances(points, metric, dtype=dtype)
+        else:
+            rng = rng or np.random.default_rng()
+            for _ in range(n_subsamples):
+                chosen = rng.choice(n, size=subsample_size, replace=False)
+                sub_distances = pairwise_distances(
+                    points[chosen], metric, dtype=dtype
+                )
+                self._subsamples.append((chosen, sub_distances))
+
+    @property
+    def exact(self) -> bool:
+        """Whether scores are exact (full matrix) or Monte-Carlo."""
+        return self._full is not None
+
+    @property
+    def matrix(self) -> np.ndarray | None:
+        """The full distance matrix in exact mode (``None`` when sampled)."""
+        return self._full
+
+    def score(self, labels: np.ndarray) -> float:
+        """Mean silhouette of ``labels`` over the precomputed distances."""
+        labels = np.asarray(labels)
+        if labels.shape != (self.n_points,):
+            raise ValueError("labels must align with points")
+        if self._full is not None:
+            return mean_silhouette(self._full, labels, validate=False)
+        estimates: list[float] = []
+        for chosen, sub_distances in self._subsamples:
+            sub_labels = labels[chosen]
+            if np.unique(sub_labels).size < 2:
+                continue
+            estimates.append(
+                mean_silhouette(sub_distances, sub_labels, validate=False)
+            )
+        if not estimates:
+            return 0.0
+        return float(np.mean(estimates))

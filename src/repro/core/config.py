@@ -35,6 +35,11 @@ class BlaeuConfig:
         Independent CLARA samples (Kaufman & Rousseeuw recommend 5).
     clara_sample_size:
         Rows per CLARA draw (``None``: the book's 40 + 2k rule).
+    clara_jobs:
+        Thread-level parallelism for CLARA's independent draws: ``None``
+        or 1 runs serially, 0 uses every core, any other value that many
+        workers.  Results are bit-identical across settings (each draw
+        owns a spawned child RNG).
     map_k_values:
         Candidate cluster counts for data maps.
     theme_k_values:
@@ -43,6 +48,15 @@ class BlaeuConfig:
         (wide tables like the 378-column OECD set need k ≫ 8).
     silhouette_subsamples / silhouette_subsample_size:
         Monte-Carlo silhouette parameters (paper §3).
+    silhouette_exact_threshold:
+        Samples up to this many rows are scored with the exact silhouette
+        over one shared distance matrix; larger samples fall back to the
+        Monte-Carlo estimator (whose subsample matrices are likewise
+        computed once and shared across every candidate k).
+    distance_dtype:
+        Floating dtype of the distance kernels: ``"float64"`` (default)
+        or ``"float32"`` — half the memory traffic on the O(n²)
+        matrices, at a bounded accuracy cost.
     tree_params:
         CART growth controls for the description stage.
     max_categorical_cardinality:
@@ -69,10 +83,13 @@ class BlaeuConfig:
     clara_threshold: int = 1200
     clara_draws: int = 5
     clara_sample_size: int | None = None
+    clara_jobs: int | None = None
     map_k_values: tuple[int, ...] = (2, 3, 4, 5, 6)
     theme_k_values: tuple[int, ...] | None = None
     silhouette_subsamples: int = 8
     silhouette_subsample_size: int = 200
+    silhouette_exact_threshold: int = 600
+    distance_dtype: str = "float64"
     tree_params: CartParams = field(default_factory=CartParams)
     max_categorical_cardinality: int = 50
     min_zoom_rows: int = 20
@@ -92,6 +109,12 @@ class BlaeuConfig:
             not self.theme_k_values or min(self.theme_k_values) < 2
         ):
             raise ValueError("theme_k_values must contain integers >= 2")
+        if self.clara_jobs is not None and self.clara_jobs < 0:
+            raise ValueError("clara_jobs must be None, 0 (all cores) or >= 1")
+        if self.silhouette_exact_threshold < 0:
+            raise ValueError("silhouette_exact_threshold must be >= 0")
+        if self.distance_dtype not in ("float32", "float64"):
+            raise ValueError("distance_dtype must be 'float32' or 'float64'")
         if self.min_zoom_rows < 2:
             raise ValueError("min_zoom_rows must be at least 2")
         if self.prune_leaf_factor < 1:

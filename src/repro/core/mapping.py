@@ -28,7 +28,7 @@ from repro.cluster.clara import clara
 from repro.cluster.distance import pairwise_distances
 from repro.cluster.kselect import select_k_points
 from repro.cluster.pam import Clustering, pam
-from repro.cluster.silhouette import silhouette_samples
+from repro.cluster.silhouette import SharedSilhouette, silhouette_samples
 from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap, Region
 from repro.core.preprocess import preprocess
@@ -161,7 +161,9 @@ def build_map(
     )
 
     # Stage 2: cluster detection (PAM, or CLARA at scale), k by silhouette.
-    clustering, silhouette = _cluster(space.matrix, config, rng, forced_k=k)
+    clustering, silhouette, shared_matrix = _cluster(
+        space.matrix, config, rng, forced_k=k
+    )
 
     # Stage 3: cluster description with CART on the *original* columns.
     describable = [
@@ -182,7 +184,9 @@ def build_map(
 
     # Region hierarchy + exact counts over the full selection.
     full_assignment = tree.predict(selection)
-    leaf_silhouettes = _leaf_silhouettes(space.matrix, clustering, config, rng)
+    leaf_silhouettes = _leaf_silhouettes(
+        space.matrix, clustering, config, rng, shared_matrix
+    )
     exemplars = _exemplars(sample, clustering, columns)
     root = _tree_to_regions(
         tree.root,
@@ -212,45 +216,61 @@ def _cluster(
     config: BlaeuConfig,
     rng: np.random.Generator,
     forced_k: int | None,
-) -> tuple[Clustering, float]:
-    """Cluster the vectors; return the clustering and its silhouette."""
+) -> tuple[Clustering, float, np.ndarray | None]:
+    """Cluster the vectors; return the clustering, its silhouette, and the
+    shared distance matrix when one was built (``None`` on the CLARA path).
+
+    All distance work is done once per call: at PAM scale the pairwise
+    matrix is computed a single time and reused by every candidate k, by
+    every silhouette evaluation and by the caller's per-leaf quality
+    panel; at CLARA scale the draws fan out over ``config.clara_jobs``
+    threads and the Monte-Carlo silhouette subsamples are drawn once for
+    the whole k sweep.
+    """
     n = matrix.shape[0]
+    dtype = config.distance_dtype
+
+    shared_matrix: np.ndarray | None = None
+    if n <= config.clara_threshold:
+        shared_matrix = pairwise_distances(matrix, dtype=dtype)
 
     def cluster_fn(points: np.ndarray, k: int) -> Clustering:
-        if points.shape[0] > config.clara_threshold:
-            return clara(
-                points,
-                k,
-                n_draws=config.clara_draws,
-                sample_size=config.clara_sample_size,
-                rng=rng,
-            )
-        return pam(pairwise_distances(points), k, rng=rng)
+        if shared_matrix is not None:
+            return pam(shared_matrix, k, rng=rng, validate=False)
+        return clara(
+            points,
+            k,
+            n_draws=config.clara_draws,
+            sample_size=config.clara_sample_size,
+            rng=rng,
+            n_jobs=config.clara_jobs,
+            dtype=dtype,
+        )
+
+    shared = SharedSilhouette(
+        matrix,
+        n_subsamples=config.silhouette_subsamples,
+        subsample_size=config.silhouette_subsample_size,
+        exact_threshold=config.silhouette_exact_threshold,
+        rng=rng,
+        dtype=dtype,
+        distances=shared_matrix,
+    )
 
     if forced_k is not None:
         if not 1 <= forced_k <= n:
             raise ValueError(f"forced k={forced_k} out of range [1, {n}]")
         clustering = cluster_fn(matrix, forced_k)
-        from repro.cluster.silhouette import monte_carlo_silhouette
-
-        score = monte_carlo_silhouette(
-            matrix,
-            clustering.labels,
-            n_subsamples=config.silhouette_subsamples,
-            subsample_size=config.silhouette_subsample_size,
-            rng=rng,
-        )
-        return clustering, score
+        return clustering, shared.score(clustering.labels), shared_matrix
 
     selection = select_k_points(
         matrix,
         cluster_fn,
         k_values=config.map_k_values,
-        n_subsamples=config.silhouette_subsamples,
-        subsample_size=config.silhouette_subsample_size,
         rng=rng,
+        shared=shared,
     )
-    return selection.clustering, selection.best.silhouette
+    return selection.clustering, selection.best.silhouette, shared_matrix
 
 
 def _leaf_silhouettes(
@@ -258,19 +278,32 @@ def _leaf_silhouettes(
     clustering: Clustering,
     config: BlaeuConfig,
     rng: np.random.Generator,
+    shared_matrix: np.ndarray | None = None,
 ) -> dict[int, float]:
-    """Per-cluster mean silhouette, from a bounded subsample."""
+    """Per-cluster mean silhouette, from a bounded subsample.
+
+    When the clustering stage already built the full distance matrix it
+    is reused as-is (exact per-leaf quality, zero extra distance work).
+    """
     n = matrix.shape[0]
-    cap = max(config.silhouette_subsample_size * 2, 400)
-    if n > cap:
-        chosen = rng.choice(n, size=cap, replace=False)
+    if shared_matrix is not None:
+        labels = clustering.labels
+        distances = shared_matrix
     else:
-        chosen = np.arange(n)
-    labels = clustering.labels[chosen]
+        cap = max(config.silhouette_subsample_size * 2, 400)
+        if n > cap:
+            chosen = rng.choice(n, size=cap, replace=False)
+        else:
+            chosen = np.arange(n)
+        labels = clustering.labels[chosen]
+        distances = None
     if np.unique(labels).size < 2:
         return {int(c): 0.0 for c in np.unique(clustering.labels)}
-    distances = pairwise_distances(matrix[chosen])
-    values = silhouette_samples(distances, labels)
+    if distances is None:
+        distances = pairwise_distances(
+            matrix[chosen], dtype=config.distance_dtype
+        )
+    values = silhouette_samples(distances, labels, validate=False)
     return {
         int(cluster): float(values[labels == cluster].mean())
         for cluster in np.unique(labels)

@@ -10,16 +10,20 @@ back to a previous state of the system with a rollback."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import BlaeuConfig
-from repro.core.datamap import DataMap, Region
+from repro.core.datamap import DataMap
 from repro.core.mapping import build_map_cached
 from repro.core.themes import Theme, ThemeSet, extract_themes
 from repro.table.column import CategoricalColumn, NumericColumn
 from repro.table.predicates import And, Everything, Predicate
 from repro.table.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.insights import InsightReport
 
 __all__ = ["Explorer", "ExplorationState", "Highlight"]
 
@@ -279,7 +283,7 @@ class Explorer:
         sizes, categorical lifts) against its siblings — the narrative
         the demo's "insights and serendipity" goal asks for.
         """
-        from repro.core.insights import InsightReport, region_insights
+        from repro.core.insights import region_insights
 
         state = self.state
         region = state.map.region(region_id)

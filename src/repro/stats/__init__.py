@@ -8,6 +8,7 @@ alternatives the paper mentions (correlation coefficients) and the
 normalization utilities the preprocessing stage needs.
 """
 
+from repro.stats.correlation import pearson, spearman
 from repro.stats.discretize import (
     BinningRule,
     discretize_column,
@@ -27,7 +28,6 @@ from repro.stats.mutual_info import (
     normalized_mutual_information,
     pairwise_dependencies,
 )
-from repro.stats.correlation import pearson, spearman
 from repro.stats.normalize import (
     minmax_scale,
     robust_scale,

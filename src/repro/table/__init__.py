@@ -16,6 +16,8 @@ from repro.table.column import (
     ColumnKind,
     NumericColumn,
 )
+from repro.table.csv_io import read_csv, write_csv
+from repro.table.database import Database, SelectProject
 from repro.table.predicates import (
     And,
     Between,
@@ -27,16 +29,14 @@ from repro.table.predicates import (
     Or,
     Predicate,
 )
-from repro.table.schema import Schema, infer_column, infer_schema
-from repro.table.table import Table
-from repro.table.csv_io import read_csv, write_csv
 from repro.table.sampling import (
     SampleCascade,
     reservoir_sample,
     stratified_sample,
     uniform_sample,
 )
-from repro.table.database import Database, SelectProject
+from repro.table.schema import Schema, infer_column, infer_schema
+from repro.table.table import Table
 
 __all__ = [
     "Aggregate",

@@ -140,7 +140,10 @@ class NumericColumn(Column):
         values: Iterable[float],
         missing: np.ndarray | None = None,
     ) -> None:
-        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.float64)
+        array = np.asarray(
+            list(values) if not isinstance(values, np.ndarray) else values,
+            dtype=np.float64,
+        )
         if array.ndim != 1:
             raise ValueError("numeric column values must be one-dimensional")
         if missing is None:
@@ -156,7 +159,9 @@ class NumericColumn(Column):
         self._values = array
 
     @classmethod
-    def from_cells(cls, name: str, cells: Sequence[str | float | None]) -> "NumericColumn":
+    def from_cells(
+        cls, name: str, cells: Sequence[str | float | None]
+    ) -> "NumericColumn":
         """Parse raw cells (strings or numbers); unparseable cells are missing."""
         values = np.empty(len(cells), dtype=np.float64)
         mask = np.zeros(len(cells), dtype=bool)

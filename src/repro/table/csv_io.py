@@ -11,13 +11,9 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping
 
-from repro.table.column import (
-    CategoricalColumn,
-    ColumnKind,
-    NumericColumn,
-)
+from repro.table.column import ColumnKind, NumericColumn
 from repro.table.schema import infer_column
 from repro.table.table import Table
 

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.table.column import CategoricalColumn, Column, NumericColumn
+from repro.table.column import CategoricalColumn, NumericColumn
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.table.table import Table
@@ -285,7 +285,10 @@ class _Connective(Predicate):
         return frozenset().union(*(p.columns() for p in self._operands))
 
     def __eq__(self, other: object) -> bool:
-        return type(other) is type(self) and other._operands == self._operands  # type: ignore[attr-defined]
+        return (
+            type(other) is type(self)
+            and other._operands == self._operands  # type: ignore[attr-defined]
+        )
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self._operands))

@@ -15,7 +15,7 @@ each zoom, Blaeu only takes a few thousand samples from the database."
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable
 
 import numpy as np
 

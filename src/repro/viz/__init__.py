@@ -8,11 +8,11 @@ map view, text histograms/scatter plots for the highlight inspectors, and
 D3-ready JSON export.
 """
 
-from repro.viz.treemap import Rect, treemap_layout
-from repro.viz.render import render_map, render_region_panel, render_theme_view
 from repro.viz.charts import text_histogram, text_scatter
 from repro.viz.export import export_map_json, export_themes_json
 from repro.viz.graphview import render_dependency_graph, render_weight_matrix
+from repro.viz.render import render_map, render_region_panel, render_theme_view
+from repro.viz.treemap import Rect, treemap_layout
 
 __all__ = [
     "Rect",

@@ -1,0 +1,128 @@
+"""The bench runner CLI: report emission and the perf gate's exit codes."""
+
+import json
+
+import pytest
+
+import repro.bench.runner as runner_module
+from repro.bench.runner import main, run_suite
+from repro.bench.schema import BenchResult
+
+
+def fake_suite(smoke: bool) -> list[BenchResult]:
+    return [
+        BenchResult(
+            name="fake_kernel",
+            params={"smoke": smoke},
+            metrics={"seconds": 0.5, "speedup": 3.0},
+            gated=("seconds",),
+        )
+    ]
+
+
+@pytest.fixture
+def with_fake_suite(monkeypatch):
+    monkeypatch.setitem(runner_module.SUITES, "fake", fake_suite)
+
+
+class TestRunSuite:
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("nope")
+
+    def test_produces_report(self, with_fake_suite):
+        report = run_suite("fake", smoke=True)
+        assert report.suite == "fake"
+        assert report.smoke is True
+        assert report.result("fake_kernel").metrics["seconds"] == 0.5
+
+
+class TestRunnerCli:
+    def test_writes_report_and_exits_zero(self, with_fake_suite, tmp_path, capsys):
+        code = main(["--suite", "fake", "--smoke", "--out-dir", str(tmp_path)])
+        assert code == 0
+        out_path = tmp_path / "BENCH_fake.json"
+        payload = json.loads(out_path.read_text())
+        assert payload["suite"] == "fake"
+        assert payload["results"][0]["name"] == "fake_kernel"
+        stdout = capsys.readouterr().out
+        assert any(line.startswith("BENCH ") for line in stdout.splitlines())
+
+    def test_check_passes_against_own_baseline(self, with_fake_suite, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        assert main(["--suite", "fake", "--out-dir", str(baseline_dir)]) == 0
+        code = main(
+            [
+                "--suite",
+                "fake",
+                "--out-dir",
+                str(tmp_path),
+                "--check",
+                str(baseline_dir / "BENCH_fake.json"),
+            ]
+        )
+        assert code == 0
+
+    def test_injected_slowdown_fails_the_gate(
+        self, with_fake_suite, tmp_path, capsys
+    ):
+        """The acceptance self-test: a synthetic 2x slowdown must go red."""
+        baseline_dir = tmp_path / "baseline"
+        assert main(["--suite", "fake", "--out-dir", str(baseline_dir)]) == 0
+        code = main(
+            [
+                "--suite",
+                "fake",
+                "--out-dir",
+                str(tmp_path),
+                "--check",
+                str(baseline_dir / "BENCH_fake.json"),
+                "--inject-slowdown",
+                "2",
+            ]
+        )
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_injection_only_touches_gated_metrics(self, with_fake_suite, tmp_path):
+        main(
+            [
+                "--suite",
+                "fake",
+                "--out-dir",
+                str(tmp_path),
+                "--inject-slowdown",
+                "2",
+            ]
+        )
+        payload = json.loads((tmp_path / "BENCH_fake.json").read_text())
+        metrics = payload["results"][0]["metrics"]
+        assert metrics["seconds"] == 1.0  # 0.5 * 2
+        assert metrics["speedup"] == 3.0  # ungated: untouched
+        assert payload["injected_slowdown"] == 2.0  # marked as synthetic
+
+    def test_injected_report_is_refused_as_baseline(
+        self, with_fake_suite, tmp_path, capsys
+    ):
+        poisoned_dir = tmp_path / "poisoned"
+        main(
+            [
+                "--suite",
+                "fake",
+                "--out-dir",
+                str(poisoned_dir),
+                "--inject-slowdown",
+                "2",
+            ]
+        )
+        with pytest.raises(ValueError, match="synthetic"):
+            main(
+                [
+                    "--suite",
+                    "fake",
+                    "--out-dir",
+                    str(tmp_path),
+                    "--check",
+                    str(poisoned_dir / "BENCH_fake.json"),
+                ]
+            )

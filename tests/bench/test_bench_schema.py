@@ -1,0 +1,133 @@
+"""Schema stability and regression detection for repro.bench."""
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchReport,
+    BenchResult,
+    compare_reports,
+)
+
+
+def make_result(name="kernel", seconds=1.0, extra=None):
+    metrics = {"seconds": seconds, "speedup": 2.0}
+    metrics.update(extra or {})
+    return BenchResult(
+        name=name,
+        params={"n_rows": 100},
+        metrics=metrics,
+        gated=("seconds",),
+    )
+
+
+def make_report(results, suite="clustering", smoke=True):
+    return BenchReport(suite=suite, smoke=smoke, results=tuple(results))
+
+
+class TestSchema:
+    def test_round_trip(self):
+        report = make_report([make_result()])
+        clone = BenchReport.from_json(report.to_json())
+        assert clone.suite == report.suite
+        assert clone.smoke is True
+        assert clone.result("kernel").metrics == report.result("kernel").metrics
+        assert clone.result("kernel").gated == ("seconds",)
+        assert clone.schema_version == SCHEMA_VERSION
+
+    def test_unknown_schema_version_rejected(self):
+        payload = make_report([make_result()]).to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            BenchReport.from_dict(payload)
+
+    def test_gating_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="gates unknown"):
+            BenchResult(name="x", metrics={"a": 1.0}, gated=("missing",))
+
+    def test_result_lookup_raises_for_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_report([make_result()]).result("nope")
+
+
+class TestCompareReports:
+    def test_no_regression_within_threshold(self):
+        baseline = make_report([make_result(seconds=1.0)])
+        current = make_report([make_result(seconds=1.2)])
+        assert compare_reports(current, baseline, threshold=0.25) == []
+
+    def test_detects_regression_beyond_threshold(self):
+        baseline = make_report([make_result(seconds=1.0)])
+        current = make_report([make_result(seconds=2.0)])
+        regressions = compare_reports(current, baseline, threshold=0.25)
+        assert len(regressions) == 1
+        assert regressions[0].benchmark == "kernel"
+        assert regressions[0].metric == "seconds"
+        assert regressions[0].ratio == pytest.approx(2.0)
+
+    def test_ungated_metrics_never_fail(self):
+        baseline = make_report([make_result(extra={"speedup": 10.0})])
+        current = make_report([make_result(extra={"speedup": 1.0})])
+        assert compare_reports(current, baseline) == []
+
+    def test_missing_benchmark_counts_as_regression(self):
+        baseline = make_report([make_result("a"), make_result("b")])
+        current = make_report([make_result("a")])
+        regressions = compare_reports(current, baseline)
+        assert [r.benchmark for r in regressions] == ["b"]
+        assert regressions[0].ratio == float("inf")
+
+    def test_baseline_gate_list_is_authoritative(self):
+        """Un-gating a metric in the current run must not hide a slowdown."""
+        baseline = make_report([make_result(seconds=1.0)])
+        slower = BenchResult(
+            name="kernel",
+            params={"n_rows": 100},
+            metrics={"seconds": 3.0, "speedup": 2.0},
+            gated=(),
+        )
+        regressions = compare_reports(make_report([slower]), baseline)
+        assert len(regressions) == 1
+
+    def test_suite_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="suite mismatch"):
+            compare_reports(
+                make_report([], suite="clustering"),
+                make_report([], suite="service"),
+            )
+
+    def test_smoke_mismatch_rejected(self):
+        """A full-mode baseline must not silently neuter a smoke gate."""
+        with pytest.raises(ValueError, match="smoke mismatch"):
+            compare_reports(
+                make_report([make_result()], smoke=True),
+                make_report([make_result()], smoke=False),
+            )
+
+    def test_workload_params_mismatch_rejected(self):
+        baseline = make_report([make_result(seconds=1.0)])
+        changed = BenchResult(
+            name="kernel",
+            params={"n_rows": 999},
+            metrics={"seconds": 1.0},
+            gated=("seconds",),
+        )
+        with pytest.raises(ValueError, match="workload mismatch"):
+            compare_reports(make_report([changed]), baseline)
+
+    def test_poisoned_baseline_rejected(self):
+        """A self-test artifact must never serve as a baseline."""
+        from dataclasses import replace
+
+        clean = make_report([make_result()])
+        poisoned = replace(clean, injected_slowdown=2.0)
+        assert BenchReport.from_json(poisoned.to_json()).injected_slowdown == 2.0
+        with pytest.raises(ValueError, match="synthetic"):
+            compare_reports(clean, poisoned)
+
+    def test_noise_floor_pads_tiny_baselines(self):
+        """A 2x slowdown on a 10ms timing is jitter, not a regression."""
+        baseline = make_report([make_result(seconds=0.01)])
+        current = make_report([make_result(seconds=0.02)])
+        assert compare_reports(current, baseline, noise_floor=0.05) == []
+        assert len(compare_reports(current, baseline, noise_floor=0.0)) == 1

@@ -1,0 +1,104 @@
+"""float32 opt-in and the in-place Manhattan kernel: accuracy bounds."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import (
+    distances_to_points,
+    euclidean_distances,
+    gower_distances,
+    manhattan_distances,
+    pairwise_distances,
+    resolve_dtype,
+    validate_distance_matrix,
+)
+
+
+def _points(rng, n=120, d=6, scale=5.0):
+    return rng.normal(0, scale, (n, d))
+
+
+class TestResolveDtype:
+    def test_default_is_float64(self):
+        assert resolve_dtype(None) == np.float64
+
+    @pytest.mark.parametrize("spec", ["float32", np.float32, np.dtype("float32")])
+    def test_float32_specs(self, spec):
+        assert resolve_dtype(spec) == np.float32
+
+    @pytest.mark.parametrize("spec", ["int32", "float16", complex])
+    def test_rejects_non_float(self, spec):
+        with pytest.raises(ValueError):
+            resolve_dtype(spec)
+
+
+class TestFloat32Accuracy:
+    """The opt-in dtype must stay within a bounded error of float64."""
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    def test_pairwise_close_and_typed(self, rng, metric):
+        points = _points(rng)
+        exact = pairwise_distances(points, metric)
+        fast = pairwise_distances(points, metric, dtype="float32")
+        assert fast.dtype == np.float32
+        scale = exact.max()
+        assert np.abs(fast.astype(np.float64) - exact).max() <= 1e-5 * scale
+
+    def test_gower_output_dtype(self, rng):
+        points = _points(rng, n=40, d=4)
+        points[rng.random(points.shape) < 0.2] = np.nan
+        exact = gower_distances(points)
+        fast = gower_distances(points, dtype="float32")
+        assert fast.dtype == np.float32
+        assert np.abs(fast.astype(np.float64) - exact).max() <= 1e-6
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    def test_distances_to_points_close(self, rng, metric):
+        points = _points(rng)
+        refs = _points(rng, n=7)
+        exact = distances_to_points(points, refs, metric)
+        fast = distances_to_points(points, refs, metric, dtype="float32")
+        assert fast.dtype == np.float32
+        scale = exact.max()
+        assert np.abs(fast.astype(np.float64) - exact).max() <= 1e-5 * scale
+
+
+class TestManhattanScratchKernel:
+    def test_matches_bruteforce(self, rng):
+        points = _points(rng, n=50, d=5)
+        expected = np.abs(
+            points[:, None, :] - points[None, :, :]
+        ).sum(axis=2)
+        np.testing.assert_allclose(
+            manhattan_distances(points), expected, atol=1e-12
+        )
+
+    def test_distances_to_points_matches_bruteforce(self, rng):
+        points = _points(rng, n=30, d=4)
+        refs = _points(rng, n=6, d=4)
+        expected = np.abs(points[:, None, :] - refs[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(
+            distances_to_points(points, refs, "manhattan"), expected, atol=1e-12
+        )
+
+    def test_peak_memory_bounded(self, rng):
+        """Peak traced allocation stays ~2 matrices (output + one scratch)."""
+        import tracemalloc
+
+        points = _points(rng, n=400, d=32)
+        matrix_bytes = 400 * 400 * 8
+        tracemalloc.start()
+        manhattan_distances(points)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < 2.5 * matrix_bytes
+
+
+class TestValidatePreservesDtype:
+    def test_float32_matrix_stays_float32(self, rng):
+        matrix = pairwise_distances(_points(rng, n=30), dtype="float32")
+        assert validate_distance_matrix(matrix).dtype == np.float32
+
+    def test_integer_matrix_promoted(self):
+        matrix = np.zeros((3, 3), dtype=np.int64)
+        assert validate_distance_matrix(matrix).dtype == np.float64

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.distance import euclidean_distances
-from repro.cluster.pam import Clustering, pam
+from repro.cluster.pam import pam
 from repro.cluster.validation import adjusted_rand_index
 
 

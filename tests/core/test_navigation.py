@@ -1,6 +1,5 @@
 """Unit tests for the four navigational actions (paper §2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import BlaeuConfig

@@ -7,7 +7,6 @@ import json
 import socket
 import threading
 
-import pytest
 
 
 class TestHealthAndMetrics:

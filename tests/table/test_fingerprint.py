@@ -1,7 +1,6 @@
 """Unit tests for Table.fingerprint and the Database catalog listing."""
 
 import numpy as np
-import pytest
 
 from repro.table.column import CategoricalColumn, NumericColumn
 from repro.table.database import Database

@@ -1,7 +1,6 @@
 """Unit tests for schema inference and key detection."""
 
 import numpy as np
-import pytest
 
 from repro.table.column import CategoricalColumn, ColumnKind, NumericColumn
 from repro.table.schema import detect_keys, infer_column, infer_schema

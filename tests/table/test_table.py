@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.table.column import CategoricalColumn, ColumnKind, NumericColumn
+from repro.table.column import ColumnKind, NumericColumn
 from repro.table.predicates import Comparison
 from repro.table.table import Table
 
@@ -120,7 +120,8 @@ class TestRelationalOps:
         extended = people.with_column(NumericColumn("zeros", [0.0] * 6))
         assert "zeros" in extended
         replaced = extended.with_column(NumericColumn("zeros", [1.0] * 6))
-        assert replaced.column("zeros").values.tolist() == [1.0] * 6  # type: ignore[union-attr]
+        values = replaced.column("zeros").values
+        assert values.tolist() == [1.0] * 6  # type: ignore[union-attr]
 
     def test_with_column_length_checked(self, people):
         with pytest.raises(ValueError):

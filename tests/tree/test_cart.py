@@ -14,7 +14,9 @@ def _threshold_data(rng, n=200):
     """Labels determined by x < 5."""
     x = rng.uniform(0, 10, n)
     labels = (x >= 5).astype(np.intp)
-    table = Table("t", [NumericColumn("x", x), NumericColumn("noise", rng.normal(0, 1, n))])
+    table = Table(
+        "t", [NumericColumn("x", x), NumericColumn("noise", rng.normal(0, 1, n))]
+    )
     return table, labels
 
 

@@ -100,7 +100,9 @@ class TestLegibility:
         # leaves.  Cleanup merges them at negligible accuracy cost.
         x = np.concatenate([rng.uniform(0, 4, 100), rng.uniform(6, 10, 100)])
         labels = (x >= 5).astype(np.intp)
-        table = Table("t", [NumericColumn("x", x), NumericColumn("z", rng.normal(0, 1, 200))])
+        table = Table(
+            "t", [NumericColumn("x", x), NumericColumn("z", rng.normal(0, 1, 200))]
+        )
         tree = fit_tree(
             table, labels,
             params=CartParams(max_depth=5, min_samples_leaf=2, min_samples_split=4),
