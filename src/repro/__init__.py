@@ -36,6 +36,7 @@ from repro.core import (
     build_map,
     extract_themes,
 )
+from repro.store import StoredTable, ingest_csv
 from repro.table import Database, Table, read_csv
 
 __version__ = "1.0.0"
@@ -48,11 +49,13 @@ __all__ = [
     "Explorer",
     "Highlight",
     "Region",
+    "StoredTable",
     "Table",
     "Theme",
     "ThemeSet",
     "__version__",
     "build_map",
     "extract_themes",
+    "ingest_csv",
     "read_csv",
 ]

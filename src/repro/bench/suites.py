@@ -1,6 +1,6 @@
 """The benchmark suites behind ``python -m repro.bench``.
 
-Two suites cover the two layers the ROADMAP cares about:
+Three suites cover the layers the ROADMAP cares about:
 
 * ``clustering`` — the map-building kernels: parallel CLARA vs the
   serial reference (same seed, bit-identical required), shared-distance
@@ -8,6 +8,9 @@ Two suites cover the two layers the ROADMAP cares about:
   time/peak-memory, and the float32 distance opt-in.
 * ``service`` — wraps ``benchmarks/bench_service_throughput.py`` (cold vs
   warm cache, concurrent throughput) into the stable report schema.
+* ``store`` — the out-of-core layer (:mod:`repro.store`): chunked CSV
+  ingest throughput, cold/warm pushdown scans, and the persisted
+  top-k cascade sample vs a full priority redraw.
 
 Every workload is seeded, so reports differ across runs only by wall
 time.  The headline ``clara_map_build`` workload stays at the acceptance
@@ -18,6 +21,7 @@ only trims repetition and the secondary workloads.
 from __future__ import annotations
 
 import importlib.util
+import tempfile
 import time
 import tracemalloc
 from pathlib import Path
@@ -35,7 +39,7 @@ from repro.cluster.distance import (
 from repro.cluster.pam import pam
 from repro.cluster.silhouette import SharedSilhouette, monte_carlo_silhouette
 
-__all__ = ["SUITES", "run_clustering", "run_service"]
+__all__ = ["SUITES", "run_clustering", "run_service", "run_store"]
 
 
 def _blobs(n: int, d: int, k: int, seed: int) -> np.ndarray:
@@ -288,8 +292,162 @@ def run_service(smoke: bool) -> list[BenchResult]:
     ]
 
 
+# ----------------------------------------------------------------------
+# store suite
+# ----------------------------------------------------------------------
+
+
+def _write_synthetic_csv(path: Path, n: int, seed: int) -> None:
+    """A clusterable CSV: 3 numeric blob columns + one categorical."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 4, size=n)
+    x = labels * 6.0 + rng.normal(0.0, 0.7, n)
+    y = labels * -5.0 + rng.normal(0.0, 0.7, n)
+    z = rng.normal(0.0, 1.0, n)
+    cats = np.array(["north", "east", "south", "west"])[labels]
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("x,y,z,region\n")
+        step = 100_000
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            # tolist() yields Python floats whose repr round-trips
+            # exactly (np scalars would render as "np.float64(...)").
+            rows = zip(
+                x[start:stop].tolist(),
+                y[start:stop].tolist(),
+                z[start:stop].tolist(),
+                cats[start:stop].tolist(),
+            )
+            handle.write(
+                "".join(f"{a!r},{b!r},{c!r},{t}\n" for a, b, c, t in rows)
+            )
+
+
+def _bench_store_ingest(smoke: bool) -> BenchResult:
+    """One-pass chunked CSV → store conversion throughput."""
+    from repro.store import ingest_csv
+
+    n = 60_000 if smoke else 250_000
+    chunk_rows = 16_384
+    rounds = 1 if smoke else 2
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "data.csv"
+        _write_synthetic_csv(csv_path, n, seed=11)
+
+        best = float("inf")
+        stored = None
+        for round_index in range(rounds):
+            out = Path(tmp) / f"store{round_index}"
+            started = time.perf_counter()
+            stored = ingest_csv(csv_path, out, chunk_rows=chunk_rows)
+            best = min(best, time.perf_counter() - started)
+        assert stored is not None and stored.n_rows == n
+    return BenchResult(
+        name="store_ingest",
+        params={"n_rows": n, "chunk_rows": chunk_rows, "rounds": rounds},
+        metrics={
+            "ingest_seconds": best,
+            "rows_per_second": n / best,
+        },
+        gated=("ingest_seconds",),
+    )
+
+
+def _bench_store_scan(smoke: bool) -> BenchResult:
+    """Chunked predicate scan over a store: first touch vs repeat."""
+    from repro.store import StoredTable, write_store
+    from repro.table.column import NumericColumn
+    from repro.table.predicates import Comparison
+    from repro.table.table import Table
+
+    n = 150_000 if smoke else 600_000
+    chunk_rows = 32_768
+    rounds = 2 if smoke else 3
+    rng = np.random.default_rng(17)
+    table = Table(
+        "scan",
+        [NumericColumn(f"c{i}", rng.normal(0.0, 1.0, n)) for i in range(4)],
+    )
+    predicate = Comparison("c0", ">", 0.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "store"
+        write_store(table, root, chunk_rows=chunk_rows)
+
+        started = time.perf_counter()
+        stored = StoredTable(root)
+        cold_matches = int(stored.scan_mask(predicate).sum())
+        cold_seconds = time.perf_counter() - started
+
+        warm_seconds, _ = _best_of(
+            lambda: stored.scan_mask(predicate), rounds
+        )
+        assert cold_matches == int(predicate.mask(table).sum())
+    return BenchResult(
+        name="store_scan",
+        params={"n_rows": n, "chunk_rows": chunk_rows, "rounds": rounds},
+        metrics={
+            "cold_scan_seconds": cold_seconds,
+            "warm_scan_seconds": warm_seconds,
+            "rows_per_second": n / warm_seconds,
+        },
+        # Cold includes filesystem cache luck; only the repeatable warm
+        # scan gates the regression check.
+        gated=("warm_scan_seconds",),
+    )
+
+
+def _bench_store_cascade(smoke: bool) -> BenchResult:
+    """Persisted top-k cascade sample vs redrawing the priorities."""
+    from repro.store import StoredTable, write_store
+    from repro.table.column import NumericColumn
+    from repro.table.sampling import SampleCascade
+    from repro.table.table import Table
+
+    n = 200_000 if smoke else 1_000_000
+    k = 2_000
+    chunk_rows = 32_768
+    rounds = 3
+    rng = np.random.default_rng(23)
+    table = Table("cascade", [NumericColumn("v", rng.normal(0.0, 1.0, n))])
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "store"
+        write_store(table, root, chunk_rows=chunk_rows)
+        stored = StoredTable(root)
+
+        topk_seconds, topk = _best_of(lambda: stored.top_k_sample(k), rounds)
+
+        def redraw() -> np.ndarray:
+            # What a store-less engine pays per registration: draw the
+            # whole priority permutation, then take the bottom-k.
+            cascade = SampleCascade(n, np.random.default_rng(0))
+            return cascade.sample(k)
+
+        redraw_seconds, _ = _best_of(redraw, rounds)
+        assert np.array_equal(topk, stored.cascade().sample(k))
+    return BenchResult(
+        name="store_cascade_sample",
+        params={"n_rows": n, "k": k, "chunk_rows": chunk_rows, "rounds": rounds},
+        metrics={
+            "topk_seconds": topk_seconds,
+            "redraw_seconds": redraw_seconds,
+            "topk_speedup": redraw_seconds / topk_seconds,
+        },
+        gated=("topk_seconds",),
+    )
+
+
+def run_store(smoke: bool) -> list[BenchResult]:
+    """The out-of-core suite: ingest, pushdown scans, cascade sampling."""
+    return [
+        _bench_store_ingest(smoke),
+        _bench_store_scan(smoke),
+        _bench_store_cascade(smoke),
+    ]
+
+
 #: suite name → runner.  ``run_suite`` and the CLI dispatch through this.
 SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "clustering": run_clustering,
     "service": run_service,
+    "store": run_store,
 }

@@ -9,13 +9,18 @@ uses is available to library users.
 
 Run with::
 
-    python -m repro <data.csv> [more.csv …]
+    python -m repro <data.csv|store-dir> [more …]
     python -m repro --demo hollywood|countries|lofar
+    python -m repro ingest <data.csv> <store-dir> [--name N] \
+        [--chunk-rows R] [--delimiter D] [--priority-seed S]
     python -m repro serve [--host H] [--port P] [--cache-size N] \
-        [--cache-ttl S] [--workers N] (<data.csv> … | --demo <name>)
+        [--cache-ttl S] [--workers N] (<data.csv|store-dir> … | --demo <name>)
 
 ``serve`` boots the HTTP service (:mod:`repro.service`) instead of the
-interactive shell.
+interactive shell.  ``ingest`` converts a CSV into an out-of-core store
+directory (:mod:`repro.store`) that both the shell and the service can
+open in place of a CSV — the rows then stay on disk and exploration
+samples them in chunks.
 
 Commands inside the session::
 
@@ -49,7 +54,7 @@ from repro.core.navigation import Explorer
 from repro.viz.charts import text_histogram
 from repro.viz.render import render_map, render_region_panel, render_theme_view
 
-__all__ = ["BlaeuShell", "main", "serve_main"]
+__all__ = ["BlaeuShell", "ingest_main", "main", "serve_main"]
 
 _DEMOS = ("hollywood", "countries", "lofar")
 
@@ -120,9 +125,11 @@ class BlaeuShell:
         for name in self._engine.tables():
             table = self._engine.database.table(name)
             marker = "*" if name == self._table_name else " "
+            residency = getattr(table, "residency", "memory")
+            suffix = " [store]" if residency == "store" else ""
             self._print(
                 f" {marker} {name}: {table.n_rows} rows x "
-                f"{table.n_columns} columns"
+                f"{table.n_columns} columns{suffix}"
             )
 
     def _cmd_use(self, args: list[str]) -> None:
@@ -248,12 +255,75 @@ def build_engine(argv: list[str]) -> Blaeu:
         return engine
     if not argv:
         raise SystemExit(
-            "usage: python -m repro <data.csv> [more.csv …] "
+            "usage: python -m repro <data.csv|store-dir> [more …] "
             f"| --demo {{{'|'.join(_DEMOS)}}}"
         )
+    from pathlib import Path
+
+    from repro.store import MANIFEST_NAME
+
     for path in argv:
-        engine.load_csv(path)
+        candidate = Path(path)
+        if candidate.is_dir() and (candidate / MANIFEST_NAME).is_file():
+            engine.load_store(candidate)
+        else:
+            engine.load_csv(path)
     return engine
+
+
+def ingest_main(argv: list[str]) -> None:
+    """The ``ingest`` subcommand: CSV → out-of-core store directory."""
+    import argparse
+
+    from repro.store import DEFAULT_CHUNK_ROWS, ingest_csv
+
+    parser = argparse.ArgumentParser(
+        prog="blaeu ingest",
+        description=(
+            "Convert a CSV into a columnar store directory that "
+            "'python -m repro' and 'python -m repro serve' open in "
+            "place of the CSV, keeping the rows on disk."
+        ),
+    )
+    parser.add_argument("csv", help="source CSV file (read once, chunked)")
+    parser.add_argument("out", help="target store directory (created)")
+    parser.add_argument(
+        "--name", default=None, help="table name (default: the file stem)"
+    )
+    parser.add_argument(
+        "--delimiter", default=",", help="field separator (default ',')"
+    )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=DEFAULT_CHUNK_ROWS,
+        help="records per ingestion chunk — the peak-memory bound "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--priority-seed",
+        type=int,
+        default=0,
+        help="seed of the persisted multi-scale sampling priorities "
+        "(default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        table = ingest_csv(
+            args.csv,
+            args.out,
+            name=args.name,
+            delimiter=args.delimiter,
+            chunk_rows=args.chunk_rows,
+            priority_seed=args.priority_seed,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"ingest failed: {error}") from None
+    print(
+        f"ingested {table.n_rows} rows x {table.n_columns} columns "
+        f"into {args.out} (table {table.name!r}, "
+        f"fingerprint {table.fingerprint()[:12]}…)"
+    )
 
 
 def serve_main(argv: list[str]) -> None:
@@ -321,6 +391,9 @@ def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "serve":
         serve_main(argv[1:])
+        return
+    if argv and argv[0] == "ingest":
+        ingest_main(argv[1:])
         return
     if argv and argv[0] == "bench":
         from repro.bench.runner import main as bench_main

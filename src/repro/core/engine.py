@@ -75,8 +75,18 @@ class Blaeu:
         """Load a CSV file into the catalog; returns the table."""
         return self._database.load_csv(path, name=name)
 
-    def register(self, table: Table) -> None:
-        """Register an in-memory table."""
+    def load_store(self, path: str | Path, name: str | None = None):
+        """Register a store directory (out-of-core table); returns it.
+
+        The rows stay on disk (:mod:`repro.store`); exploration samples
+        and scans them in chunks instead of materializing the table.
+        """
+        table = self._database.load_store(path, name=name)
+        self._theme_cache.pop(table.name, None)
+        return table
+
+    def register(self, table) -> None:
+        """Register an in-memory ``Table`` or a ``StoredTable``."""
         self._database.register(table)
         self._theme_cache.pop(table.name, None)
 

@@ -147,9 +147,17 @@ def build_map(
         )
 
     # Stage 0: sampling (multi-scale sampling handled by the caller's
-    # Database when available; plain uniform here).
+    # Database when available; plain uniform here).  Only the sampled
+    # slice is ever materialized: store-backed selections
+    # (:mod:`repro.store`) hand back a plain in-memory Table here, and
+    # the full selection is touched again only by the chunked routing
+    # scan at the end of stage 3.
     if selection.n_rows > config.map_sample_size:
         sample = selection.sample(config.map_sample_size, rng=rng)
+    elif getattr(selection, "iter_chunks", None) is not None:
+        # A store-backed selection small enough to skip sampling still
+        # needs one in-memory copy for the vectorized pipeline stages.
+        sample = selection.take(np.arange(selection.n_rows, dtype=np.intp))
     else:
         sample = selection
 
@@ -182,17 +190,17 @@ def build_map(
     )
     fidelity = tree.accuracy(sample, clustering.labels)
 
-    # Region hierarchy + exact counts over the full selection.
-    full_assignment = tree.predict(selection)
+    # Region hierarchy + exact counts over the full selection: every
+    # tuple is routed through the fitted tree (store-backed selections
+    # route in one chunked pass over just the split columns).
     leaf_silhouettes = _leaf_silhouettes(
         space.matrix, clustering, config, rng, shared_matrix
     )
     exemplars = _exemplars(sample, clustering, columns)
     root = _tree_to_regions(
         tree.root,
-        tree,
-        selection,
-        full_assignment,
+        selection.n_rows,
+        _left_router(tree, selection),
         leaf_silhouettes,
         exemplars,
     )
@@ -329,11 +337,40 @@ def _exemplars(
 # ----------------------------------------------------------------------
 
 
+def _left_router(tree: DecisionTree, selection: Table):
+    """A ``node -> goes-left mask`` function over the full selection.
+
+    In-memory selections evaluate lazily per node (the column arrays are
+    already resident).  Store-backed selections — anything exposing
+    ``iter_chunks`` — are routed in **one chunked pass** that reads only
+    the columns the tree actually splits on, so exact region counts over
+    millions of rows cost one bounded scan instead of per-node
+    full-column materializations.
+    """
+    iter_chunks = getattr(selection, "iter_chunks", None)
+    if iter_chunks is None:
+        return lambda node: _route_left(node, selection)
+
+    from repro.tree.cart import _left_mask
+
+    internal = [node for node in tree.root.walk() if not node.is_leaf]
+    masks = {
+        id(node): np.zeros(selection.n_rows, dtype=bool) for node in internal
+    }
+    if internal:
+        needed = tuple(sorted({node.column or "" for node in internal}))
+        for start, stop, chunk in iter_chunks(columns=needed):
+            local = np.arange(stop - start, dtype=np.intp)
+            for node in internal:
+                column = chunk.column(node.column or "")
+                masks[id(node)][start:stop] = _left_mask(node, column, local)
+    return lambda node: masks[id(node)]
+
+
 def _tree_to_regions(
     node: TreeNode,
-    tree: DecisionTree,
-    selection: Table,
-    full_assignment: np.ndarray,
+    n_rows: int,
+    route_left,
     leaf_silhouettes: dict[int, float],
     exemplars: dict[int, dict[str, object]],
     region_id: str = "r",
@@ -346,10 +383,11 @@ def _tree_to_regions(
     ``row_mask`` tracks which selection rows route into this node, so
     counts come from the actual tree routing (missing values follow the
     fitted majority branch) rather than from re-evaluating predicates,
-    which would disagree on missing cells.
+    which would disagree on missing cells.  ``route_left`` supplies the
+    per-node routing masks (see :func:`_left_router`).
     """
     if row_mask is None:
-        row_mask = np.ones(selection.n_rows, dtype=bool)
+        row_mask = np.ones(n_rows, dtype=bool)
     predicate: Predicate = And.of(*path) if path else Everything()
 
     if node.is_leaf:
@@ -368,7 +406,7 @@ def _tree_to_regions(
     assert node.left is not None and node.right is not None
     left_predicate, right_predicate = _split_predicates(node)
     left_label, right_label = _split_labels(node)
-    goes_left = _route_left(node, selection)
+    goes_left = route_left(node)
     left_mask = row_mask & goes_left
     right_mask = row_mask & ~goes_left
 
@@ -382,9 +420,8 @@ def _tree_to_regions(
     region.children = [
         _tree_to_regions(
             node.left,
-            tree,
-            selection,
-            full_assignment,
+            n_rows,
+            route_left,
             leaf_silhouettes,
             exemplars,
             region_id=region_id + "0",
@@ -394,9 +431,8 @@ def _tree_to_regions(
         ),
         _tree_to_regions(
             node.right,
-            tree,
-            selection,
-            full_assignment,
+            n_rows,
+            route_left,
             leaf_silhouettes,
             exemplars,
             region_id=region_id + "1",

@@ -1,0 +1,391 @@
+"""The on-disk layout of a column store: manifest + raw column files.
+
+A store is a directory::
+
+    <root>/
+      manifest.json            schema, row count, chunking, fingerprint
+      priority.bin             per-row sampling priority (int64 permutation)
+      columns/
+        c00000.values.bin      numeric column: float64 values (NaN at missing)
+        c00000.mask.bin        bool missing mask (authoritative, like Column)
+        c00001.codes.bin       categorical column: int32 codes (-1 = missing)
+        c00001.mask.bin        bool missing mask (== codes -1, precomputed)
+        c00001.categories.json category list, first-appearance order
+
+Column files are header-less little-endian binaries — one
+``np.memmap``/``np.fromfile`` call away from an array, with no parsing
+and no row-group framing.  The manifest carries everything else:
+
+``fingerprint``
+    The table's *content* hash, computed once at write time with exactly
+    the algorithm of :meth:`repro.table.table.Table.fingerprint` — so a
+    store-backed table and its in-memory twin share cache keys, and
+    reading the fingerprint back is O(1) instead of an O(data) re-hash.
+``chunk_rows``
+    The ingestion chunk size, reused as the default scan granularity.
+``priority_seed``
+    Seed of the persisted :class:`~repro.table.sampling.SampleCascade`
+    priorities, making nested zoom samples identical across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.csv_io import DEFAULT_CHUNK_ROWS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.table.table import Table
+
+__all__ = [
+    "CODES_DTYPE",
+    "DEFAULT_CHUNK_ROWS",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "MASK_DTYPE",
+    "PRIORITY_DTYPE",
+    "PRIORITY_FILE",
+    "VALUES_DTYPE",
+    "ColumnMeta",
+    "StoreManifest",
+    "StreamingFingerprint",
+    "iter_file_chunks",
+    "write_store",
+]
+
+FORMAT_NAME = "blaeu.store"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+PRIORITY_FILE = "priority.bin"
+
+VALUES_DTYPE = "<f8"
+CODES_DTYPE = "<i4"
+MASK_DTYPE = "|b1"
+PRIORITY_DTYPE = "<i8"
+
+KIND_NUMERIC = "numeric"
+KIND_CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class ColumnMeta:
+    """One column's entry in the manifest.
+
+    ``files`` maps roles to root-relative paths: ``values``/``mask`` for
+    numeric columns, ``codes``/``mask``/``categories`` for categorical.
+    """
+
+    name: str
+    kind: str
+    files: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_NUMERIC, KIND_CATEGORICAL):
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        roles = (
+            ("values", "mask")
+            if self.kind == KIND_NUMERIC
+            else ("codes", "mask", "categories")
+        )
+        missing = [role for role in roles if role not in self.files]
+        if missing:
+            raise ValueError(
+                f"column {self.name!r} manifest entry lacks files for {missing}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "files": dict(self.files)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ColumnMeta":
+        files = dict(payload["files"])  # type: ignore[arg-type]
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            files={str(k): str(v) for k, v in files.items()},
+        )
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """The store's schema + provenance document (``manifest.json``)."""
+
+    table: str
+    n_rows: int
+    chunk_rows: int
+    fingerprint: str
+    columns: tuple[ColumnMeta, ...]
+    priority_seed: int = 0
+    priority_file: str = PRIORITY_FILE
+    format_version: int = FORMAT_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise ValueError("store manifest needs a table name")
+        if self.n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        if not self.columns:
+            raise ValueError("a store must have at least one column")
+        names = [meta.name for meta in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in manifest: {names}")
+
+    def column(self, name: str) -> ColumnMeta:
+        """The metadata of the column called ``name``."""
+        for meta in self.columns:
+            if meta.name == name:
+                return meta
+        raise KeyError(
+            f"store for table {self.table!r} has no column {name!r}; "
+            f"available: {[m.name for m in self.columns]}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format": FORMAT_NAME,
+            "format_version": self.format_version,
+            "table": self.table,
+            "n_rows": self.n_rows,
+            "chunk_rows": self.chunk_rows,
+            "fingerprint": self.fingerprint,
+            "priority_seed": self.priority_seed,
+            "priority_file": self.priority_file,
+            "columns": [meta.to_dict() for meta in self.columns],
+        }
+
+    def save(self, root: str | Path) -> Path:
+        """Write ``manifest.json`` atomically (tmp file + rename)."""
+        root = Path(root)
+        path = root / MANIFEST_NAME
+        tmp = root / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, root: str | Path) -> "StoreManifest":
+        """Read and validate the manifest under ``root``."""
+        path = Path(root) / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"{path} does not exist; is {root!r} a blaeu store directory?"
+            ) from None
+        if payload.get("format") != FORMAT_NAME:
+            raise ValueError(
+                f"{path} is not a {FORMAT_NAME} manifest "
+                f"(format={payload.get('format')!r})"
+            )
+        version = int(payload.get("format_version", 0))
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported store format_version {version} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        return cls(
+            table=str(payload["table"]),
+            n_rows=int(payload["n_rows"]),
+            chunk_rows=int(payload["chunk_rows"]),
+            fingerprint=str(payload["fingerprint"]),
+            columns=tuple(
+                ColumnMeta.from_dict(entry) for entry in payload["columns"]
+            ),
+            priority_seed=int(payload.get("priority_seed", 0)),
+            priority_file=str(payload.get("priority_file", PRIORITY_FILE)),
+            format_version=version,
+        )
+
+
+def column_file_stem(position: int) -> str:
+    """Root-relative stem of the files backing column ``position``."""
+    return f"columns/c{position:05d}"
+
+
+def read_file_chunk(
+    path: str | Path, dtype: str, start: int, stop: int
+) -> np.ndarray:
+    """Rows ``[start, stop)`` of a raw column file as an in-memory array.
+
+    A buffered read (``np.fromfile`` with an offset), not mmap, so scans
+    built on it never grow the resident set beyond the requested chunk.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    return np.fromfile(
+        path, dtype=dtype, count=stop - start, offset=start * itemsize
+    )
+
+
+def iter_file_chunks(
+    path: str | Path, dtype: str, n_rows: int, chunk_rows: int
+) -> Iterator[np.ndarray]:
+    """Stream a raw column file as arrays of at most ``chunk_rows`` items."""
+    for start in range(0, n_rows, chunk_rows):
+        yield read_file_chunk(path, dtype, start, min(start + chunk_rows, n_rows))
+
+
+class StreamingFingerprint:
+    """Recompute :meth:`Table.fingerprint` from on-disk column files.
+
+    Byte-for-byte the same digest as the in-memory implementation, fed
+    chunk-wise — the ingester calls this once at finalize so opening the
+    store later never has to hash column data again.
+    """
+
+    def __init__(self, n_rows: int, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
+        self._n_rows = n_rows
+        self._chunk_rows = chunk_rows
+        self._digest = hashlib.sha256()
+        self._digest.update(f"blaeu.table/1:{n_rows}".encode())
+
+    def _preamble(self, name: str, kind: str) -> None:
+        self._digest.update(b"\x00col\x00")
+        self._digest.update(name.encode("utf-8"))
+        self._digest.update(b"\x00")
+        self._digest.update(kind.encode("ascii"))
+        self._digest.update(b"\x00")
+
+    def add_numeric(self, name: str, values_path: Path, mask_path: Path) -> None:
+        """Hash one numeric column from its values + mask files."""
+        self._preamble(name, KIND_NUMERIC)
+        masks = iter_file_chunks(
+            mask_path, MASK_DTYPE, self._n_rows, self._chunk_rows
+        )
+        for values, mask in zip(
+            iter_file_chunks(
+                values_path, VALUES_DTYPE, self._n_rows, self._chunk_rows
+            ),
+            masks,
+        ):
+            self._digest.update(np.where(mask, 0.0, values).tobytes())
+        self._hash_mask(mask_path)
+
+    def add_categorical(
+        self,
+        name: str,
+        codes_path: Path,
+        mask_path: Path,
+        categories: tuple[str, ...],
+    ) -> None:
+        """Hash one categorical column from its codes file + category list."""
+        self._preamble(name, KIND_CATEGORICAL)
+        for codes in iter_file_chunks(
+            codes_path, CODES_DTYPE, self._n_rows, self._chunk_rows
+        ):
+            self._digest.update(codes.tobytes())
+        self._digest.update(len(categories).to_bytes(4, "big"))
+        for category in categories:
+            encoded = category.encode("utf-8")
+            self._digest.update(len(encoded).to_bytes(4, "big"))
+            self._digest.update(encoded)
+        self._hash_mask(mask_path)
+
+    def _hash_mask(self, mask_path: Path) -> None:
+        for mask in iter_file_chunks(
+            mask_path, MASK_DTYPE, self._n_rows, self._chunk_rows
+        ):
+            self._digest.update(mask.tobytes())
+
+    def hexdigest(self) -> str:
+        """The finished digest."""
+        return self._digest.hexdigest()
+
+
+def write_priorities(
+    root: Path, n_rows: int, priority_seed: int
+) -> None:
+    """Materialize the persisted sampling-priority column."""
+    rng = np.random.default_rng(priority_seed)
+    priorities = rng.permutation(n_rows).astype(PRIORITY_DTYPE)
+    priorities.tofile(root / PRIORITY_FILE)
+
+
+def write_store(
+    table: "Table",
+    root: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    priority_seed: int = 0,
+) -> StoreManifest:
+    """Materialize an in-memory :class:`Table` as a store directory.
+
+    The complement of ``blaeu ingest`` for data that already lives in
+    memory (tests, benchmarks, migrating a registered table out of RAM).
+    The manifest fingerprint is the table's own
+    :meth:`~repro.table.table.Table.fingerprint`, so the store-backed
+    twin shares cache identity with its source.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    root = Path(root)
+    (root / "columns").mkdir(parents=True, exist_ok=True)
+
+    metas: list[ColumnMeta] = []
+    for position, column in enumerate(table.columns):
+        stem = column_file_stem(position)
+        if isinstance(column, NumericColumn):
+            np.ascontiguousarray(column.values, dtype=VALUES_DTYPE).tofile(
+                root / f"{stem}.values.bin"
+            )
+            np.ascontiguousarray(column.missing_mask, dtype=MASK_DTYPE).tofile(
+                root / f"{stem}.mask.bin"
+            )
+            metas.append(
+                ColumnMeta(
+                    name=column.name,
+                    kind=KIND_NUMERIC,
+                    files={
+                        "values": f"{stem}.values.bin",
+                        "mask": f"{stem}.mask.bin",
+                    },
+                )
+            )
+        elif isinstance(column, CategoricalColumn):
+            np.ascontiguousarray(column.codes, dtype=CODES_DTYPE).tofile(
+                root / f"{stem}.codes.bin"
+            )
+            np.ascontiguousarray(column.missing_mask, dtype=MASK_DTYPE).tofile(
+                root / f"{stem}.mask.bin"
+            )
+            categories_file = f"{stem}.categories.json"
+            (root / categories_file).write_text(
+                json.dumps(list(column.categories)), encoding="utf-8"
+            )
+            metas.append(
+                ColumnMeta(
+                    name=column.name,
+                    kind=KIND_CATEGORICAL,
+                    files={
+                        "codes": f"{stem}.codes.bin",
+                        "mask": f"{stem}.mask.bin",
+                        "categories": categories_file,
+                    },
+                )
+            )
+        else:  # pragma: no cover - Column has exactly two concrete kinds
+            raise TypeError(f"unsupported column type {type(column).__name__}")
+
+    write_priorities(root, table.n_rows, priority_seed)
+    manifest = StoreManifest(
+        table=table.name,
+        n_rows=table.n_rows,
+        chunk_rows=chunk_rows,
+        fingerprint=table.fingerprint(),
+        columns=tuple(metas),
+        priority_seed=priority_seed,
+    )
+    manifest.save(root)
+    return manifest

@@ -1,0 +1,508 @@
+"""Store-backed tables: the ``Table`` surface over memory-mapped columns.
+
+A :class:`StoredTable` opens a store directory and exposes the same
+relational operations as :class:`~repro.table.table.Table` —
+``select`` / ``project`` / ``sample`` / ``take`` — but executes them
+against the on-disk column files:
+
+* **predicate pushdown** — ``select`` evaluates its predicate in a
+  chunked scan that reads *only the columns the predicate references*,
+  then gathers just the matching rows;
+* **projection pushdown** — ``project`` returns another store-backed
+  view over the restricted column set, copying nothing;
+* **sample pushdown** — ``sample`` computes the row indices first and
+  gathers only those rows (a few thousand page touches, not a table
+  scan), and :meth:`top_k_sample` turns the *persisted* priority column
+  into a bounded-memory top-k scan — the multi-scale
+  :class:`~repro.table.sampling.SampleCascade` sample without ever
+  materializing or redrawing priorities.
+
+Materializing operations (``take``, ``select``, ``sample``, ``head``)
+return plain in-memory ``Table`` objects sized by their result; scans
+(:meth:`iter_chunks`, :meth:`scan_mask`) use buffered reads and stay
+within one chunk of memory.  Full-column access (:meth:`column`) hands
+out read-only memory maps wrapped in the regular column classes, so
+every consumer of ``Column`` — predicates, CART routing, statistics —
+works unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.store.format import (
+    CODES_DTYPE,
+    KIND_CATEGORICAL,
+    KIND_NUMERIC,
+    MASK_DTYPE,
+    PRIORITY_DTYPE,
+    VALUES_DTYPE,
+    ColumnMeta,
+    StoreManifest,
+    read_file_chunk,
+)
+from repro.table.column import (
+    CategoricalColumn,
+    Column,
+    ColumnKind,
+    NumericColumn,
+)
+from repro.table.predicates import Predicate
+from repro.table.sampling import SampleCascade, uniform_sample
+from repro.table.table import Table
+
+__all__ = ["StoredTable"]
+
+
+class _MappedNumericColumn(NumericColumn):
+    """A ``NumericColumn`` over read-only memory maps (no copies)."""
+
+    def __init__(self, name: str, values: np.ndarray, missing: np.ndarray) -> None:
+        # Bypasses NumericColumn.__init__: it would copy the backing
+        # arrays, defeating out-of-core access.  The maps are opened
+        # read-only, preserving the immutability contract.
+        self._name = name
+        self._missing = missing
+        self._values = values
+
+
+class _MappedCategoricalColumn(CategoricalColumn):
+    """A ``CategoricalColumn`` over read-only memory maps (no copies)."""
+
+    def __init__(
+        self,
+        name: str,
+        codes: np.ndarray,
+        missing: np.ndarray,
+        categories: tuple[str, ...],
+    ) -> None:
+        self._name = name
+        self._missing = missing
+        self._codes = codes
+        self._categories = categories
+        self._index = {c: i for i, c in enumerate(categories)}
+
+
+class StoredTable:
+    """A read-only table backed by a store directory.
+
+    Parameters
+    ----------
+    root:
+        The store directory (holding ``manifest.json``).
+    manifest:
+        Pre-loaded manifest (views share their parent's).
+    columns:
+        Restrict to these columns, in order (projection view).
+    name:
+        Override the manifest's table name (like ``Table.rename``).
+    """
+
+    #: Catalog residency marker (in-memory tables report ``"memory"``).
+    residency = "store"
+
+    def __init__(
+        self,
+        root: str | Path,
+        manifest: StoreManifest | None = None,
+        columns: Sequence[str] | None = None,
+        name: str | None = None,
+    ) -> None:
+        self._root = Path(root)
+        self._manifest = (
+            manifest if manifest is not None else StoreManifest.load(self._root)
+        )
+        self._meta = {meta.name: meta for meta in self._manifest.columns}
+        full_order = tuple(meta.name for meta in self._manifest.columns)
+        if columns is None:
+            self._order = full_order
+        else:
+            missing = [c for c in columns if c not in self._meta]
+            if missing:
+                raise KeyError(f"unknown columns in projection: {missing}")
+            if not columns:
+                raise ValueError("projection must keep at least one column")
+            self._order = tuple(columns)
+        self._name = name or self._manifest.table
+        self._mapped: dict[str, Column] = {}
+        self._categories: dict[str, tuple[str, ...]] = {}
+        self._priorities: np.ndarray | None = None
+        self._data_reads = 0
+        self._validate_files()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The table's name."""
+        return self._name
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    @property
+    def manifest(self) -> StoreManifest:
+        """The parsed manifest."""
+        return self._manifest
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows (from the manifest, no scan)."""
+        return self._manifest.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of (visible) columns."""
+        return len(self._order)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Visible column names, in order."""
+        return self._order
+
+    @property
+    def chunk_rows(self) -> int:
+        """Default scan granularity (the ingestion chunk size)."""
+        return self._manifest.chunk_rows
+
+    @property
+    def data_reads(self) -> int:
+        """Count of column-data IO events (map opens + chunk reads).
+
+        Diagnostic: lets tests assert that metadata paths — above all
+        :meth:`fingerprint` on the service's cache hot path — perform
+        zero data IO.
+        """
+        return self._data_reads
+
+    def is_projection(self) -> bool:
+        """Whether this view hides columns of the underlying store."""
+        return self._order != tuple(m.name for m in self._manifest.columns)
+
+    def fingerprint(self) -> str:
+        """The table's content hash, in O(1) from the manifest.
+
+        Equal to the :meth:`Table.fingerprint` of the same data (the
+        ingester computes it with the identical algorithm), so cache
+        entries are shared between a store-backed table and an in-memory
+        twin.  Projection views derive a distinct digest from the
+        manifest fingerprint plus the kept columns — still without
+        touching column data.
+        """
+        if not self.is_projection():
+            return self._manifest.fingerprint
+        payload = self._manifest.fingerprint + "\x00" + "\x00".join(self._order)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def column(self, name: str) -> Column:
+        """The column called ``name`` as a memory-mapped ``Column``."""
+        if name not in self._order:
+            raise KeyError(
+                f"table {self._name!r} has no column {name!r}; "
+                f"available: {list(self._order)}"
+            )
+        if name not in self._mapped:
+            self._mapped[name] = self._map_column(self._meta[name])
+        return self._mapped[name]
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """Visible columns, memory-mapped, in order."""
+        return tuple(self.column(n) for n in self._order)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a (visible) column called ``name`` exists."""
+        return name in self._order
+
+    def kind(self, name: str) -> ColumnKind:
+        """The kind of column ``name`` (manifest only, no IO)."""
+        if name not in self._order:
+            raise KeyError(f"table {self._name!r} has no column {name!r}")
+        meta = self._meta[name]
+        return (
+            ColumnKind.NUMERIC
+            if meta.kind == KIND_NUMERIC
+            else ColumnKind.CATEGORICAL
+        )
+
+    def categories(self, name: str) -> tuple[str, ...]:
+        """The category list of a categorical column."""
+        meta = self._meta[name]
+        if meta.kind != KIND_CATEGORICAL:
+            raise TypeError(f"column {name!r} is numeric; it has no categories")
+        if name not in self._categories:
+            path = self._root / meta.files["categories"]
+            self._categories[name] = tuple(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        return self._categories[name]
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StoredTable {self._name!r} rows={self.n_rows} "
+            f"columns={self.n_columns} root={str(self._root)!r}>"
+        )
+
+    def describe(self) -> list[dict[str, object]]:
+        """Per-column summaries (full scan via the memory maps)."""
+        return Table.describe(self)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Relational operations (chunked scans + gathers)
+    # ------------------------------------------------------------------
+
+    def rename(self, name: str) -> "StoredTable":
+        """The same store-backed view under a different name."""
+        return StoredTable(
+            self._root,
+            manifest=self._manifest,
+            columns=self._order if self.is_projection() else None,
+            name=name,
+        )
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "StoredTable":
+        """A store-backed view of the columns called ``names`` (no copy)."""
+        return StoredTable(
+            self._root,
+            manifest=self._manifest,
+            columns=tuple(names),
+            name=name or self._name,
+        )
+
+    def drop(self, names: Sequence[str], name: str | None = None) -> "StoredTable":
+        """A view of all columns except ``names``."""
+        dropped = set(names)
+        kept = [n for n in self._order if n not in dropped]
+        return self.project(kept, name=name)
+
+    def iter_chunks(
+        self,
+        columns: Sequence[str] | None = None,
+        chunk_rows: int | None = None,
+    ) -> Iterator[tuple[int, int, Table]]:
+        """Yield ``(start, stop, chunk)`` plain in-memory tables.
+
+        Chunks are built with buffered reads (never mmap), so a full
+        scan's resident memory is bounded by one chunk of the requested
+        ``columns`` — the scan primitive every pushdown is built on.
+        """
+        names = tuple(columns) if columns is not None else self._order
+        for column_name in names:
+            if column_name not in self._order:
+                raise KeyError(
+                    f"table {self._name!r} has no column {column_name!r}"
+                )
+        step = chunk_rows or self._manifest.chunk_rows
+        if step < 1:
+            raise ValueError(f"chunk_rows must be positive, got {step}")
+        for start in range(0, self.n_rows, step):
+            stop = min(start + step, self.n_rows)
+            chunk_columns = [
+                self._read_column_chunk(name, start, stop) for name in names
+            ]
+            yield start, stop, Table(self._name, chunk_columns)
+
+    def scan_mask(
+        self, predicate: Predicate, chunk_rows: int | None = None
+    ) -> np.ndarray:
+        """Evaluate ``predicate`` over all rows as a chunked scan.
+
+        Predicate pushdown: only the columns the predicate references
+        are read.  Returns a boolean mask of length ``n_rows``.
+        """
+        needed = tuple(sorted(predicate.columns()))
+        if not needed:  # Everything (no predicate references any column)
+            return predicate.mask(self)  # type: ignore[arg-type]
+        out = np.empty(self.n_rows, dtype=bool)
+        for start, stop, chunk in self.iter_chunks(
+            columns=needed, chunk_rows=chunk_rows
+        ):
+            out[start:stop] = predicate.mask(chunk)
+        return out
+
+    def select(self, predicate: Predicate, name: str | None = None) -> Table:
+        """Rows matching ``predicate``, materialized (order preserved)."""
+        return self.take(np.flatnonzero(self.scan_mask(predicate)), name=name)
+
+    def filter(self, mask: np.ndarray, name: str | None = None) -> Table:
+        """Rows where the boolean ``mask`` is ``True``, materialized."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.n_rows:
+            raise ValueError(
+                f"mask length {mask.shape[0]} != table rows {self.n_rows}"
+            )
+        return self.take(np.flatnonzero(mask), name=name)
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> Table:
+        """Rows at ``indices``, gathered into a plain in-memory table.
+
+        Memory is bounded by the result: each column is fancy-indexed
+        through its memory map, touching only the pages the indices hit.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (
+            indices.min(initial=0) < 0 or indices.max(initial=0) >= self.n_rows
+        ):
+            raise IndexError(
+                f"row indices out of range for table with {self.n_rows} rows"
+            )
+        columns = [self.column(n).take(indices) for n in self._order]
+        return Table(name or self._name, columns)
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> Table:
+        """A uniform sample of ``min(n, n_rows)`` distinct rows.
+
+        Index-identical to :meth:`Table.sample` at the same ``rng``
+        state — the bit-identity guarantee between store-backed and
+        in-memory map builds rests on this.
+        """
+        rng = rng or np.random.default_rng()
+        indices = uniform_sample(self.n_rows, n, rng)
+        return self.take(indices)
+
+    def head(self, n: int = 10) -> Table:
+        """The first ``n`` rows, materialized."""
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    def row(self, index: int) -> dict[str, object]:
+        """Row ``index`` as a column-name → value mapping."""
+        if not 0 <= index < self.n_rows:
+            raise IndexError(f"row {index} out of range [0, {self.n_rows})")
+        return {n: self.column(n).value_at(index) for n in self._order}
+
+    # ------------------------------------------------------------------
+    # Persisted multi-scale sampling
+    # ------------------------------------------------------------------
+
+    @property
+    def priorities(self) -> np.ndarray:
+        """The persisted per-row sampling priorities (read-only map)."""
+        if self._priorities is None:
+            self._priorities = self._mmap(
+                self._manifest.priority_file, PRIORITY_DTYPE
+            )
+        return self._priorities
+
+    def cascade(self) -> SampleCascade:
+        """The table's :class:`SampleCascade` over the persisted priorities.
+
+        Identical in every process that opens the store — zoom samples
+        are stable across restarts and across the service's workers.
+        """
+        return SampleCascade.from_priorities(self.priorities)
+
+    def top_k_sample(
+        self, k: int, chunk_rows: int | None = None
+    ) -> np.ndarray:
+        """Indices of the ``k`` lowest-priority rows, by bounded top-k scan.
+
+        Equals ``cascade().sample(k)`` but streams the priority column
+        (memory O(chunk + k)) instead of holding it whole — the
+        pushed-down form of the multi-scale sample of the full table.
+        """
+        if k < 0:
+            raise ValueError(f"sample size must be non-negative, got {k}")
+        if k == 0:
+            return np.empty(0, dtype=np.intp)
+        if k >= self.n_rows:
+            return np.arange(self.n_rows, dtype=np.intp)
+        step = chunk_rows or self._manifest.chunk_rows
+        path = self._root / self._manifest.priority_file
+        best_priority = np.empty(0, dtype=np.int64)
+        best_index = np.empty(0, dtype=np.intp)
+        for start in range(0, self.n_rows, step):
+            stop = min(start + step, self.n_rows)
+            self._data_reads += 1
+            chunk = read_file_chunk(path, PRIORITY_DTYPE, start, stop).astype(
+                np.int64, copy=False
+            )
+            priority = np.concatenate([best_priority, chunk])
+            index = np.concatenate(
+                [best_index, np.arange(start, stop, dtype=np.intp)]
+            )
+            if priority.size > k:
+                keep = np.argpartition(priority, k - 1)[:k]
+                priority = priority[keep]
+                index = index[keep]
+            best_priority, best_index = priority, index
+        return np.sort(best_index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validate_files(self) -> None:
+        """Cheap corruption guard: every data file must match ``n_rows``."""
+        expectations: list[tuple[str, str]] = [
+            (self._manifest.priority_file, PRIORITY_DTYPE)
+        ]
+        for name in self._order:
+            meta = self._meta[name]
+            if meta.kind == KIND_NUMERIC:
+                expectations.append((meta.files["values"], VALUES_DTYPE))
+            else:
+                expectations.append((meta.files["codes"], CODES_DTYPE))
+            expectations.append((meta.files["mask"], MASK_DTYPE))
+        for relative, dtype in expectations:
+            path = self._root / relative
+            expected = self.n_rows * np.dtype(dtype).itemsize
+            try:
+                actual = path.stat().st_size
+            except FileNotFoundError:
+                raise FileNotFoundError(
+                    f"store {str(self._root)!r} is missing {relative!r}"
+                ) from None
+            if actual != expected:
+                raise ValueError(
+                    f"store file {relative!r} holds {actual} bytes; "
+                    f"expected {expected} for {self.n_rows} rows"
+                )
+
+    def _mmap(self, relative: str, dtype: str) -> np.ndarray:
+        self._data_reads += 1
+        if self.n_rows == 0:
+            return np.empty(0, dtype=dtype)
+        return np.memmap(self._root / relative, dtype=dtype, mode="r")
+
+    def _map_column(self, meta: ColumnMeta) -> Column:
+        mask = self._mmap(meta.files["mask"], MASK_DTYPE)
+        if meta.kind == KIND_NUMERIC:
+            values = self._mmap(meta.files["values"], VALUES_DTYPE)
+            return _MappedNumericColumn(meta.name, values, mask)
+        codes = self._mmap(meta.files["codes"], CODES_DTYPE)
+        return _MappedCategoricalColumn(
+            meta.name, codes, mask, self.categories(meta.name)
+        )
+
+    def _read_column_chunk(self, name: str, start: int, stop: int) -> Column:
+        meta = self._meta[name]
+        self._data_reads += 1
+        if meta.kind == KIND_NUMERIC:
+            values = read_file_chunk(
+                self._root / meta.files["values"], VALUES_DTYPE, start, stop
+            )
+            mask = read_file_chunk(
+                self._root / meta.files["mask"], MASK_DTYPE, start, stop
+            )
+            return NumericColumn(meta.name, values, mask)
+        # The mask file is skipped here: CategoricalColumn rederives
+        # missingness from the -1 codes, so reading it would be waste.
+        codes = read_file_chunk(
+            self._root / meta.files["codes"], CODES_DTYPE, start, stop
+        )
+        return CategoricalColumn(meta.name, codes, self.categories(name))

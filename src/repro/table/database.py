@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -17,6 +18,9 @@ from repro.table.csv_io import read_csv
 from repro.table.predicates import Everything, Predicate
 from repro.table.sampling import SampleCascade
 from repro.table.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (store sits above)
+    from repro.store.stored import StoredTable
 
 __all__ = ["Database", "SelectProject"]
 
@@ -66,15 +70,39 @@ class Database:
     # Catalog management
     # ------------------------------------------------------------------
 
-    def register(self, table: Table) -> None:
-        """Add (or replace) a table in the catalog."""
-        self._tables[table.name] = table
-        rng = np.random.default_rng((self._seed, hash(table.name) & 0xFFFF))
-        self._cascades[table.name] = SampleCascade(table.n_rows, rng)
+    def register(self, table: "Table | StoredTable") -> None:
+        """Add (or replace) a table in the catalog.
+
+        Store-backed tables (anything exposing a ``cascade()`` factory)
+        reuse their *persisted* sampling priorities, so their nested
+        samples are identical in every process that opens the store;
+        in-memory tables draw a fresh priority permutation here.
+        """
+        self._tables[table.name] = table  # type: ignore[assignment]
+        cascade_factory = getattr(table, "cascade", None)
+        if callable(cascade_factory):
+            self._cascades[table.name] = cascade_factory()
+        else:
+            rng = np.random.default_rng((self._seed, hash(table.name) & 0xFFFF))
+            self._cascades[table.name] = SampleCascade(table.n_rows, rng)
 
     def load_csv(self, path: str | Path, name: str | None = None) -> Table:
         """Read a CSV file and register it; returns the loaded table."""
         table = read_csv(path, name=name)
+        self.register(table)
+        return table
+
+    def load_store(
+        self, path: str | Path, name: str | None = None
+    ) -> "StoredTable":
+        """Open a store directory and register it; returns the table.
+
+        The table's rows stay on disk: queries against it run as chunked
+        scans and gathers (see :mod:`repro.store`).
+        """
+        from repro.store.stored import StoredTable
+
+        table = StoredTable(path, name=name)
         self.register(table)
         return table
 
@@ -97,7 +125,10 @@ class Database:
 
         The fingerprint identifies the table *content* (schema + column
         bytes), so clients — and the service's shared map cache — can
-        tell whether two names refer to the same data.
+        tell whether two names refer to the same data.  ``residency``
+        says where the rows live: ``"memory"`` for plain tables,
+        ``"store"`` for disk-backed ones (whose fingerprint comes from
+        the store manifest in O(1), never from a data re-hash).
         """
         return [
             {
@@ -105,6 +136,7 @@ class Database:
                 "n_rows": table.n_rows,
                 "n_columns": table.n_columns,
                 "fingerprint": table.fingerprint(),
+                "residency": getattr(table, "residency", "memory"),
             }
             for table in self._tables.values()
         ]

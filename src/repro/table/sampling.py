@@ -123,6 +123,26 @@ class SampleCascade:
         self._n_rows = n_rows
         self._priority = rng.permutation(n_rows).astype(np.int64)
 
+    @classmethod
+    def from_priorities(cls, priorities: np.ndarray) -> "SampleCascade":
+        """A cascade over pre-assigned per-row priorities.
+
+        This is how *persisted* multi-scale sampling works: a store-backed
+        table (:mod:`repro.store`) carries its priority column on disk, so
+        the cascade — and therefore every nested sample — is identical in
+        every process that opens the store, with no O(n) permutation draw
+        at registration time.  ``priorities`` may be any integer array
+        (including a read-only memory map); values must be distinct, or
+        ties can inflate a sample past ``k``.
+        """
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if priorities.ndim != 1:
+            raise ValueError("priorities must be one-dimensional")
+        cascade = cls.__new__(cls)
+        cascade._n_rows = int(priorities.shape[0])
+        cascade._priority = priorities
+        return cascade
+
     @property
     def n_rows(self) -> int:
         """Size of the base population."""

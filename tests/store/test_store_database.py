@@ -1,0 +1,135 @@
+"""Database integration: registration, catalog residency, and the
+multi-scale sampling nesting invariants on both residencies."""
+
+import numpy as np
+import pytest
+
+from repro.store import write_store
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.database import Database, SelectProject
+from repro.table.predicates import Comparison
+from repro.table.sampling import SampleCascade
+from repro.table.table import Table
+
+
+@pytest.fixture
+def table(rng) -> Table:
+    n = 400
+    return Table(
+        "pop",
+        [
+            NumericColumn("v", rng.normal(0.0, 1.0, n)),
+            CategoricalColumn.from_labels(
+                "g", [["a", "b"][i % 2] for i in range(n)]
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def db(table, tmp_path) -> Database:
+    database = Database(seed=3)
+    database.register(table)
+    write_store(table.rename("pop_store"), tmp_path / "s", chunk_rows=64)
+    database.load_store(tmp_path / "s")
+    return database
+
+
+class TestRegistration:
+    def test_both_residencies_registered(self, db):
+        assert set(db.table_names()) == {"pop", "pop_store"}
+
+    def test_catalog_reports_residency_and_shared_fingerprint(self, db):
+        records = {r["name"]: r for r in db.catalog()}
+        assert records["pop"]["residency"] == "memory"
+        assert records["pop_store"]["residency"] == "store"
+        assert records["pop"]["n_rows"] == records["pop_store"]["n_rows"] == 400
+        # Same content — identical fingerprint despite different names
+        # and residencies (what makes the map cache shareable).
+        assert records["pop"]["fingerprint"] == records["pop_store"]["fingerprint"]
+
+    def test_load_store_with_name_override(self, table, tmp_path):
+        database = Database()
+        write_store(table, tmp_path / "s")
+        stored = database.load_store(tmp_path / "s", name="renamed")
+        assert stored.name == "renamed"
+        assert "renamed" in database
+
+    def test_drop_store_backed(self, db):
+        db.drop("pop_store")
+        assert "pop_store" not in db
+
+
+class TestQueries:
+    def test_execute_select_project_sample(self, db, table):
+        query = SelectProject(
+            table="pop_store",
+            columns=("v",),
+            predicate=Comparison("g", "==", "a"),
+            sample=25,
+        )
+        result = db.execute(query)
+        assert result.n_rows == 25
+        assert result.column_names == ("v",)
+        assert "SAMPLE 25" in db.query_log[-1]
+
+    def test_store_samples_are_process_independent(self, db, tmp_path):
+        # The store-backed cascade comes from priority.bin, so a second
+        # Database (different seed!) produces the same sample.
+        other = Database(seed=999)
+        other.load_store(tmp_path / "s")
+        np.testing.assert_array_equal(
+            db.sample_indices("pop_store", 31),
+            other.sample_indices("pop_store", 31),
+        )
+
+
+class TestNestingInvariants:
+    """Zoom sample ⊆ parent sample at equal priorities (paper §3)."""
+
+    @pytest.mark.parametrize("name", ["pop", "pop_store"])
+    def test_growing_k_is_nested(self, db, name):
+        for k_small, k_large in ((5, 20), (20, 100), (1, 400)):
+            small = set(db.sample_indices(name, k_small).tolist())
+            large = set(db.sample_indices(name, k_large).tolist())
+            assert small <= large
+
+    @pytest.mark.parametrize("name", ["pop", "pop_store"])
+    def test_zoom_refines_parent_sample(self, db, table, name):
+        """The zoom sample keeps every parent-sample row that survives
+        the zoom predicate — maps stay visually stable across zooms."""
+        parent_pred = Comparison("v", ">", -0.5)
+        zoom_pred = Comparison("v", ">", 0.5)  # strictly narrower
+        k = 40
+        parent = db.sample_indices(name, k, parent_pred)
+        zoomed = db.sample_indices(name, k, zoom_pred)
+        zoom_mask = zoom_pred.mask(table)
+        survivors = {i for i in parent.tolist() if zoom_mask[i]}
+        assert survivors <= set(zoomed.tolist())
+        # And the zoom tops the sample back up to k where possible.
+        assert zoomed.size == min(k, int(zoom_mask.sum()))
+
+    @pytest.mark.parametrize("name", ["pop", "pop_store"])
+    def test_selection_sample_subset_of_selection(self, db, table, name):
+        predicate = Comparison("g", "==", "b")
+        chosen = db.sample_indices(name, 30, predicate)
+        mask = predicate.mask(table)
+        assert mask[chosen].all()
+
+
+class TestFromPriorities:
+    def test_matches_fresh_cascade_with_same_priorities(self, rng):
+        base = SampleCascade(200, rng)
+        clone = SampleCascade.from_priorities(base._priority)
+        for k in (0, 7, 200):
+            np.testing.assert_array_equal(base.sample(k), clone.sample(k))
+        assert clone.n_rows == 200
+
+    def test_rejects_matrix_priorities(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SampleCascade.from_priorities(np.zeros((2, 2), dtype=np.int64))
+
+    def test_is_nested_over_loaded_priorities(self):
+        priorities = np.random.default_rng(0).permutation(50)
+        cascade = SampleCascade.from_priorities(priorities)
+        assert cascade.is_nested(5, 25)
