@@ -1,6 +1,6 @@
 """The benchmark suites behind ``python -m repro.bench``.
 
-Three suites cover the layers the ROADMAP cares about:
+Four suites cover the layers the ROADMAP cares about:
 
 * ``clustering`` — the map-building kernels: parallel CLARA vs the
   serial reference (same seed, bit-identical required), shared-distance
@@ -11,6 +11,10 @@ Three suites cover the layers the ROADMAP cares about:
 * ``store`` — the out-of-core layer (:mod:`repro.store`): chunked CSV
   ingest throughput, cold/warm pushdown scans, and the persisted
   top-k cascade sample vs a full priority redraw.
+* ``graph`` — the dependency-graph engine: the batched fused-code NMI
+  kernel vs the pre-PR scalar pair loop on a wide OECD-shaped table,
+  warm-vs-cold navigation rebuilds through the code/result caches, and
+  the store-backed build vs its in-memory twin (bit-identity asserted).
 
 Every workload is seeded, so reports differ across runs only by wall
 time.  The headline ``clara_map_build`` workload stays at the acceptance
@@ -39,7 +43,13 @@ from repro.cluster.distance import (
 from repro.cluster.pam import pam
 from repro.cluster.silhouette import SharedSilhouette, monte_carlo_silhouette
 
-__all__ = ["SUITES", "run_clustering", "run_service", "run_store"]
+__all__ = [
+    "SUITES",
+    "run_clustering",
+    "run_graph",
+    "run_service",
+    "run_store",
+]
 
 
 def _blobs(n: int, d: int, k: int, seed: int) -> np.ndarray:
@@ -445,9 +455,191 @@ def run_store(smoke: bool) -> list[BenchResult]:
     ]
 
 
+# ----------------------------------------------------------------------
+# graph suite
+# ----------------------------------------------------------------------
+
+
+def _wide_mixed_table(n_rows: int, n_columns: int, seed: int):
+    """An OECD-shaped workload: wide, correlated groups, missing cells.
+
+    Every third column carries ~10% missing values and every twelfth is
+    categorical, so the kernel's missing-aware and mixed-type paths are
+    both on the clock.
+    """
+    from repro.table.column import CategoricalColumn, NumericColumn
+    from repro.table.table import Table
+
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0.0, 1.0, (n_rows, 8))
+    columns = []
+    for i in range(n_columns):
+        if i % 12 == 11:
+            labels = rng.choice(["low", "mid", "high", "top"], n_rows)
+            columns.append(
+                CategoricalColumn.from_labels(f"c{i}", list(labels))
+            )
+            continue
+        values = base[:, i % 8] * rng.uniform(-2.0, 2.0) + rng.normal(
+            0.0, 1.0, n_rows
+        )
+        if i % 3 == 0:
+            values[rng.random(n_rows) < 0.1] = np.nan
+        columns.append(NumericColumn(f"c{i}", values))
+    return Table("wide", columns)
+
+
+def _bench_graph_pairwise(smoke: bool) -> BenchResult:
+    """Batched fused-code kernel vs the pre-PR scalar pair loop.
+
+    The acceptance shape (300 columns × 10k rows, 1000-row dependency
+    sample) is kept even in smoke mode — the batched build is
+    sub-second; smoke only trims the scalar-loop reference's repetition.
+    """
+    from repro.graph.dependency import build_dependency_graph
+    from repro.stats.mutual_info import pairwise_dependencies
+
+    n_rows, n_columns, sample = 10_000, 300, 1_000
+    rounds = 1 if smoke else 2
+    table = _wide_mixed_table(n_rows, n_columns, seed=41)
+
+    def legacy():
+        # The pre-PR path: sample, then the O(m²) scalar pair loop.
+        sampled = table.sample(sample, rng=np.random.default_rng(7))
+        return pairwise_dependencies(sampled)
+
+    def batched():
+        return build_dependency_graph(table, sample=sample, seed=7)
+
+    legacy_seconds, _ = _best_of(legacy, rounds)
+    batched_seconds, graph = _best_of(batched, rounds)
+    if graph is None or graph.n_columns != n_columns:
+        raise AssertionError("batched graph build returned the wrong shape")
+    return BenchResult(
+        name="graph_pairwise_build",
+        params={
+            "n_rows": n_rows,
+            "n_columns": n_columns,
+            "sample": sample,
+            "rounds": rounds,
+        },
+        metrics={
+            "scalar_seconds": legacy_seconds,
+            "batched_seconds": batched_seconds,
+            "batched_speedup": legacy_seconds / batched_seconds,
+            "n_pairs": n_columns * (n_columns - 1) / 2,
+        },
+        gated=("batched_seconds",),
+    )
+
+
+def _bench_graph_navigation(smoke: bool) -> BenchResult:
+    """Warm navigation rebuilds vs a cold engine.
+
+    Cold: empty caches — discretize everything, run the kernel.
+    Recode: a different selection of the same table — codes come from
+    the cache, only the kernel runs.  Warm: the same action path again —
+    the graph memo answers without touching the kernel at all.
+    """
+    from repro.graph.codes import CodeCache
+    from repro.graph.dependency import GraphBuilder
+    from repro.service.cache import LRUCache
+
+    n_rows, n_columns = (6_000, 120) if smoke else (10_000, 200)
+    table = _wide_mixed_table(n_rows, n_columns, seed=43)
+    rng = np.random.default_rng(11)
+    zoom_a = np.sort(rng.choice(n_rows, n_rows // 3, replace=False))
+    zoom_b = np.sort(rng.choice(n_rows, n_rows // 3, replace=False))
+
+    started = time.perf_counter()
+    builder = GraphBuilder(
+        result_cache=LRUCache(max_size=64), code_cache=CodeCache()
+    )
+    cold = builder.build(table, row_indices=zoom_a, sample=1_000)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    builder.build(table, row_indices=zoom_b, sample=1_000)
+    recode_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = builder.build(table, row_indices=zoom_a, sample=1_000)
+    warm_seconds = time.perf_counter() - started
+    if warm is not cold or builder.stats()["graph_cache_hits"] != 1:
+        raise AssertionError(
+            "graph memo missed on an identical action path — the "
+            "navigation-reuse contract is broken"
+        )
+    return BenchResult(
+        name="graph_navigation_rebuild",
+        params={"n_rows": n_rows, "n_columns": n_columns, "sample": 1_000},
+        metrics={
+            "cold_seconds": cold_seconds,
+            "recode_seconds": recode_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / warm_seconds,
+            "recode_speedup": cold_seconds / recode_seconds,
+        },
+        gated=("cold_seconds", "recode_seconds"),
+    )
+
+
+def _bench_graph_store(smoke: bool) -> BenchResult:
+    """Store-backed graph build vs the in-memory twin (bit-identical)."""
+    from repro.graph.dependency import build_dependency_graph
+    from repro.store import StoredTable, write_store
+
+    n_rows, n_columns = (60_000, 40) if smoke else (250_000, 40)
+    rounds = 2
+    table = _wide_mixed_table(n_rows, n_columns, seed=47)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "store"
+        write_store(table, root, chunk_rows=16_384)
+        stored = StoredTable(root)
+
+        store_seconds, from_store = _best_of(
+            lambda: build_dependency_graph(stored, sample=1_000), rounds
+        )
+        memory_seconds, from_memory = _best_of(
+            lambda: build_dependency_graph(table, sample=1_000), rounds
+        )
+    identical = np.array_equal(from_store.weights, from_memory.weights)
+    if not identical:
+        raise AssertionError(
+            "store-backed dependency graph diverged from the in-memory "
+            "twin at the same seed — the residency contract is broken"
+        )
+    return BenchResult(
+        name="graph_store_build",
+        params={
+            "n_rows": n_rows,
+            "n_columns": n_columns,
+            "sample": 1_000,
+            "rounds": rounds,
+        },
+        metrics={
+            "store_seconds": store_seconds,
+            "memory_seconds": memory_seconds,
+            "store_overhead": store_seconds / memory_seconds,
+            "identical_results": float(identical),
+        },
+        gated=("store_seconds",),
+    )
+
+
+def run_graph(smoke: bool) -> list[BenchResult]:
+    """The dependency-graph suite: kernel, navigation reuse, residency."""
+    return [
+        _bench_graph_pairwise(smoke),
+        _bench_graph_navigation(smoke),
+        _bench_graph_store(smoke),
+    ]
+
+
 #: suite name → runner.  ``run_suite`` and the CLI dispatch through this.
 SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "clustering": run_clustering,
+    "graph": run_graph,
     "service": run_service,
     "store": run_store,
 }

@@ -75,6 +75,12 @@ class BlaeuShell:
         self._out = out or sys.stdout
         self._explorer: Explorer | None = None
         self._table_name: str | None = None
+        # The same counter registry the HTTP service exposes at
+        # /metrics backs the shell's "themes" build report.
+        from repro.service.metrics import Metrics
+
+        self._metrics = Metrics()
+        engine.graph_builder.set_metrics(self._metrics)
         tables = engine.tables()
         if len(tables) == 1:
             self._select_table(tables[0])
@@ -140,6 +146,7 @@ class BlaeuShell:
 
     def _cmd_themes(self, args: list[str]) -> None:
         self._print(render_theme_view(self._require_explorer().themes()))
+        self._print(self._graph_report())
 
     def _cmd_open(self, args: list[str]) -> None:
         if len(args) != 1:
@@ -216,6 +223,24 @@ class BlaeuShell:
     def _select_table(self, name: str) -> None:
         self._explorer = self._engine.explore(name)
         self._table_name = name
+
+    def _graph_report(self) -> str:
+        """One line of graph-engine telemetry shown after the theme view.
+
+        Reads the ``blaeu_graph_*_total`` counters the builder pushes
+        into the shared metrics registry, so warm navigations visibly
+        skip the build (cache hits go up, build time stays put).
+        """
+        stats = self._engine.graph_builder.stats()
+        counter = self._metrics.counter
+        return (
+            f"graph: last build {stats['last_build_seconds'] * 1000.0:.0f} ms"
+            f" | builds {counter('blaeu_graph_builds_total')}"
+            f" | graph cache {counter('blaeu_graph_cache_hits_total')} hit /"
+            f" {counter('blaeu_graph_cache_misses_total')} miss"
+            f" | code cache {counter('blaeu_graph_code_cache_hits_total')}"
+            f" hit / {counter('blaeu_graph_code_cache_misses_total')} miss"
+        )
 
     def _require_explorer(self) -> Explorer:
         if self._explorer is None:

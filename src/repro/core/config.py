@@ -29,6 +29,17 @@ class BlaeuConfig:
         (paper: "a few thousand").
     dependency_sample_size:
         Rows sampled for dependency-graph estimation.
+    graph_jobs:
+        Thread-level parallelism of the batched NMI kernel behind the
+        dependency graph: ``None`` or 1 runs serially, 0 uses every
+        core, any other value that many workers.  Results are identical
+        across settings.
+    graph_bin_sample_size:
+        Rows in the deterministic sample the graph stage derives its
+        numeric bin cuts from.  The sample is seeded independently of
+        the session RNG, so cuts — and therefore cached column codes —
+        are identical across processes and across store/memory
+        residencies of the same table.
     clara_threshold:
         Sample sizes above this use CLARA instead of exact PAM.
     clara_draws:
@@ -80,6 +91,8 @@ class BlaeuConfig:
 
     map_sample_size: int = 2000
     dependency_sample_size: int = 1000
+    graph_jobs: int | None = None
+    graph_bin_sample_size: int = 4096
     clara_threshold: int = 1200
     clara_draws: int = 5
     clara_sample_size: int | None = None
@@ -111,6 +124,10 @@ class BlaeuConfig:
             raise ValueError("theme_k_values must contain integers >= 2")
         if self.clara_jobs is not None and self.clara_jobs < 0:
             raise ValueError("clara_jobs must be None, 0 (all cores) or >= 1")
+        if self.graph_jobs is not None and self.graph_jobs < 0:
+            raise ValueError("graph_jobs must be None, 0 (all cores) or >= 1")
+        if self.graph_bin_sample_size < 2:
+            raise ValueError("graph_bin_sample_size must be at least 2")
         if self.silhouette_exact_threshold < 0:
             raise ValueError("silhouette_exact_threshold must be >= 0")
         if self.distance_dtype not in ("float32", "float64"):

@@ -25,6 +25,7 @@ from repro.core.datamap import DataMap
 from repro.core.mapping import build_map_cached
 from repro.core.navigation import Explorer
 from repro.core.themes import ThemeSet, extract_themes
+from repro.graph.dependency import GraphBuilder
 from repro.table.database import Database
 from repro.table.table import Table
 
@@ -43,6 +44,7 @@ class Blaeu:
         self._database = Database(seed=self._config.seed)
         self._theme_cache: dict[str, ThemeSet] = {}
         self._map_cache = map_cache
+        self._graph_builder = GraphBuilder(result_cache=map_cache)
 
     @property
     def config(self) -> BlaeuConfig:
@@ -59,13 +61,21 @@ class Blaeu:
         """The shared map result cache (``None`` when caching is off)."""
         return self._map_cache
 
+    @property
+    def graph_builder(self) -> GraphBuilder:
+        """The shared dependency-graph builder (codes + graph reuse)."""
+        return self._graph_builder
+
     def set_map_cache(self, cache: object | None) -> None:
         """Install (or remove) a shared map result cache.
 
         The cache must expose ``get(key)``/``put(key, value)``; existing
-        explorers keep the cache they were created with.
+        explorers keep the cache they were created with.  The graph
+        builder adopts the same cache as its graph memo, so finished
+        dependency graphs are shared across sessions alongside maps.
         """
         self._map_cache = cache
+        self._graph_builder.set_result_cache(cache)
 
     # ------------------------------------------------------------------
     # Data ingestion
@@ -104,7 +114,10 @@ class Blaeu:
             table = self._database.table(table_name)
             rng = np.random.default_rng(self._config.seed)
             self._theme_cache[table_name] = extract_themes(
-                table, config=self._config, rng=rng
+                table,
+                config=self._config,
+                rng=rng,
+                builder=self._graph_builder,
             )
         return self._theme_cache[table_name]
 
@@ -135,4 +148,5 @@ class Blaeu:
             config=self._config,
             themes=themes,
             map_cache=self._map_cache,
+            graph_builder=self._graph_builder,
         )

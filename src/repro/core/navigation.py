@@ -18,6 +18,7 @@ from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap
 from repro.core.mapping import build_map_cached
 from repro.core.themes import Theme, ThemeSet, extract_themes
+from repro.graph.dependency import GraphBuilder
 from repro.table.column import CategoricalColumn, NumericColumn
 from repro.table.predicates import And, Everything, Predicate
 from repro.table.table import Table
@@ -77,6 +78,12 @@ class Explorer:
         When set, maps for (table content, config, action path) triples
         already built — by this session or any other sharing the cache —
         are reused instead of re-clustered.
+    graph_builder:
+        Optional shared :class:`~repro.graph.dependency.GraphBuilder`.
+        When the engine passes its builder, theme extraction across all
+        sessions shares one column-code cache and (if a result cache is
+        installed) one graph memo; otherwise this session gets a
+        private builder.
     """
 
     def __init__(
@@ -85,12 +92,14 @@ class Explorer:
         config: BlaeuConfig | None = None,
         themes: ThemeSet | None = None,
         map_cache: object | None = None,
+        graph_builder: GraphBuilder | None = None,
     ) -> None:
         self._table = table
         self._config = config or BlaeuConfig()
         self._rng = np.random.default_rng(self._config.seed)
         self._themes = themes
         self._map_cache = map_cache
+        self._graph_builder = graph_builder or GraphBuilder()
         self._stack: list[ExplorationState] = []
 
     # ------------------------------------------------------------------
@@ -107,13 +116,59 @@ class Explorer:
         """The engine configuration."""
         return self._config
 
+    @property
+    def graph_builder(self) -> GraphBuilder:
+        """The dependency-graph builder (shared when the engine provides it)."""
+        return self._graph_builder
+
     def themes(self) -> ThemeSet:
         """The table's themes (computed once, then cached)."""
         if self._themes is None:
             self._themes = extract_themes(
-                self._table, config=self._config, rng=self._rng
+                self._table,
+                config=self._config,
+                rng=self._rng,
+                builder=self._graph_builder,
             )
         return self._themes
+
+    def local_themes(self) -> ThemeSet:
+        """Themes of the *current selection* (a navigation deep-dive).
+
+        Re-examines which columns move together inside the zoomed-in
+        tuples — sub-populations often couple indicators differently
+        than the whole table does.  Navigation-aware: the selection's
+        column codes are gathered from the builder's cache by row index
+        (no re-discretization), and repeated visits to the same
+        selection hit the graph memo when a result cache is installed.
+
+        Randomness derives from ``(config.seed, selection digest)``,
+        never from the session stream: inspecting a selection is
+        read-only, repeatable, and leaves every later map in the
+        session exactly as it would have been without the deep-dive.
+        """
+        import hashlib
+
+        state = self.state
+        scan_mask = getattr(self._table, "scan_mask", None)
+        if scan_mask is not None:  # store-backed: pushdown evaluation
+            mask = scan_mask(state.selection)
+        else:
+            mask = state.selection.mask(self._table)
+        indices = np.flatnonzero(mask)
+        digest = hashlib.sha256(
+            np.ascontiguousarray(indices, dtype=np.int64).tobytes()
+        ).digest()
+        rng = np.random.default_rng(
+            (self._config.seed, int.from_bytes(digest[:8], "big"))
+        )
+        return extract_themes(
+            self._table,
+            config=self._config,
+            rng=rng,
+            builder=self._graph_builder,
+            row_indices=indices,
+        )
 
     def set_themes(self, themes: ThemeSet) -> None:
         """Replace the theme set (after user edits in the theme view)."""

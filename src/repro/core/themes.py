@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.config import BlaeuConfig
-from repro.graph.dependency import DependencyGraph, build_dependency_graph
+from repro.graph.dependency import DependencyGraph, GraphBuilder
 from repro.graph.partition import pam_partition
 from repro.table.column import CategoricalColumn
 from repro.table.schema import detect_keys
@@ -162,15 +162,28 @@ def extract_themes(
     config: BlaeuConfig | None = None,
     rng: np.random.Generator | None = None,
     columns: tuple[str, ...] | None = None,
+    builder: GraphBuilder | None = None,
+    row_indices: np.ndarray | None = None,
 ) -> ThemeSet:
     """Detect the themes of a table.
 
     Keys are excluded (they depend on nothing), the dependency graph is
     estimated from a row sample, and PAM partitions it with k chosen by
     the silhouette over ``config.theme_k_values``.
+
+    ``builder`` is the engine's shared :class:`GraphBuilder` (one is
+    created ad hoc when omitted): it reuses cached column codes across
+    navigation and memoizes finished graphs when a result cache is
+    installed.  ``row_indices`` restricts theme detection to those
+    base-table rows — the themes *of the current selection* — and is
+    where the code reuse pays off: the selection's codes are a row
+    gather, not a re-discretization.  Store-backed tables never
+    materialize in full: sampled rows are pushdown-gathered, and
+    whole-table builds stream chunked scans.
     """
     config = config or BlaeuConfig()
     rng = rng or np.random.default_rng(config.seed)
+    builder = builder or GraphBuilder()
 
     candidates = list(columns) if columns is not None else list(table.column_names)
     keys = set(detect_keys(table))
@@ -191,12 +204,16 @@ def extract_themes(
             f"got {list(kept)} (keys excluded: {list(excluded)})"
         )
 
-    graph = build_dependency_graph(
+    graph = builder.build(
         table,
         columns=kept,
         measure="nmi",
         sample=config.dependency_sample_size,
         rng=rng,
+        seed=config.seed,
+        row_indices=row_indices,
+        n_jobs=config.graph_jobs,
+        bin_sample_size=config.graph_bin_sample_size,
     )
     k_values = config.theme_k_values
     if k_values is None:

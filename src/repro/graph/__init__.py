@@ -9,7 +9,12 @@ partitions it with PAM over the induced dissimilarity, alongside two
 baselines used by the benchmarks.
 """
 
-from repro.graph.dependency import DependencyGraph, build_dependency_graph
+from repro.graph.codes import CodeCache
+from repro.graph.dependency import (
+    DependencyGraph,
+    GraphBuilder,
+    build_dependency_graph,
+)
 from repro.graph.partition import (
     modularity_partition,
     pam_partition,
@@ -17,7 +22,9 @@ from repro.graph.partition import (
 )
 
 __all__ = [
+    "CodeCache",
     "DependencyGraph",
+    "GraphBuilder",
     "build_dependency_graph",
     "modularity_partition",
     "pam_partition",

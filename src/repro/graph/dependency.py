@@ -4,24 +4,68 @@ Vertices are columns, edge weights are pairwise dependencies in
 ``[0, 1]`` (normalized mutual information by default; absolute Pearson/
 Spearman correlation as the alternatives the paper mentions).  The graph
 also exposes the *dissimilarity* view (``1 − weight``) that PAM needs.
+
+Graphs are produced by a :class:`GraphBuilder`, which layers three kinds
+of reuse over the batched NMI kernel (:mod:`repro.stats.batched`):
+
+* **column codes** are cached per (table fingerprint, column, binning)
+  in a :class:`~repro.graph.codes.CodeCache`, so navigating to a new
+  selection gathers cached codes by row index instead of
+  re-discretizing;
+* **finished graphs** are memoized in an optional shared result cache
+  (the service's map cache) keyed by (fingerprint, columns digest,
+  measure, bins, sample, seed, selection rows) — a rollback or a second
+  session landing on the same graph pays one dictionary lookup;
+* **store-backed tables** build without materializing full columns:
+  sampled builds pushdown-gather just the sampled rows, and whole-table
+  NMI builds stream chunked scans through the accumulating kernel.
+  (The correlation measures are the one exception: a whole-table
+  pearson/spearman build gathers the numeric block — rank transforms
+  do not stream — so pass ``sample`` on huge stores.)
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+import time
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
 import networkx as nx
 import numpy as np
 
-from repro.stats.correlation import pearson, spearman
-from repro.stats.mutual_info import pairwise_dependencies
+from repro.graph.codes import (
+    CodeCache,
+    gather_codes,
+    is_store_backed,
+    iter_code_chunks,
+    resolve_entries,
+)
+from repro.stats.batched import StreamingPairwiseNMI, pairwise_nmi_matrix
+from repro.stats.correlation import pairwise_correlation_matrix
 from repro.table.column import NumericColumn
+from repro.table.sampling import uniform_sample
 from repro.table.table import Table
 
-__all__ = ["DependencyGraph", "build_dependency_graph"]
+__all__ = [
+    "DependencyGraph",
+    "GraphBuilder",
+    "build_dependency_graph",
+    "DEFAULT_GRAPH_SEED",
+    "DEFAULT_BIN_SAMPLE_SIZE",
+]
 
 Measure = Literal["nmi", "pearson", "spearman"]
+
+#: Fallback seed when a caller provides neither ``rng`` nor ``seed`` —
+#: the same root every other stage defaults to (``BlaeuConfig.seed``),
+#: so repeated builds (and the cache keys derived from them) agree.
+DEFAULT_GRAPH_SEED = 42
+
+#: Default size of the deterministic row sample numeric bin cuts are
+#: derived from (see :mod:`repro.graph.codes`).
+DEFAULT_BIN_SAMPLE_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -83,6 +127,267 @@ class DependencyGraph:
         return graph
 
 
+class GraphBuilder:
+    """Dependency-graph construction with navigation-aware reuse.
+
+    One builder is shared per engine: its :class:`CodeCache` amortizes
+    discretization across every explorer and navigation step, and an
+    optional ``result_cache`` (any ``get(key)``/``put(key, value)``
+    mapping — the service installs its shared map cache) memoizes
+    finished graphs across sessions.
+
+    When a result cache is installed, the build RNG is re-seeded from
+    the cache key (the same convention as
+    :func:`repro.core.mapping.build_map_cached`), so the graph an
+    action path produces never depends on cache warmth.
+    """
+
+    def __init__(
+        self,
+        result_cache: object | None = None,
+        code_cache: CodeCache | None = None,
+        metrics: object | None = None,
+    ) -> None:
+        self._result_cache = result_cache
+        self._code_cache = code_cache or CodeCache()
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._builds = 0
+        self._result_hits = 0
+        self._result_misses = 0
+        self._last_build_seconds = 0.0
+
+    @property
+    def code_cache(self) -> CodeCache:
+        """The per-column code cache."""
+        return self._code_cache
+
+    @property
+    def result_cache(self) -> object | None:
+        """The shared graph memo (``None`` when memoization is off)."""
+        return self._result_cache
+
+    def set_result_cache(self, cache: object | None) -> None:
+        """Install (or remove) the shared graph result cache."""
+        self._result_cache = cache
+
+    def set_metrics(self, metrics: object | None) -> None:
+        """Attach a counter sink exposing ``increment(name, by=1)``.
+
+        The CLI and the HTTP service both pass a
+        :class:`repro.service.metrics.Metrics` registry, so graph
+        builds, memo hits/misses and code-cache hits/misses surface as
+        ``blaeu_graph_*_total`` counters wherever metrics are read.
+        """
+        self._metrics = metrics
+
+    def stats(self) -> dict[str, float]:
+        """Build and cache counters (code-cache counters folded in)."""
+        code = self._code_cache.stats()
+        with self._lock:
+            return {
+                "builds": self._builds,
+                "graph_cache_hits": self._result_hits,
+                "graph_cache_misses": self._result_misses,
+                "code_cache_hits": code["hits"],
+                "code_cache_misses": code["misses"],
+                "last_build_seconds": self._last_build_seconds,
+            }
+
+    def build(
+        self,
+        table: Table,
+        columns: Sequence[str] | None = None,
+        *,
+        measure: Measure = "nmi",
+        n_bins: int | None = None,
+        sample: int | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int = DEFAULT_GRAPH_SEED,
+        row_indices: np.ndarray | None = None,
+        n_jobs: int | None = None,
+        bin_sample_size: int = DEFAULT_BIN_SAMPLE_SIZE,
+    ) -> DependencyGraph:
+        """Compute (or recall) the dependency graph of (part of) a table.
+
+        Parameters mirror :func:`build_dependency_graph`;
+        ``row_indices`` restricts the build to those base-table rows —
+        the navigation path, where a zoomed selection's graph reuses
+        the base table's cached codes.
+        """
+        names = (
+            tuple(columns) if columns is not None else tuple(table.column_names)
+        )
+        if len(names) < 1:
+            raise ValueError("dependency graph needs at least one column")
+        if measure not in ("nmi", "pearson", "spearman"):
+            raise ValueError(f"unknown dependency measure {measure!r}")
+
+        started = time.perf_counter()
+        key = None
+        if self._result_cache is not None:
+            key = _graph_cache_key(
+                table,
+                names,
+                measure,
+                n_bins,
+                sample,
+                seed,
+                bin_sample_size,
+                row_indices,
+            )
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                with self._lock:
+                    self._result_hits += 1
+                self._count("blaeu_graph_cache_hits_total")
+                return hit  # type: ignore[return-value]
+            with self._lock:
+                self._result_misses += 1
+            self._count("blaeu_graph_cache_misses_total")
+            rng = np.random.default_rng(_key_seed(key))
+        if rng is None:
+            rng = np.random.default_rng(seed)
+
+        code_before = self._code_cache.stats()
+        graph = self._build(
+            table,
+            names,
+            measure,
+            n_bins,
+            sample,
+            rng,
+            seed,
+            row_indices,
+            n_jobs,
+            bin_sample_size,
+        )
+        if key is not None:
+            self._result_cache.put(key, graph)
+        with self._lock:
+            self._builds += 1
+            self._last_build_seconds = time.perf_counter() - started
+        code_after = self._code_cache.stats()
+        self._count("blaeu_graph_builds_total")
+        self._count(
+            "blaeu_graph_code_cache_hits_total",
+            code_after["hits"] - code_before["hits"],
+        )
+        self._count(
+            "blaeu_graph_code_cache_misses_total",
+            code_after["misses"] - code_before["misses"],
+        )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, by: int = 1) -> None:
+        metrics = self._metrics
+        if metrics is not None and by:
+            metrics.increment(name, by)
+
+    def _build(
+        self,
+        table: Table,
+        names: tuple[str, ...],
+        measure: Measure,
+        n_bins: int | None,
+        sample: int | None,
+        rng: np.random.Generator,
+        seed: int,
+        row_indices: np.ndarray | None,
+        n_jobs: int | None,
+        bin_sample_size: int,
+    ) -> DependencyGraph:
+        base = None
+        if row_indices is not None:
+            base = np.asarray(row_indices, dtype=np.intp)
+        universe = base.shape[0] if base is not None else table.n_rows
+        rows = base
+        if sample is not None and sample < universe:
+            picked = uniform_sample(universe, sample, rng)
+            rows = base[picked] if base is not None else picked
+
+        if measure == "nmi":
+            weights = self._nmi_weights(
+                table, names, n_bins, rows, n_jobs, bin_sample_size, seed
+            )
+        else:
+            weights = self._correlation_weights(table, names, rows, measure)
+        return DependencyGraph(columns=names, weights=weights, measure=measure)
+
+    def _nmi_weights(
+        self,
+        table: Table,
+        names: tuple[str, ...],
+        n_bins: int | None,
+        rows: np.ndarray | None,
+        n_jobs: int | None,
+        bin_sample_size: int,
+        seed: int,
+    ) -> np.ndarray:
+        if rows is None and is_store_backed(table):
+            # Whole-table build on a store: stream chunked pushdown
+            # scans through the accumulating kernel — full columns are
+            # never resident.
+            entries = resolve_entries(
+                table,
+                names,
+                n_bins=n_bins,
+                bin_sample_size=bin_sample_size,
+                seed=seed,
+                cache=self._code_cache,
+            )
+            streaming = StreamingPairwiseNMI(
+                names, [entries[name].n_codes for name in names]
+            )
+            for chunk in iter_code_chunks(table, names, entries):
+                streaming.update(chunk)
+            return streaming.finalize()
+        codes = gather_codes(
+            table,
+            names,
+            n_bins=n_bins,
+            bin_sample_size=bin_sample_size,
+            seed=seed,
+            cache=self._code_cache,
+            rows=rows,
+        )
+        return pairwise_nmi_matrix(codes, n_jobs=n_jobs)
+
+    def _correlation_weights(
+        self,
+        table: Table,
+        names: tuple[str, ...],
+        rows: np.ndarray | None,
+        measure: Measure,
+    ) -> np.ndarray:
+        """Vectorized pearson/spearman weights over the numeric block.
+
+        One masked-product correlation over the stacked numeric columns
+        replaces the per-pair Python loop; categorical pairs keep
+        weight 0, as before.
+        """
+        weights = np.eye(len(names), dtype=np.float64)
+        numeric = [
+            index
+            for index, name in enumerate(names)
+            if _is_numeric_column(table, name)
+        ]
+        if len(numeric) < 2:
+            return weights
+        numeric_names = [names[index] for index in numeric]
+        block = _numeric_block(table, numeric_names, rows)
+        correlation = np.abs(
+            pairwise_correlation_matrix(block, rank=measure == "spearman")
+        )
+        np.fill_diagonal(correlation, 1.0)
+        grid = np.ix_(numeric, numeric)
+        weights[grid] = correlation
+        return weights
+
 def build_dependency_graph(
     table: Table,
     columns: Sequence[str] | None = None,
@@ -90,13 +395,23 @@ def build_dependency_graph(
     n_bins: int | None = None,
     sample: int | None = None,
     rng: np.random.Generator | None = None,
+    seed: int = DEFAULT_GRAPH_SEED,
+    row_indices: np.ndarray | None = None,
+    n_jobs: int | None = None,
+    bin_sample_size: int = DEFAULT_BIN_SAMPLE_SIZE,
+    code_cache: CodeCache | None = None,
+    cache: object | None = None,
 ) -> DependencyGraph:
     """Compute the dependency graph of (a sample of) a table.
+
+    A convenience front over :class:`GraphBuilder` for one-shot builds;
+    long-lived callers (the engine, the service) hold a builder instead
+    so codes and finished graphs are reused across calls.
 
     Parameters
     ----------
     table:
-        Source table.
+        Source table — in-memory or store-backed.
     columns:
         Vertices; defaults to every column.  Key columns should already be
         excluded by the caller (the engine drops them before calling).
@@ -109,38 +424,123 @@ def build_dependency_graph(
     sample:
         Estimate from a uniform sample of this many rows (the engine's
         interaction-time path for large tables).
+    rng:
+        Randomness for the row sample.  When omitted, a generator seeded
+        by ``seed`` is used, so repeated builds agree — an unseeded
+        default here used to make sampled builds irreproducible.
+    seed:
+        Root seed for the default ``rng`` and for the deterministic
+        bin-cut sample; defaults to the engine-wide root
+        (:data:`DEFAULT_GRAPH_SEED`).
+    row_indices:
+        Restrict the build to these base-table rows (a navigation
+        selection); sampling applies within them.
+    n_jobs:
+        Thread fan-out of the batched NMI kernel (``None``/1 serial,
+        0 all cores); results are identical at any setting.
+    bin_sample_size:
+        Rows in the deterministic bin-cut sample.
+    code_cache / cache:
+        Optional column-code cache and graph result cache (see
+        :class:`GraphBuilder`).
     """
-    names = tuple(columns) if columns is not None else table.column_names
-    if len(names) < 1:
-        raise ValueError("dependency graph needs at least one column")
-    if sample is not None and sample < table.n_rows:
-        table = table.sample(sample, rng=rng or np.random.default_rng())
+    builder = GraphBuilder(result_cache=cache, code_cache=code_cache)
+    return builder.build(
+        table,
+        columns,
+        measure=measure,
+        n_bins=n_bins,
+        sample=sample,
+        rng=rng,
+        seed=seed,
+        row_indices=row_indices,
+        n_jobs=n_jobs,
+        bin_sample_size=bin_sample_size,
+    )
 
-    n = len(names)
-    weights = np.eye(n, dtype=np.float64)
-    if measure == "nmi":
-        pairs = pairwise_dependencies(table, names, n_bins=n_bins)
-        index = {name: i for i, name in enumerate(names)}
-        for (a, b), value in pairs.items():
-            weights[index[a], index[b]] = value
-            weights[index[b], index[a]] = value
-    elif measure in ("pearson", "spearman"):
-        estimator = pearson if measure == "pearson" else spearman
-        numeric = {
-            c.name: c.values
-            for c in table.columns
-            if isinstance(c, NumericColumn) and c.name in names
-        }
-        for i, a in enumerate(names):
-            for j in range(i + 1, n):
-                b = names[j]
-                if a in numeric and b in numeric:
-                    value = abs(estimator(numeric[a], numeric[b]))
-                else:
-                    value = 0.0
-                weights[i, j] = value
-                weights[j, i] = value
-    else:
-        raise ValueError(f"unknown dependency measure {measure!r}")
 
-    return DependencyGraph(columns=names, weights=weights, measure=measure)
+# ----------------------------------------------------------------------
+# Module internals
+# ----------------------------------------------------------------------
+
+
+def is_store_backed(table) -> bool:
+    return getattr(table, "iter_chunks", None) is not None
+
+
+def _is_numeric_column(table, name: str) -> bool:
+    kind = getattr(table, "kind", None)
+    if callable(kind):  # store-backed: answered from the manifest, no IO
+        return kind(name).value == "numeric"
+    return isinstance(table.column(name), NumericColumn)
+
+
+def _numeric_block(
+    table, names: list[str], rows: np.ndarray | None
+) -> np.ndarray:
+    """The named numeric columns stacked as ``(rows, columns)`` float64.
+
+    Missing cells are NaN.  Store-backed tables gather only the
+    requested rows of the named columns (one pushdown read).  With
+    ``rows=None`` this materializes the whole numeric block — fine for
+    the correlation measures' sampled path, deliberate for whole-table
+    builds (Spearman's rank transform needs every row resident); the
+    NMI path never comes through here.
+    """
+    if is_store_backed(table):
+        gather_at = (
+            rows if rows is not None else np.arange(table.n_rows, dtype=np.intp)
+        )
+        sub = table.take_columns(names, gather_at)
+        return np.column_stack([sub.column(name).values for name in names])
+    out = np.column_stack([table.column(name).values for name in names])
+    return out if rows is None else out[rows]
+
+
+def _graph_cache_key(
+    table,
+    names: tuple[str, ...],
+    measure: Measure,
+    n_bins: int | None,
+    sample: int | None,
+    seed: int,
+    bin_sample_size: int,
+    row_indices: np.ndarray | None,
+) -> tuple:
+    """The canonical memo key of one graph build.
+
+    Content-addressed like the map cache: the table's fingerprint, a
+    digest of the vertex set, every estimator knob, and (for
+    selection-restricted builds) a digest of the row indices.
+    """
+    columns_digest = hashlib.sha256(
+        "\x00".join(names).encode("utf-8")
+    ).hexdigest()[:16]
+    rows_digest = None
+    if row_indices is not None:
+        rows_digest = hashlib.sha256(
+            np.ascontiguousarray(row_indices, dtype=np.int64).tobytes()
+        ).hexdigest()[:16]
+    return (
+        "graph",
+        table.fingerprint(),
+        columns_digest,
+        measure,
+        n_bins,
+        bin_sample_size,
+        sample,
+        seed,
+        rows_digest,
+    )
+
+
+def _key_seed(key: tuple) -> int:
+    """A deterministic RNG seed derived from a cache key.
+
+    Same construction as :func:`repro.core.mapping.cache_key_seed`
+    (duplicated here because :mod:`repro.core` sits *above* this
+    package): cache-aware builds are seeded from their key, so results
+    never depend on cache warmth.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -106,6 +106,9 @@ class BlaeuService:
             )
         self._manager = SessionManager(engine)
         self._metrics = Metrics()
+        # Graph builds report into the same registry, so /metrics shows
+        # blaeu_graph_*_total counters alongside the HTTP numbers.
+        engine.graph_builder.set_metrics(self._metrics)
         self._pool = WorkerPool(
             workers=self._config.workers,
             max_pending=self._config.max_pending,
@@ -310,6 +313,14 @@ class BlaeuService:
         self._metrics.set_gauge("blaeu_pool_rejected_total", pool.rejected)
         self._metrics.set_gauge(
             "blaeu_sessions_active", len(self._manager.session_ids())
+        )
+        graph = self._engine.graph_builder.stats()
+        self._metrics.set_gauge(
+            "blaeu_graph_last_build_seconds", graph["last_build_seconds"]
+        )
+        self._metrics.set_gauge(
+            "blaeu_graph_code_cache_entries",
+            len(self._engine.graph_builder.code_cache),
         )
         return text_response(self._metrics.render())
 

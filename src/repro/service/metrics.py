@@ -104,6 +104,7 @@ class Metrics:
         self._requests: dict[tuple[str, int], int] = {}
         self._latency: dict[str, Histogram] = {}
         self._gauges: dict[str, float] = {}
+        self._counters: dict[str, int] = {}
 
     def observe_request(self, route: str, status: int, seconds: float) -> None:
         """Record one finished HTTP request."""
@@ -119,6 +120,21 @@ class Metrics:
         """Set an instantaneous value (cache size, pool depth, …)."""
         with self._lock:
             self._gauges[name] = float(value)
+
+    def increment(self, name: str, by: int = 1) -> None:
+        """Add to a monotonic named counter (created at first use).
+
+        The generic sibling of ``observe_request`` for non-HTTP events —
+        the graph engine counts its builds and cache hits here, so the
+        same numbers back both ``/metrics`` and the CLI's build report.
+        """
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        """Current value of a named counter (0 before first increment)."""
+        with self._lock:
+            return self._counters.get(name, 0)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -144,6 +160,7 @@ class Metrics:
             requests = dict(self._requests)
             latency = dict(self._latency)
             gauges = dict(self._gauges)
+            counters = dict(self._counters)
         lines: list[str] = []
         lines.append("# TYPE blaeu_requests_total counter")
         for (route, status), count in sorted(requests.items()):
@@ -167,6 +184,9 @@ class Metrics:
                 f'blaeu_request_seconds_count{{route="{route}"}} '
                 f"{histogram.count}"
             )
+        for name, value in sorted(counters.items()):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
         for name, value in sorted(gauges.items()):
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {value:g}")

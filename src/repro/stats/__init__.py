@@ -8,16 +8,27 @@ alternatives the paper mentions (correlation coefficients) and the
 normalization utilities the preprocessing stage needs.
 """
 
+from repro.stats.batched import (
+    ColumnCodes,
+    StreamingPairwiseNMI,
+    encode_table,
+    pairwise_nmi_matrix,
+)
 from repro.stats.correlation import pearson, spearman
 from repro.stats.discretize import (
     BinningRule,
+    apply_bin_cuts,
     discretize_column,
     equal_frequency_bins,
+    equal_frequency_cuts,
     equal_width_bins,
+    equal_width_cuts,
     suggest_bin_count,
 )
 from repro.stats.entropy import (
+    c_log_c,
     conditional_entropy,
+    entropies_from_sums,
     entropy_from_counts,
     joint_entropy,
     shannon_entropy,
@@ -36,17 +47,26 @@ from repro.stats.normalize import (
 
 __all__ = [
     "BinningRule",
+    "ColumnCodes",
+    "StreamingPairwiseNMI",
+    "apply_bin_cuts",
+    "c_log_c",
     "column_dependency",
     "conditional_entropy",
     "discretize_column",
+    "encode_table",
+    "entropies_from_sums",
     "entropy_from_counts",
     "equal_frequency_bins",
+    "equal_frequency_cuts",
     "equal_width_bins",
+    "equal_width_cuts",
     "joint_entropy",
     "minmax_scale",
     "mutual_information",
     "normalized_mutual_information",
     "pairwise_dependencies",
+    "pairwise_nmi_matrix",
     "pearson",
     "robust_scale",
     "shannon_entropy",

@@ -20,6 +20,9 @@ from repro.table.column import CategoricalColumn, Column, NumericColumn
 __all__ = [
     "BinningRule",
     "suggest_bin_count",
+    "equal_width_cuts",
+    "equal_frequency_cuts",
+    "apply_bin_cuts",
     "equal_width_bins",
     "equal_frequency_bins",
     "discretize_column",
@@ -52,6 +55,58 @@ def suggest_bin_count(
     return max(1, min(bins, max_bins))
 
 
+def equal_width_cuts(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior cut points of ``n_bins`` equal-width intervals over ``values``.
+
+    Cut points are the separable representation of a binning: a value's
+    code is ``searchsorted(cuts, value, side="right")`` (see
+    :func:`apply_bin_cuts`), which lets cuts derived from one row set —
+    a persisted sample, say — encode any other rows later, chunk by
+    chunk.  A constant (or empty) input yields no cuts: a single bin.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    _require_finite(values)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if values.size == 0:
+        return np.empty(0, dtype=np.float64)
+    low, high = float(values.min()), float(values.max())
+    if low == high:
+        return np.empty(0, dtype=np.float64)
+    return np.linspace(low, high, n_bins + 1)[1:-1]
+
+
+def equal_frequency_cuts(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior cut points of ``n_bins`` equal-count bins over ``values``.
+
+    Ties at quantile boundaries go to the lower bin, so heavily repeated
+    values can make bins uneven; duplicate cut points are merged.  The
+    resulting code range is ``[0, len(cuts)]`` under
+    :func:`apply_bin_cuts`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    _require_finite(values)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if values.size == 0:
+        return np.empty(0, dtype=np.float64)
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    return np.unique(np.quantile(values, quantiles))
+
+
+def apply_bin_cuts(values: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+    """Integer codes in ``[0, len(cuts)]`` for NaN-free ``values``.
+
+    The inverse of the cut representation: values up to and including a
+    cut point fall in the bin below it.  Out-of-range values (smaller or
+    larger than anything the cuts were derived from) land in the first or
+    last bin, so sample-derived cuts can encode the full column.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    cuts = np.asarray(cuts, dtype=np.float64)
+    return np.searchsorted(cuts, values, side="right").astype(np.int32)
+
+
 def equal_width_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
     """Assign each value to one of ``n_bins`` equal-width intervals.
 
@@ -59,17 +114,11 @@ def equal_width_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
     A constant column collapses to a single bin.
     """
     values = np.asarray(values, dtype=np.float64)
-    _require_finite(values)
-    if n_bins < 1:
-        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
     if values.size == 0:
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
         return np.empty(0, dtype=np.int32)
-    low, high = float(values.min()), float(values.max())
-    if low == high:
-        return np.zeros(values.size, dtype=np.int32)
-    edges = np.linspace(low, high, n_bins + 1)
-    codes = np.searchsorted(edges, values, side="right") - 1
-    return np.clip(codes, 0, n_bins - 1).astype(np.int32)
+    return apply_bin_cuts(values, equal_width_cuts(values, n_bins))
 
 
 def equal_frequency_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
@@ -80,15 +129,11 @@ def equal_frequency_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
     codes in ``[0, effective_bins)``.
     """
     values = np.asarray(values, dtype=np.float64)
-    _require_finite(values)
-    if n_bins < 1:
-        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
     if values.size == 0:
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
         return np.empty(0, dtype=np.int32)
-    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
-    edges = np.unique(np.quantile(values, quantiles))
-    codes = np.searchsorted(edges, values, side="right")
-    return codes.astype(np.int32)
+    return apply_bin_cuts(values, equal_frequency_cuts(values, n_bins))
 
 
 def discretize_column(

@@ -13,6 +13,13 @@ columns look universally "dependent".  The graph therefore uses the
 ``[0, 1]``, is symmetric, and does not collapse when a low-entropy column
 (a binary flag) is fully determined by a high-entropy one (a continuous
 indicator) — the typical mixed-type pair in Blaeu's tables.
+
+The estimators here are the **scalar reference**: one pair at a time,
+one entropy call per distribution.  The dependency graph's hot path
+uses the batched twin (:mod:`repro.stats.batched`), which evaluates all
+pairs at once through fused-code ``bincount`` contingencies and must
+agree with these functions to ``atol 1e-12`` — the property tests hold
+the two implementations against each other.
 """
 
 from __future__ import annotations

@@ -34,6 +34,18 @@ class TestShellCommands:
         text = run(shell, "themes")
         assert "THEMES" in text
 
+    def test_themes_reports_graph_build(self, shell):
+        text = run(shell, "themes")
+        assert "graph: last build" in text
+        assert "builds 1" in text
+        assert "code cache" in text
+
+    def test_repeated_themes_do_not_rebuild(self, shell):
+        text = run(shell, "themes", "themes")
+        # The explorer caches the ThemeSet, so the second command still
+        # reports a single graph build.
+        assert "builds 1" in text.rsplit("graph: last build", 1)[1]
+
     def test_open_and_map(self, shell):
         text = run(shell, "open 0", "map")
         assert text.count("DATA MAP") == 2

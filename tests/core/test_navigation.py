@@ -1,5 +1,6 @@
 """Unit tests for the four navigational actions (paper §2)."""
 
+import numpy as np
 import pytest
 
 from repro.core.config import BlaeuConfig
@@ -211,6 +212,38 @@ class TestSql:
         for leaf in data_map.leaves():
             selected = explorer.table.select(leaf.predicate)
             assert selected.n_rows == leaf.n_rows
+
+
+class TestLocalThemes:
+    def test_local_themes_of_a_zoomed_selection(self, explorer):
+        data_map = explorer.open_columns(("x0", "x1"))
+        target = max(data_map.leaves(), key=lambda r: r.n_rows)
+        explorer.zoom(target.region_id)
+        local = explorer.local_themes()
+        assert len(local) >= 1
+        assert all(theme.size >= 1 for theme in local)
+
+    def test_local_themes_reuse_cached_codes(self, explorer):
+        explorer.open_columns(("x0", "x1"))
+        explorer.themes()  # primes the code cache for the base table
+        before = explorer.graph_builder.stats()
+        explorer.local_themes()
+        after = explorer.graph_builder.stats()
+        assert after["builds"] == before["builds"] + 1
+        assert after["code_cache_misses"] == before["code_cache_misses"]
+        assert after["code_cache_hits"] > before["code_cache_hits"]
+
+    def test_local_themes_deterministic_and_session_neutral(self, explorer):
+        """Deep-diving a selection is read-only: its randomness derives
+        from the selection, not the session stream, so repeating it
+        gives the same themes and later maps are unaffected."""
+        data_map = explorer.open_columns(("x0", "x1"))
+        target = max(data_map.leaves(), key=lambda r: r.n_rows)
+        explorer.zoom(target.region_id)
+        first = explorer.local_themes()
+        second = explorer.local_themes()
+        assert [t.columns for t in first] == [t.columns for t in second]
+        assert np.array_equal(first.graph.weights, second.graph.weights)
 
 
 class TestThemesOnExplorer:

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.datasets.synthetic import planted_themes
-from repro.graph.dependency import build_dependency_graph
+from repro.graph.dependency import GraphBuilder, build_dependency_graph
+from repro.service.cache import LRUCache
+from repro.stats.correlation import pearson, spearman
 from repro.table.column import CategoricalColumn, NumericColumn
 from repro.table.table import Table
 
@@ -95,3 +97,128 @@ class TestBuildGraph:
     def test_unknown_measure_rejected(self, themed):
         with pytest.raises(ValueError):
             build_dependency_graph(themed.table, measure="cosine")
+
+
+class TestDeterminism:
+    def test_sampled_builds_agree_without_rng(self, themed):
+        """The regression this PR fixes: ``sample`` with no ``rng`` used
+        an unseeded generator, so repeated builds disagreed."""
+        first = build_dependency_graph(themed.table, sample=150)
+        second = build_dependency_graph(themed.table, sample=150)
+        assert np.array_equal(first.weights, second.weights)
+
+    def test_seed_changes_the_sample(self, themed):
+        first = build_dependency_graph(themed.table, sample=50, seed=1)
+        second = build_dependency_graph(themed.table, sample=50, seed=2)
+        assert not np.array_equal(first.weights, second.weights)
+
+    def test_thread_fanout_identical(self, themed):
+        serial = build_dependency_graph(themed.table, n_jobs=None)
+        for n_jobs in (1, 2, 0):
+            parallel = build_dependency_graph(themed.table, n_jobs=n_jobs)
+            assert np.array_equal(serial.weights, parallel.weights)
+
+    def test_row_indices_arange_equals_full(self, themed):
+        full = build_dependency_graph(themed.table)
+        explicit = build_dependency_graph(
+            themed.table,
+            row_indices=np.arange(themed.table.n_rows, dtype=np.intp),
+        )
+        assert np.array_equal(full.weights, explicit.weights)
+
+
+class TestVectorizedCorrelation:
+    @pytest.fixture
+    def noisy(self):
+        rng = np.random.default_rng(17)
+        n = 250
+        base = rng.normal(0.0, 1.0, n)
+        columns = []
+        for i in range(6):
+            values = base * rng.uniform(-2, 2) + rng.normal(0.0, 1.0, n)
+            values += rng.uniform(-1e4, 1e4)  # large offsets: cancellation
+            if i % 2 == 0:
+                values[rng.random(n) < 0.15] = np.nan
+            columns.append(NumericColumn(f"c{i}", values))
+        columns.append(
+            CategoricalColumn.from_labels(
+                "cat", list(rng.choice(["a", "b"], n))
+            )
+        )
+        return Table("noisy", columns)
+
+    def test_pearson_matches_scalar_pairwise(self, noisy):
+        graph = build_dependency_graph(noisy, measure="pearson")
+        for i, a in enumerate(noisy.column_names):
+            for b in noisy.column_names[i + 1 :]:
+                col_a, col_b = noisy.column(a), noisy.column(b)
+                if isinstance(col_a, NumericColumn) and isinstance(
+                    col_b, NumericColumn
+                ):
+                    expected = abs(pearson(col_a.values, col_b.values))
+                else:
+                    expected = 0.0
+                assert graph.weight(a, b) == pytest.approx(
+                    expected, abs=1e-10
+                )
+
+    def test_spearman_matches_scalar_on_complete_data(self):
+        rng = np.random.default_rng(23)
+        table = Table(
+            "complete",
+            [NumericColumn(f"d{i}", rng.normal(0, 1, 200)) for i in range(5)],
+        )
+        graph = build_dependency_graph(table, measure="spearman")
+        for i, a in enumerate(table.column_names):
+            for b in table.column_names[i + 1 :]:
+                expected = abs(
+                    spearman(table.column(a).values, table.column(b).values)
+                )
+                assert graph.weight(a, b) == pytest.approx(
+                    expected, abs=1e-10
+                )
+
+
+class TestGraphBuilder:
+    def test_result_cache_memoizes(self, themed):
+        cache = LRUCache(max_size=8)
+        builder = GraphBuilder(result_cache=cache)
+        first = builder.build(themed.table, sample=100)
+        second = builder.build(themed.table, sample=100)
+        assert second is first
+        stats = builder.stats()
+        assert stats["builds"] == 1
+        assert stats["graph_cache_hits"] == 1
+        assert stats["graph_cache_misses"] == 1
+
+    def test_cache_warmth_does_not_change_results(self, themed):
+        cold = GraphBuilder(result_cache=LRUCache(max_size=8))
+        warm = GraphBuilder(result_cache=LRUCache(max_size=8))
+        warm.build(themed.table, sample=100)  # prime a different key
+        a = cold.build(themed.table, sample=120)
+        b = warm.build(themed.table, sample=120)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_code_cache_reused_across_selections(self, themed):
+        builder = GraphBuilder()
+        n = themed.table.n_rows
+        builder.build(themed.table, row_indices=np.arange(0, n, 2))
+        misses = builder.stats()["code_cache_misses"]
+        builder.build(themed.table, row_indices=np.arange(1, n, 2))
+        stats = builder.stats()
+        assert stats["code_cache_misses"] == misses
+        assert stats["code_cache_hits"] >= themed.table.n_columns
+
+    def test_metrics_sink_receives_counters(self, themed):
+        from repro.service.metrics import Metrics
+
+        metrics = Metrics()
+        builder = GraphBuilder(result_cache=LRUCache(max_size=4))
+        builder.set_metrics(metrics)
+        builder.build(themed.table, sample=100)
+        builder.build(themed.table, sample=100)
+        assert metrics.counter("blaeu_graph_builds_total") == 1
+        assert metrics.counter("blaeu_graph_cache_hits_total") == 1
+        assert metrics.counter("blaeu_graph_cache_misses_total") == 1
+        assert metrics.counter("blaeu_graph_code_cache_misses_total") > 0
+        assert "blaeu_graph_builds_total 1" in metrics.render()

@@ -120,7 +120,7 @@ class TestBitIdentity:
 
 
 _CHILD_SCRIPT = """
-import json, resource, sys
+import hashlib, json, resource, sys
 from pathlib import Path
 
 from repro.core.config import BlaeuConfig
@@ -135,12 +135,17 @@ stored = ingest_csv(
 engine = Blaeu(BlaeuConfig())
 engine.register(stored)
 explorer = engine.explore("blobs")
+themes = explorer.themes()
 data_map = explorer.open_theme(0)
 exported = export_map_json(data_map)
 print(json.dumps({
     "n_rows": stored.n_rows,
     "fingerprint": stored.fingerprint(),
-    "map_sha": __import__("hashlib").sha256(exported.encode()).hexdigest(),
+    "map_sha": hashlib.sha256(exported.encode()).hexdigest(),
+    "graph_sha": hashlib.sha256(
+        themes.graph.weights.tobytes()
+    ).hexdigest(),
+    "theme_columns": [list(t.columns) for t in themes],
     "k": data_map.k,
     "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
 }))
@@ -199,8 +204,20 @@ class TestMillionRowEndToEnd:
         assert table.fingerprint() == child_report["fingerprint"]
         engine = Blaeu(BlaeuConfig())
         engine.register(table)
-        data_map = engine.explore("blobs").open_theme(0)
+        explorer = engine.explore("blobs")
+        themes = explorer.themes()
+        data_map = explorer.open_theme(0)
         expected = hashlib.sha256(
             export_map_json(data_map).encode()
         ).hexdigest()
         assert expected == child_report["map_sha"]
+        # The dependency graph behind the themes — built out-of-core in
+        # the child (pushdown gathers, no full-column materialization) —
+        # must match the in-memory build bit for bit.
+        expected_graph = hashlib.sha256(
+            themes.graph.weights.tobytes()
+        ).hexdigest()
+        assert expected_graph == child_report["graph_sha"]
+        assert [
+            list(t.columns) for t in themes
+        ] == child_report["theme_columns"]
