@@ -30,6 +30,8 @@ from repro.core import (
     DataMap,
     Explorer,
     Highlight,
+    MapBuilder,
+    MapBuildError,
     Region,
     Theme,
     ThemeSet,
@@ -48,6 +50,8 @@ __all__ = [
     "Database",
     "Explorer",
     "Highlight",
+    "MapBuildError",
+    "MapBuilder",
     "Region",
     "StoredTable",
     "Table",

@@ -1,11 +1,16 @@
 """The benchmark suites behind ``python -m repro.bench``.
 
-Four suites cover the layers the ROADMAP cares about:
+Five suites cover the layers the ROADMAP cares about:
 
 * ``clustering`` — the map-building kernels: parallel CLARA vs the
   serial reference (same seed, bit-identical required), shared-distance
   k selection vs the legacy per-k recomputation, the Manhattan kernel's
   time/peak-memory, and the float32 distance opt-in.
+* ``mapping`` — the staged map pipeline (:mod:`repro.core.pipeline`):
+  cold builds, warm k-override re-entry at the Cluster stage (must skip
+  Sample/Preprocess/Distances and run ≥ 5x faster than cold), and the
+  approximate-first latency vs a blocking exact count on a large
+  store-backed selection.
 * ``service`` — wraps ``benchmarks/bench_service_throughput.py`` (cold vs
   warm cache, concurrent throughput) into the stable report schema.
 * ``store`` — the out-of-core layer (:mod:`repro.store`): chunked CSV
@@ -47,6 +52,7 @@ __all__ = [
     "SUITES",
     "run_clustering",
     "run_graph",
+    "run_mapping",
     "run_service",
     "run_store",
 ]
@@ -243,6 +249,188 @@ def run_clustering(smoke: bool) -> list[BenchResult]:
         _bench_kselect_shared(smoke),
         _bench_manhattan(smoke),
         _bench_float32(smoke),
+    ]
+
+
+# ----------------------------------------------------------------------
+# mapping suite
+# ----------------------------------------------------------------------
+
+
+def _mapping_config():
+    """The mapping workload's knobs: PAM scale, a wide k sweep.
+
+    Shared distance matrix + exact silhouette scoring make the cold
+    k sweep the dominant cost, which is exactly what a warm k-override
+    re-entry skips.
+    """
+    from repro.core.config import BlaeuConfig
+    from repro.tree.cart import CartParams
+
+    return BlaeuConfig(
+        map_k_values=(2, 3, 4, 5, 6, 7, 8, 9, 10),
+        map_sample_size=1200,
+        clara_threshold=1300,
+        silhouette_exact_threshold=1300,
+        tree_params=CartParams(max_numeric_thresholds=16),
+        seed=9,
+    )
+
+
+def _bench_mapping_warm_k_override(smoke: bool) -> BenchResult:
+    """Cold pipeline build vs a warm k-override re-entry.
+
+    The warm build must hit the cached Sample/Preprocess/Distances
+    artifacts (asserted via the builder's stage counters — a re-run of
+    any of them is a broken-reuse bug, not a slowdown) and come in at
+    least 5x under the cold build.
+    """
+    from repro.core.pipeline import MapBuilder
+    from repro.datasets.synthetic import mixed_blobs
+    from repro.service.cache import LRUCache
+
+    n_rows = 20_000 if smoke else 30_000
+    columns = ("x0", "x1", "x2")
+    config = _mapping_config()
+    table = mixed_blobs(n_rows=n_rows, k=4, seed=13).table
+
+    builder = MapBuilder(result_cache=LRUCache(max_size=64))
+    started = time.perf_counter()
+    cold = builder.build(table, columns, config=config)
+    cold_seconds = time.perf_counter() - started
+
+    before = builder.stats()
+    started = time.perf_counter()
+    warm = builder.build(table, columns, config=config, k=4)
+    warm_seconds = time.perf_counter() - started
+    after = builder.stats()
+
+    for stage in ("sample", "preprocess", "distances"):
+        if (
+            after["stage_hits"][stage] != before["stage_hits"][stage] + 1
+            or after["stage_misses"][stage] != before["stage_misses"][stage]
+        ):
+            raise AssertionError(
+                f"warm k-override re-ran the {stage} stage — the "
+                "pipeline-reuse contract is broken"
+            )
+    if warm.k != 4 or cold.n_rows != n_rows:
+        raise AssertionError("mapping bench produced the wrong map shape")
+    speedup = cold_seconds / warm_seconds
+    if speedup < 5.0:
+        raise AssertionError(
+            f"warm k-override rebuild is only {speedup:.1f}x faster than "
+            "cold; the acceptance floor is 5x"
+        )
+    return BenchResult(
+        name="mapping_warm_k_override",
+        params={
+            "n_rows": n_rows,
+            "sample_size": config.map_sample_size,
+            "k_values": list(config.map_k_values),
+            "override_k": 4,
+        },
+        metrics={
+            "cold_seconds": cold_seconds,
+            "warm_k_seconds": warm_seconds,
+            "warm_speedup": speedup,
+            "selected_k": float(cold.k),
+        },
+        gated=("cold_seconds", "warm_k_seconds"),
+    )
+
+
+def _bench_mapping_approximate_first(smoke: bool) -> BenchResult:
+    """Approximate-first latency vs the blocking exact count, on a store.
+
+    The two-phase claim on a million-row store-backed selection: the
+    map answers from the sample (its Count phase routes ~1k rows) and
+    the exact chunked routing pass over all rows is deferred off the
+    response path.  Asserted on the phase costs themselves — the
+    deferred pass must dwarf the approximate one — because whole-build
+    wall clocks are dominated by clustering and would only compare
+    noise.  The response-ordering half of the claim (the approximate
+    payload is served while the exact pass still runs) is asserted
+    end-to-end over HTTP in ``tests/service/test_refinement.py``.
+    """
+    from repro.core.config import BlaeuConfig
+    from repro.core.pipeline import MapBuilder
+    from repro.datasets.synthetic import mixed_blobs
+    from repro.service.cache import LRUCache
+    from repro.store import StoredTable, write_store
+    from repro.tree.cart import CartParams
+
+    n_rows = 300_000 if smoke else 1_000_000
+    columns = ("x0", "x1", "x2", "cat0")
+    config = BlaeuConfig(
+        map_k_values=(2, 3, 4, 5, 6),
+        map_sample_size=1000,
+        clara_threshold=1100,
+        silhouette_exact_threshold=1100,
+        tree_params=CartParams(max_numeric_thresholds=16),
+        seed=9,
+        count_mode="approximate",
+    )
+    table = mixed_blobs(n_rows=n_rows, k=4, seed=17).table
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "store"
+        write_store(table, root, chunk_rows=32_768)
+        stored = StoredTable(root)
+
+        builder = MapBuilder(result_cache=LRUCache(max_size=64))
+        started = time.perf_counter()
+        approx = builder.build(stored, columns, config=config)
+        approx_seconds = time.perf_counter() - started
+        approx_count_seconds = builder.stats()["last_stage_seconds"]["count"]
+
+        started = time.perf_counter()
+        exact = builder.refine(stored, columns, config=config)
+        refine_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        blocking = MapBuilder(result_cache=LRUCache(max_size=64)).build(
+            stored, columns, config=config, count_mode="exact"
+        )
+        blocking_seconds = time.perf_counter() - started
+
+    if approx.counts_status != "approximate" or exact.counts_status != "exact":
+        raise AssertionError("two-phase counting produced the wrong statuses")
+    if [r.n_rows for r in exact.regions()] != [
+        r.n_rows for r in blocking.regions()
+    ]:
+        raise AssertionError(
+            "refined counts diverged from the blocking exact build"
+        )
+    if refine_seconds <= approx_count_seconds * 5:
+        raise AssertionError(
+            "the deferred exact routing pass is not measurably heavier "
+            "than the sample extrapolation — the two-phase split buys "
+            "nothing at this scale"
+        )
+    return BenchResult(
+        name="mapping_approximate_first",
+        params={
+            "n_rows": n_rows,
+            "sample_size": config.map_sample_size,
+            "chunk_rows": 32_768,
+        },
+        metrics={
+            "approx_seconds": approx_seconds,
+            "approx_count_seconds": approx_count_seconds,
+            "refine_seconds": refine_seconds,
+            "blocking_seconds": blocking_seconds,
+            "deferred_pass_ratio": refine_seconds
+            / max(approx_count_seconds, 1e-9),
+        },
+        gated=("approx_seconds", "refine_seconds"),
+    )
+
+
+def run_mapping(smoke: bool) -> list[BenchResult]:
+    """The staged-pipeline suite: navigation reuse and two-phase counts."""
+    return [
+        _bench_mapping_warm_k_override(smoke),
+        _bench_mapping_approximate_first(smoke),
     ]
 
 
@@ -640,6 +828,7 @@ def run_graph(smoke: bool) -> list[BenchResult]:
 SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "clustering": run_clustering,
     "graph": run_graph,
+    "mapping": run_mapping,
     "service": run_service,
     "store": run_store,
 }

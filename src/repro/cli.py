@@ -30,6 +30,7 @@ Commands inside the session::
     open <theme|#>          build the initial map for a theme
     map                     re-print the current map
     zoom <region>           drill into a region (e.g. zoom r0)
+    refine                  upgrade approximate region counts to exact
     highlight <region> [col …]   inspect a region's tuples
     insight <region>        why is this region distinct?
     project <theme|#>       re-map the selection with another theme
@@ -81,6 +82,7 @@ class BlaeuShell:
 
         self._metrics = Metrics()
         engine.graph_builder.set_metrics(self._metrics)
+        engine.map_builder.set_metrics(self._metrics)
         tables = engine.tables()
         if len(tables) == 1:
             self._select_table(tables[0])
@@ -154,9 +156,20 @@ class BlaeuShell:
         explorer = self._require_explorer()
         explorer.open_theme(_theme_ref(args[0]))
         self._print(render_map(explorer.state.map))
+        self._print(self._map_report())
 
     def _cmd_map(self, args: list[str]) -> None:
         self._print(render_map(self._require_state().map))
+        self._print(self._map_report())
+
+    def _cmd_refine(self, args: list[str]) -> None:
+        explorer = self._require_explorer()
+        if not explorer.needs_refine:
+            self._print("counts are already exact")
+            return
+        explorer.refine()
+        self._print(render_map(explorer.state.map))
+        self._print(self._map_report())
 
     def _cmd_zoom(self, args: list[str]) -> None:
         if len(args) != 1:
@@ -164,6 +177,7 @@ class BlaeuShell:
         explorer = self._require_explorer()
         explorer.zoom(args[0])
         self._print(render_map(explorer.state.map))
+        self._print(self._map_report())
 
     def _cmd_highlight(self, args: list[str]) -> None:
         if not args:
@@ -185,6 +199,7 @@ class BlaeuShell:
         explorer = self._require_explorer()
         explorer.project(_theme_ref(args[0]))
         self._print(render_map(explorer.state.map))
+        self._print(self._map_report())
 
     def _cmd_hist(self, args: list[str]) -> None:
         if len(args) != 1:
@@ -240,6 +255,35 @@ class BlaeuShell:
             f" {counter('blaeu_graph_cache_misses_total')} miss"
             f" | code cache {counter('blaeu_graph_code_cache_hits_total')}"
             f" hit / {counter('blaeu_graph_code_cache_misses_total')} miss"
+        )
+
+    def _map_report(self) -> str:
+        """One line of map-pipeline telemetry shown after each map.
+
+        Reads the ``blaeu_pipeline_*`` counters the builder pushes into
+        the shared metrics registry plus the builder's per-stage
+        timings, so warm navigations visibly re-enter the pipeline
+        mid-way (stage hits go up, the skipped stages report no time).
+        """
+        from repro.core.pipeline import STAGES
+
+        stats = self._engine.map_builder.stats()
+        hits, misses = stats["stage_hits"], stats["stage_misses"]
+        seconds = stats["last_stage_seconds"]
+        per_stage = " ".join(
+            f"{stage}={hits.get(stage, 0)}h/{misses.get(stage, 0)}m"
+            f"({seconds.get(stage, 0.0) * 1000.0:.0f}ms)"
+            for stage in STAGES
+        )
+        counter = self._metrics.counter
+        return (
+            f"pipeline: last build "
+            f"{stats['last_build_seconds'] * 1000.0:.0f} ms"
+            f" | builds {counter('blaeu_pipeline_builds_total')}"
+            f" | map cache {counter('blaeu_pipeline_map_hits_total')} hit /"
+            f" {counter('blaeu_pipeline_map_misses_total')} miss"
+            f" | refinements {counter('blaeu_pipeline_refinements_total')}"
+            f"\nstages: {per_stage}"
         )
 
     def _require_explorer(self) -> Explorer:

@@ -28,6 +28,13 @@ from repro.cluster.silhouette import (
     monte_carlo_silhouette,
     silhouette_samples,
 )
+from repro.cluster.stages import (
+    ClusterOutcome,
+    ClusterParams,
+    cluster_features,
+    leaf_silhouettes,
+    shared_distance_matrix,
+)
 from repro.cluster.validation import (
     adjusted_rand_index,
     clustering_nmi,
@@ -35,16 +42,20 @@ from repro.cluster.validation import (
 )
 
 __all__ = [
+    "ClusterOutcome",
+    "ClusterParams",
     "Clustering",
     "KSelection",
     "SharedSilhouette",
     "adjusted_rand_index",
     "assign_to_medoids",
     "clara",
+    "cluster_features",
     "clustering_nmi",
     "euclidean_distances",
     "gower_distances",
     "kmeans",
+    "leaf_silhouettes",
     "manhattan_distances",
     "map_in_order",
     "mean_silhouette",
@@ -55,5 +66,6 @@ __all__ = [
     "resolve_jobs",
     "select_k",
     "select_k_points",
+    "shared_distance_matrix",
     "silhouette_samples",
 ]

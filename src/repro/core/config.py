@@ -85,6 +85,19 @@ class BlaeuConfig:
     prune_min_fidelity:
         Pruning never drops the tree's agreement with the clustering
         below this fraction.
+    pipeline_reuse:
+        Whether the staged map pipeline memoizes per-stage artifacts
+        (sample, feature space, distance matrix, clustering,
+        description) in the shared result cache, so navigation actions
+        re-enter mid-pipeline instead of recomputing from scratch.
+        ``False`` keeps only the finished-map cache.  Results are
+        identical either way.
+    count_mode:
+        ``"exact"`` (default) blocks each map build on the exact
+        region-count routing pass over the full selection;
+        ``"approximate"`` returns immediately with sample-extrapolated
+        counts (± error bounds) and leaves the exact pass to
+        :meth:`Explorer.refine` / the service's background refinement.
     seed:
         Root seed for all engine randomness.
     """
@@ -109,6 +122,8 @@ class BlaeuConfig:
     highlight_preview_rows: int = 12
     prune_leaf_factor: int = 2
     prune_min_fidelity: float = 0.9
+    pipeline_reuse: bool = True
+    count_mode: str = "exact"
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -138,14 +153,30 @@ class BlaeuConfig:
             raise ValueError("prune_leaf_factor must be at least 1")
         if not 0.0 <= self.prune_min_fidelity <= 1.0:
             raise ValueError("prune_min_fidelity must be in [0, 1]")
+        if self.count_mode not in ("exact", "approximate"):
+            raise ValueError("count_mode must be 'exact' or 'approximate'")
+
+    #: Knobs that change how a result is computed or delivered but never
+    #: which result — excluded from :meth:`digest` so configs differing
+    #: only here share cache entries and key-derived randomness (the
+    #: "results are identical either way" contracts depend on this).
+    _RESULT_NEUTRAL_KNOBS = ("pipeline_reuse", "count_mode")
 
     def digest(self) -> str:
-        """A stable hash of every knob (nested dataclasses included).
+        """A stable hash of every result-affecting knob.
 
-        Two configs with equal field values share a digest; any changed
-        knob changes it.  Used as a cache-key component so results
-        computed under one configuration are never served under another.
+        Two configs with equal field values share a digest; any knob
+        that can change a computed result changes it.  Used as a
+        cache-key component (and, via the key-seeded RNG chain, as the
+        randomness root) so results computed under one configuration
+        are never served — or perturbed — by another.  The
+        result-neutral knobs ``pipeline_reuse`` and ``count_mode`` are
+        excluded: stage memoization and two-phase counting never change
+        the final exact map, so sessions differing only there share
+        cache entries and refinements.
         """
         payload = dataclasses.asdict(self)
+        for knob in self._RESULT_NEUTRAL_KNOBS:
+            payload.pop(knob)
         text = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

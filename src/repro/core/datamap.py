@@ -45,6 +45,9 @@ class Region:
         Mean silhouette of the cluster (leaves only; ``None`` elsewhere).
     exemplar:
         Medoid tuple of the cluster as a column → value dict (leaves).
+    n_rows_error:
+        95% error bound on ``n_rows`` when the map's counts are
+        sample-extrapolated (``None`` once counts are exact).
     children:
         Sub-regions (empty for leaves).
     """
@@ -57,6 +60,7 @@ class Region:
     cluster: int | None = None
     silhouette: float | None = None
     exemplar: dict[str, object] = field(default_factory=dict)
+    n_rows_error: int | None = None
     children: list["Region"] = field(default_factory=list)
 
     @property
@@ -89,6 +93,8 @@ class Region:
             out["cluster"] = self.cluster
         if self.silhouette is not None:
             out["silhouette"] = round(self.silhouette, 4)
+        if self.n_rows_error is not None:
+            out["n_rows_error"] = self.n_rows_error
         if self.exemplar:
             out["exemplar"] = dict(self.exemplar)
         if self.children:
@@ -116,6 +122,16 @@ class DataMap:
         stage; 1.0 = perfect).
     sample_size:
         Tuples actually clustered (≤ selection size).
+    counts_status:
+        ``"exact"`` when every region's ``n_rows`` was counted by
+        routing the full selection through the description tree;
+        ``"approximate"`` when counts are extrapolated from the sample
+        (each region then carries an ``n_rows_error`` bound) and an
+        exact refinement pass is still outstanding.
+    refinement:
+        Private context for the approximate→exact count upgrade (the
+        fitted description tree); ``None`` on exact maps.  Never
+        serialized.
     """
 
     root: Region
@@ -124,6 +140,8 @@ class DataMap:
     silhouette: float
     fidelity: float
     sample_size: int
+    counts_status: str = "exact"
+    refinement: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_rows(self) -> int:
@@ -164,6 +182,7 @@ class DataMap:
             "sample_size": self.sample_size,
             "silhouette": round(self.silhouette, 4),
             "fidelity": round(self.fidelity, 4),
+            "counts_status": self.counts_status,
             "root": self.root.to_dict(),
         }
 

@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap
-from repro.core.mapping import build_map_cached
 from repro.core.navigation import Explorer
+from repro.core.pipeline import MapBuilder
 from repro.core.themes import ThemeSet, extract_themes
 from repro.graph.dependency import GraphBuilder
 from repro.table.database import Database
@@ -45,6 +45,7 @@ class Blaeu:
         self._theme_cache: dict[str, ThemeSet] = {}
         self._map_cache = map_cache
         self._graph_builder = GraphBuilder(result_cache=map_cache)
+        self._map_builder = MapBuilder(result_cache=map_cache)
 
     @property
     def config(self) -> BlaeuConfig:
@@ -66,16 +67,23 @@ class Blaeu:
         """The shared dependency-graph builder (codes + graph reuse)."""
         return self._graph_builder
 
+    @property
+    def map_builder(self) -> MapBuilder:
+        """The shared map-pipeline builder (stage + map reuse)."""
+        return self._map_builder
+
     def set_map_cache(self, cache: object | None) -> None:
         """Install (or remove) a shared map result cache.
 
         The cache must expose ``get(key)``/``put(key, value)``; existing
-        explorers keep the cache they were created with.  The graph
-        builder adopts the same cache as its graph memo, so finished
-        dependency graphs are shared across sessions alongside maps.
+        explorers keep the builder they were created with.  The graph
+        and map builders adopt the same cache as their memo, so finished
+        dependency graphs and pipeline stage artifacts are shared across
+        sessions alongside maps.
         """
         self._map_cache = cache
         self._graph_builder.set_result_cache(cache)
+        self._map_builder.set_result_cache(cache)
 
     # ------------------------------------------------------------------
     # Data ingestion
@@ -126,17 +134,18 @@ class Blaeu:
         table_name: str,
         columns: tuple[str, ...],
         k: int | None = None,
+        count_mode: str | None = None,
     ) -> DataMap:
         """A one-shot data map over explicit columns (no session)."""
         table = self._database.table(table_name)
         rng = np.random.default_rng(self._config.seed)
-        return build_map_cached(
+        return self._map_builder.build(
             table,
-            columns,
+            tuple(columns),
             config=self._config,
             rng=rng,
             k=k,
-            cache=self._map_cache,
+            count_mode=count_mode,
         )
 
     def explore(self, table_name: str) -> Explorer:
@@ -149,4 +158,5 @@ class Blaeu:
             themes=themes,
             map_cache=self._map_cache,
             graph_builder=self._graph_builder,
+            map_builder=self._map_builder,
         )

@@ -1,72 +1,78 @@
-"""Stages 2–3 of the mapping pipeline: cluster, then describe (Figure 3).
+"""Map construction — the compatibility facade over the staged pipeline.
 
-Given a selection and an active column set, :func:`build_map`:
+The mapping logic itself lives in :mod:`repro.core.pipeline` as an
+explicit staged pipeline (Sample → Preprocess → Distances → Cluster →
+Describe → Count) with per-stage memoization; this module keeps the
+historical entry points:
 
-1. takes a *sample* of the selection (a few thousand tuples — paper §3),
-2. **preprocesses** it into vectors (:mod:`repro.core.preprocess`),
-3. **clusters** the vectors with PAM — or CLARA when the sample is still
-   large — choosing k by Monte-Carlo silhouette,
-4. **describes** the clusters with a CART tree trained on the original
-   columns, with cluster ids as class labels,
-5. converts the tree into a :class:`~repro.core.datamap.Region` hierarchy
-   and counts each region's tuples *exactly* over the full selection by
-   routing every tuple through the tree.
-
-The resulting map is interpretable by construction (every boundary is a
-split predicate) at the cost the paper acknowledges: "the decision tree
-only approximates the real partitions detected during the clustering
-step" — that approximation quality is reported as ``fidelity``.
+* :func:`build_map` — one synchronous build over an already-selected
+  table, threading one RNG through the stages sequentially.  Bit-
+  identical to the original single-pass implementation at the same
+  seed (the pipeline's stages consume randomness in the same order).
+* :func:`build_map_cached` — the cache-aware form; long-lived callers
+  (the engine, the service) hold a
+  :class:`~repro.core.pipeline.MapBuilder` instead so stage artifacts
+  and statistics persist across calls.
+* :func:`map_cache_key` / :func:`cache_key_seed` — the canonical cache
+  key of a map request and the key→seed derivation (both re-exported
+  from the pipeline module, their canonical home).
 """
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
-from repro.cluster.clara import clara
-from repro.cluster.distance import pairwise_distances
-from repro.cluster.kselect import select_k_points
-from repro.cluster.pam import Clustering, pam
-from repro.cluster.silhouette import SharedSilhouette, silhouette_samples
 from repro.core.config import BlaeuConfig
-from repro.core.datamap import DataMap, Region
-from repro.core.preprocess import preprocess
-from repro.table.predicates import And, Comparison, Everything, Predicate
+from repro.core.datamap import DataMap
+from repro.core.pipeline import (
+    MapBuilder,
+    MapBuildError,
+    MapPipeline,
+    cache_key_seed,
+    map_cache_key,
+)
+from repro.table.predicates import Predicate
 from repro.table.table import Table
-from repro.tree.cart import DecisionTree, TreeNode, fit_tree
-from repro.tree.prune import prune_for_legibility
 
-__all__ = ["build_map", "build_map_cached", "cache_key_seed", "map_cache_key"]
-
-
-def cache_key_seed(cache_key: object) -> int:
-    """A deterministic RNG seed derived from a cache key.
-
-    Cache-aware callers seed each build from its key instead of from a
-    session-local RNG stream: otherwise the RNG state a build sees would
-    depend on which earlier actions hit the cache, and the same action
-    path could yield different maps depending on cache warmth.
-    """
-    digest = hashlib.sha256(repr(cache_key).encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
+__all__ = [
+    "MapBuildError",
+    "build_map",
+    "build_map_cached",
+    "cache_key_seed",
+    "map_cache_key",
+]
 
 
-def map_cache_key(
-    table: Table,
-    selection_sql: str,
+def build_map(
+    selection: Table,
     columns: tuple[str, ...],
-    config: BlaeuConfig,
+    config: BlaeuConfig | None = None,
+    rng: np.random.Generator | None = None,
     k: int | None = None,
-) -> tuple[str, str, str, tuple[str, ...], int | None]:
-    """The canonical cache key of one map-building request.
+    count_mode: str | None = None,
+) -> DataMap:
+    """Build the data map of ``selection`` over the active ``columns``.
 
-    Combines the *content* fingerprint of the base table, the config
-    digest and the canonical action path (selection predicate rendered
-    as SQL, plus the active columns) — so two sessions that navigated to
-    the same place share a key even if they got there independently.
+    Parameters
+    ----------
+    selection:
+        The tuples matching the user's current query (already selected).
+    columns:
+        Active column set (typically a theme).
+    config:
+        Engine knobs; defaults to :class:`BlaeuConfig`.
+    rng:
+        Randomness for sampling / CLARA / silhouette, threaded through
+        the stages sequentially.
+    k:
+        Force a specific cluster count instead of silhouette selection.
+    count_mode:
+        Override ``config.count_mode`` (``"exact"``/``"approximate"``).
     """
-    return (table.fingerprint(), config.digest(), selection_sql, tuple(columns), k)
+    config = config or BlaeuConfig()
+    rng = rng or np.random.default_rng(config.seed)
+    pipeline = MapPipeline(selection, tuple(columns), config, k=k, rng=rng)
+    return pipeline.build(count_mode)
 
 
 def build_map_cached(
@@ -88,406 +94,18 @@ def build_map_cached(
     :class:`DataMap` is returned as-is — maps are treated as immutable
     once built, so sharing one across sessions is safe.
 
-    When a cache is installed the build RNG is seeded from the cache
-    key (via :func:`cache_key_seed`), so the map an action path
+    When a cache is installed the build RNG is derived from the stage
+    keys (via :func:`cache_key_seed`), so the map an action path
     produces never depends on cache warmth or on which session built
     it first; without a cache the caller's ``rng`` stream is used,
     preserving the original session-sequential behaviour.
     """
-    config = config or BlaeuConfig()
-    cache_key = None
-    if cache is not None:
-        selection_sql = selection.to_sql() if selection is not None else "TRUE"
-        cache_key = map_cache_key(
-            table, selection_sql, tuple(columns), config, k=k
-        )
-        hit = cache.get(cache_key)
-        if hit is not None:
-            return hit
-        rng = np.random.default_rng(cache_key_seed(cache_key))
-    if selection is None or isinstance(selection, Everything):
-        subset = table
-    else:
-        subset = table.select(selection)
-    data_map = build_map(subset, columns, config=config, rng=rng, k=k)
-    if cache is not None:
-        cache.put(cache_key, data_map)
-    return data_map
-
-
-def build_map(
-    selection: Table,
-    columns: tuple[str, ...],
-    config: BlaeuConfig | None = None,
-    rng: np.random.Generator | None = None,
-    k: int | None = None,
-) -> DataMap:
-    """Build the data map of ``selection`` over the active ``columns``.
-
-    Parameters
-    ----------
-    selection:
-        The tuples matching the user's current query (already selected).
-    columns:
-        Active column set (typically a theme).
-    config:
-        Engine knobs; defaults to :class:`BlaeuConfig`.
-    rng:
-        Randomness for sampling / CLARA / silhouette.
-    k:
-        Force a specific cluster count instead of silhouette selection.
-    """
-    config = config or BlaeuConfig()
-    rng = rng or np.random.default_rng(config.seed)
-    if not columns:
-        raise ValueError("build_map needs at least one active column")
-    if selection.n_rows < 2:
-        raise ValueError(
-            f"selection has {selection.n_rows} rows; nothing to cluster"
-        )
-
-    # Stage 0: sampling (multi-scale sampling handled by the caller's
-    # Database when available; plain uniform here).  Only the sampled
-    # slice is ever materialized: store-backed selections
-    # (:mod:`repro.store`) hand back a plain in-memory Table here, and
-    # the full selection is touched again only by the chunked routing
-    # scan at the end of stage 3.
-    if selection.n_rows > config.map_sample_size:
-        sample = selection.sample(config.map_sample_size, rng=rng)
-    elif getattr(selection, "iter_chunks", None) is not None:
-        # A store-backed selection small enough to skip sampling still
-        # needs one in-memory copy for the vectorized pipeline stages.
-        sample = selection.take(np.arange(selection.n_rows, dtype=np.intp))
-    else:
-        sample = selection
-
-    # Stage 1: preprocessing.
-    space = preprocess(
-        sample,
-        columns=columns,
-        max_categorical_cardinality=config.max_categorical_cardinality,
-    )
-
-    # Stage 2: cluster detection (PAM, or CLARA at scale), k by silhouette.
-    clustering, silhouette, shared_matrix = _cluster(
-        space.matrix, config, rng, forced_k=k
-    )
-
-    # Stage 3: cluster description with CART on the *original* columns.
-    describable = [
-        name for name in columns if name in space.used_columns
-    ]
-    tree = fit_tree(
-        sample,
-        clustering.labels,
-        feature_names=describable,
-        params=config.tree_params,
-    )
-    tree = prune_for_legibility(
-        tree,
-        target_leaves=clustering.k * config.prune_leaf_factor,
-        min_accuracy=config.prune_min_fidelity,
-    )
-    fidelity = tree.accuracy(sample, clustering.labels)
-
-    # Region hierarchy + exact counts over the full selection: every
-    # tuple is routed through the fitted tree (store-backed selections
-    # route in one chunked pass over just the split columns).
-    leaf_silhouettes = _leaf_silhouettes(
-        space.matrix, clustering, config, rng, shared_matrix
-    )
-    exemplars = _exemplars(sample, clustering, columns)
-    root = _tree_to_regions(
-        tree.root,
-        selection.n_rows,
-        _left_router(tree, selection),
-        leaf_silhouettes,
-        exemplars,
-    )
-    return DataMap(
-        root=root,
-        columns=tuple(columns),
-        k=clustering.k,
-        silhouette=silhouette,
-        fidelity=fidelity,
-        sample_size=sample.n_rows,
-    )
-
-
-# ----------------------------------------------------------------------
-# Stage 2 internals
-# ----------------------------------------------------------------------
-
-
-def _cluster(
-    matrix: np.ndarray,
-    config: BlaeuConfig,
-    rng: np.random.Generator,
-    forced_k: int | None,
-) -> tuple[Clustering, float, np.ndarray | None]:
-    """Cluster the vectors; return the clustering, its silhouette, and the
-    shared distance matrix when one was built (``None`` on the CLARA path).
-
-    All distance work is done once per call: at PAM scale the pairwise
-    matrix is computed a single time and reused by every candidate k, by
-    every silhouette evaluation and by the caller's per-leaf quality
-    panel; at CLARA scale the draws fan out over ``config.clara_jobs``
-    threads and the Monte-Carlo silhouette subsamples are drawn once for
-    the whole k sweep.
-    """
-    n = matrix.shape[0]
-    dtype = config.distance_dtype
-
-    shared_matrix: np.ndarray | None = None
-    if n <= config.clara_threshold:
-        shared_matrix = pairwise_distances(matrix, dtype=dtype)
-
-    def cluster_fn(points: np.ndarray, k: int) -> Clustering:
-        if shared_matrix is not None:
-            return pam(shared_matrix, k, rng=rng, validate=False)
-        return clara(
-            points,
-            k,
-            n_draws=config.clara_draws,
-            sample_size=config.clara_sample_size,
-            rng=rng,
-            n_jobs=config.clara_jobs,
-            dtype=dtype,
-        )
-
-    shared = SharedSilhouette(
-        matrix,
-        n_subsamples=config.silhouette_subsamples,
-        subsample_size=config.silhouette_subsample_size,
-        exact_threshold=config.silhouette_exact_threshold,
+    builder = MapBuilder(result_cache=cache)
+    return builder.build(
+        table,
+        tuple(columns),
+        config=config,
+        selection=selection,
+        k=k,
         rng=rng,
-        dtype=dtype,
-        distances=shared_matrix,
     )
-
-    if forced_k is not None:
-        if not 1 <= forced_k <= n:
-            raise ValueError(f"forced k={forced_k} out of range [1, {n}]")
-        clustering = cluster_fn(matrix, forced_k)
-        return clustering, shared.score(clustering.labels), shared_matrix
-
-    selection = select_k_points(
-        matrix,
-        cluster_fn,
-        k_values=config.map_k_values,
-        rng=rng,
-        shared=shared,
-    )
-    return selection.clustering, selection.best.silhouette, shared_matrix
-
-
-def _leaf_silhouettes(
-    matrix: np.ndarray,
-    clustering: Clustering,
-    config: BlaeuConfig,
-    rng: np.random.Generator,
-    shared_matrix: np.ndarray | None = None,
-) -> dict[int, float]:
-    """Per-cluster mean silhouette, from a bounded subsample.
-
-    When the clustering stage already built the full distance matrix it
-    is reused as-is (exact per-leaf quality, zero extra distance work).
-    """
-    n = matrix.shape[0]
-    if shared_matrix is not None:
-        labels = clustering.labels
-        distances = shared_matrix
-    else:
-        cap = max(config.silhouette_subsample_size * 2, 400)
-        if n > cap:
-            chosen = rng.choice(n, size=cap, replace=False)
-        else:
-            chosen = np.arange(n)
-        labels = clustering.labels[chosen]
-        distances = None
-    if np.unique(labels).size < 2:
-        return {int(c): 0.0 for c in np.unique(clustering.labels)}
-    if distances is None:
-        distances = pairwise_distances(
-            matrix[chosen], dtype=config.distance_dtype
-        )
-    values = silhouette_samples(distances, labels, validate=False)
-    return {
-        int(cluster): float(values[labels == cluster].mean())
-        for cluster in np.unique(labels)
-    }
-
-
-def _exemplars(
-    sample: Table,
-    clustering: Clustering,
-    columns: tuple[str, ...],
-) -> dict[int, dict[str, object]]:
-    """Medoid tuple per cluster, restricted to the active columns."""
-    out: dict[int, dict[str, object]] = {}
-    for cluster in range(clustering.k):
-        medoid_row = int(clustering.medoids[cluster])
-        row = sample.row(medoid_row)
-        out[cluster] = {name: row[name] for name in columns if name in row}
-    return out
-
-
-# ----------------------------------------------------------------------
-# Stage 3 internals: tree → regions
-# ----------------------------------------------------------------------
-
-
-def _left_router(tree: DecisionTree, selection: Table):
-    """A ``node -> goes-left mask`` function over the full selection.
-
-    In-memory selections evaluate lazily per node (the column arrays are
-    already resident).  Store-backed selections — anything exposing
-    ``iter_chunks`` — are routed in **one chunked pass** that reads only
-    the columns the tree actually splits on, so exact region counts over
-    millions of rows cost one bounded scan instead of per-node
-    full-column materializations.
-    """
-    iter_chunks = getattr(selection, "iter_chunks", None)
-    if iter_chunks is None:
-        return lambda node: _route_left(node, selection)
-
-    from repro.tree.cart import _left_mask
-
-    internal = [node for node in tree.root.walk() if not node.is_leaf]
-    masks = {
-        id(node): np.zeros(selection.n_rows, dtype=bool) for node in internal
-    }
-    if internal:
-        needed = tuple(sorted({node.column or "" for node in internal}))
-        for start, stop, chunk in iter_chunks(columns=needed):
-            local = np.arange(stop - start, dtype=np.intp)
-            for node in internal:
-                column = chunk.column(node.column or "")
-                masks[id(node)][start:stop] = _left_mask(node, column, local)
-    return lambda node: masks[id(node)]
-
-
-def _tree_to_regions(
-    node: TreeNode,
-    n_rows: int,
-    route_left,
-    leaf_silhouettes: dict[int, float],
-    exemplars: dict[int, dict[str, object]],
-    region_id: str = "r",
-    label: str = "all rows",
-    path: tuple[Predicate, ...] = (),
-    row_mask: np.ndarray | None = None,
-) -> Region:
-    """Recursively mirror the description tree as a region hierarchy.
-
-    ``row_mask`` tracks which selection rows route into this node, so
-    counts come from the actual tree routing (missing values follow the
-    fitted majority branch) rather than from re-evaluating predicates,
-    which would disagree on missing cells.  ``route_left`` supplies the
-    per-node routing masks (see :func:`_left_router`).
-    """
-    if row_mask is None:
-        row_mask = np.ones(n_rows, dtype=bool)
-    predicate: Predicate = And.of(*path) if path else Everything()
-
-    if node.is_leaf:
-        cluster = node.prediction
-        return Region(
-            region_id=region_id,
-            label=label,
-            predicate=predicate,
-            n_rows=int(row_mask.sum()),
-            depth=node.depth,
-            cluster=cluster,
-            silhouette=leaf_silhouettes.get(cluster),
-            exemplar=exemplars.get(cluster, {}),
-        )
-
-    assert node.left is not None and node.right is not None
-    left_predicate, right_predicate = _split_predicates(node)
-    left_label, right_label = _split_labels(node)
-    goes_left = route_left(node)
-    left_mask = row_mask & goes_left
-    right_mask = row_mask & ~goes_left
-
-    region = Region(
-        region_id=region_id,
-        label=label,
-        predicate=predicate,
-        n_rows=int(row_mask.sum()),
-        depth=node.depth,
-    )
-    region.children = [
-        _tree_to_regions(
-            node.left,
-            n_rows,
-            route_left,
-            leaf_silhouettes,
-            exemplars,
-            region_id=region_id + "0",
-            label=left_label,
-            path=path + (left_predicate,),
-            row_mask=left_mask,
-        ),
-        _tree_to_regions(
-            node.right,
-            n_rows,
-            route_left,
-            leaf_silhouettes,
-            exemplars,
-            region_id=region_id + "1",
-            label=right_label,
-            path=path + (right_predicate,),
-            row_mask=right_mask,
-        ),
-    ]
-    return region
-
-
-def _split_predicates(node: TreeNode) -> tuple[Predicate, Predicate]:
-    """The (left, right) predicates of a split, missing-values included.
-
-    The fitted tree routes missing cells along the node's majority branch;
-    the predicates say so explicitly (``… OR x IS NULL``), so that the SQL
-    a region displays selects *exactly* the tuples the region counts.
-    """
-    from repro.table.predicates import IsMissing, Or
-
-    column = node.column or ""
-    if node.threshold is not None:
-        left: Predicate = Comparison(column, "<", node.threshold)
-        right: Predicate = Comparison(column, ">=", node.threshold)
-    else:
-        category = node.category or ""
-        left = Comparison(column, "==", category)
-        right = Comparison(column, "!=", category)
-    if node.missing_goes_left:
-        left = Or((left, IsMissing(column)))
-    else:
-        right = Or((right, IsMissing(column)))
-    return left, right
-
-
-def _split_labels(node: TreeNode) -> tuple[str, str]:
-    """Short display labels for the two branches (no IS NULL noise)."""
-    column = node.column or ""
-    if node.threshold is not None:
-        return (
-            f"{column} < {node.threshold:g}",
-            f"{column} >= {node.threshold:g}",
-        )
-    return (
-        f"{column} = '{node.category}'",
-        f"{column} <> '{node.category}'",
-    )
-
-
-def _route_left(node: TreeNode, table: Table) -> np.ndarray:
-    """Boolean mask of all table rows that follow the node's left branch."""
-    from repro.tree.cart import _left_mask
-
-    indices = np.arange(table.n_rows, dtype=np.intp)
-    out = np.zeros(table.n_rows, dtype=bool)
-    goes_left = _left_mask(node, table.column(node.column or ""), indices)
-    out[indices[goes_left]] = True
-    return out

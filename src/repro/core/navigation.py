@@ -9,14 +9,14 @@ back to a previous state of the system with a rollback."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap
-from repro.core.mapping import build_map_cached
+from repro.core.pipeline import MapBuilder
 from repro.core.themes import Theme, ThemeSet, extract_themes
 from repro.graph.dependency import GraphBuilder
 from repro.table.column import CategoricalColumn, NumericColumn
@@ -62,6 +62,17 @@ class Highlight:
     category_counts: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
+def _numeric_summary(column: NumericColumn) -> dict[str, float]:
+    """The univariate statistics a highlight reports for one column."""
+    return {
+        "min": column.min(),
+        "max": column.max(),
+        "mean": column.mean(),
+        "median": column.median(),
+        "std": column.std(),
+    }
+
+
 class Explorer:
     """Interactive navigation over one table.
 
@@ -84,6 +95,13 @@ class Explorer:
         sessions shares one column-code cache and (if a result cache is
         installed) one graph memo; otherwise this session gets a
         private builder.
+    map_builder:
+        Optional shared :class:`~repro.core.pipeline.MapBuilder`.  When
+        the engine passes its builder, map construction across all
+        sessions shares one staged pipeline (sample / feature-space /
+        distance / clustering / description artifacts plus finished
+        maps); otherwise this session gets a private builder over
+        ``map_cache``.
     """
 
     def __init__(
@@ -93,13 +111,14 @@ class Explorer:
         themes: ThemeSet | None = None,
         map_cache: object | None = None,
         graph_builder: GraphBuilder | None = None,
+        map_builder: MapBuilder | None = None,
     ) -> None:
         self._table = table
         self._config = config or BlaeuConfig()
         self._rng = np.random.default_rng(self._config.seed)
         self._themes = themes
-        self._map_cache = map_cache
         self._graph_builder = graph_builder or GraphBuilder()
+        self._map_builder = map_builder or MapBuilder(result_cache=map_cache)
         self._stack: list[ExplorationState] = []
 
     # ------------------------------------------------------------------
@@ -120,6 +139,11 @@ class Explorer:
     def graph_builder(self) -> GraphBuilder:
         """The dependency-graph builder (shared when the engine provides it)."""
         return self._graph_builder
+
+    @property
+    def map_builder(self) -> MapBuilder:
+        """The map-pipeline builder (shared when the engine provides it)."""
+        return self._map_builder
 
     def themes(self) -> ThemeSet:
         """The table's themes (computed once, then cached)."""
@@ -269,13 +293,19 @@ class Explorer:
         """Inspect the tuples of a region without changing state (Fig. 1c).
 
         Returns a bounded preview plus univariate summaries for the
-        requested columns (default: the active columns).
+        requested columns (default: the active columns).  On
+        store-backed tables the summaries come from **one chunked
+        pushdown scan over only the highlighted columns** — the full
+        selection is never materialized and non-highlighted columns are
+        never read.
         """
         state = self.state
         region = state.map.region(region_id)
         predicate = And.of(state.selection, region.predicate)
-        rows = self._table.select(predicate)
         inspect = tuple(columns) if columns else state.columns
+        if getattr(self._table, "iter_chunks", None) is not None:
+            return self._highlight_store(region_id, predicate, inspect)
+        rows = self._table.select(predicate)
         for name in inspect:
             self._table.column(name)
 
@@ -290,13 +320,7 @@ class Explorer:
         for name in inspect:
             column = rows.column(name)
             if isinstance(column, NumericColumn):
-                numeric_summaries[name] = {
-                    "min": column.min(),
-                    "max": column.max(),
-                    "mean": column.mean(),
-                    "median": column.median(),
-                    "std": column.std(),
-                }
+                numeric_summaries[name] = _numeric_summary(column)
             elif isinstance(column, CategoricalColumn):
                 category_counts[name] = column.value_counts()
         return Highlight(
@@ -308,12 +332,140 @@ class Explorer:
             category_counts=category_counts,
         )
 
+    def _highlight_store(
+        self,
+        region_id: str,
+        predicate: Predicate,
+        inspect: tuple[str, ...],
+    ) -> Highlight:
+        """The store-backed highlight: chunked pushdown, no full gather.
+
+        The predicate is evaluated by :meth:`~repro.store.StoredTable.
+        scan_mask` (reads only the predicate's columns), then one
+        chunked scan over just the ``inspect`` columns accumulates the
+        per-column summaries — matched numeric cells for the order
+        statistics, per-chunk ``bincount`` totals for the categorical
+        value counts — and the bounded tuple preview.  Results are
+        identical to the in-memory path on the same rows.
+        """
+        table = self._table
+        for name in inspect:
+            if not table.has_column(name):
+                raise KeyError(
+                    f"table {table.name!r} has no column {name!r}; "
+                    f"available: {list(table.column_names)}"
+                )
+        mask = table.scan_mask(predicate)
+        n_rows = int(mask.sum())
+        preview_cap = self._config.highlight_preview_rows
+        preview: list[dict[str, object]] = []
+        # Accumulators are seeded from the manifest for every inspected
+        # column, so a region matching zero rows still reports the same
+        # (NaN summaries / empty counts) shape as the in-memory path.
+        numeric_parts: dict[str, list[NumericColumn]] = {}
+        category_codes: dict[str, np.ndarray] = {}
+        categories: dict[str, tuple[str, ...]] = {}
+        for name in inspect:
+            if table.kind(name).value == "numeric":
+                numeric_parts[name] = []
+            else:
+                categories[name] = table.categories(name)
+                category_codes[name] = np.zeros(
+                    len(categories[name]), dtype=np.int64
+                )
+        for start, stop, chunk in table.iter_chunks(columns=inspect):
+            matched = np.flatnonzero(mask[start:stop])
+            if matched.size == 0:
+                continue
+            chunk_columns = {name: chunk.column(name) for name in inspect}
+            for name, column in chunk_columns.items():
+                if isinstance(column, NumericColumn):
+                    numeric_parts[name].append(column.take(matched))
+                elif isinstance(column, CategoricalColumn):
+                    codes = column.codes[matched]
+                    category_codes[name] += np.bincount(
+                        codes[codes >= 0], minlength=len(column.categories)
+                    )
+            for local in matched[: max(preview_cap - len(preview), 0)]:
+                preview.append(
+                    {
+                        name: column.value_at(int(local))
+                        for name, column in chunk_columns.items()
+                    }
+                )
+
+        numeric_summaries = {
+            name: _numeric_summary(
+                NumericColumn(
+                    name,
+                    np.concatenate([part.values for part in parts])
+                    if parts
+                    else np.empty(0, dtype=np.float64),
+                    np.concatenate([part.missing_mask for part in parts])
+                    if parts
+                    else np.empty(0, dtype=bool),
+                )
+            )
+            for name, parts in numeric_parts.items()
+        }
+        category_counts: dict[str, dict[str, int]] = {}
+        for name, counts in category_codes.items():
+            pairs = [
+                (categories[name][code], int(n))
+                for code, n in enumerate(counts)
+                if n > 0
+            ]
+            pairs.sort(key=lambda item: (-item[1], item[0]))
+            category_counts[name] = dict(pairs)
+        return Highlight(
+            region_id=region_id,
+            columns=inspect,
+            n_rows=n_rows,
+            preview=tuple(preview),
+            numeric_summaries=numeric_summaries,
+            category_counts=category_counts,
+        )
+
     def rollback(self) -> DataMap:
         """Undo the latest zoom/project/open; returns the restored map."""
         if len(self._stack) < 2:
             raise RuntimeError("nothing to roll back to")
         self._stack.pop()
         return self.state.map
+
+    # ------------------------------------------------------------------
+    # Approximate → exact refinement
+    # ------------------------------------------------------------------
+
+    @property
+    def needs_refine(self) -> bool:
+        """Whether the current map still carries approximate counts."""
+        return bool(self._stack) and self.state.map.counts_status != "exact"
+
+    def refine(self) -> DataMap:
+        """Upgrade the current map to exact region counts.
+
+        With ``count_mode="approximate"`` navigation actions return
+        immediately with sample-extrapolated counts; this runs the exact
+        chunked routing pass over the full selection (through the shared
+        builder, so another session's refinement — or a cached exact
+        build — is reused), swaps the state's map, and returns it.  The
+        result is bit-identical to a blocking exact build.  No-op on
+        already-exact maps.
+        """
+        state = self.state
+        if state.map.counts_status == "exact":
+            return state.map
+        exact = self._map_builder.refine(
+            self._table,
+            state.columns,
+            config=self._config,
+            selection=state.selection,
+            current_map=state.map,
+        )
+        if exact is not state.map:
+            self._stack[-1] = replace(state, map=exact)
+        return exact
 
     def states(self) -> tuple[ExplorationState, ...]:
         """All states on the stack, oldest first (for the history panel)."""
@@ -382,12 +534,11 @@ class Explorer:
         columns: tuple[str, ...],
         action: str,
     ) -> DataMap:
-        data_map = build_map_cached(
+        data_map = self._map_builder.build(
             self._table,
             columns,
             config=self._config,
             rng=self._rng,
-            cache=self._map_cache,
             selection=selection,
         )
         self._stack.append(

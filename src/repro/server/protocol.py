@@ -90,10 +90,16 @@ class Response:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """A failed server response."""
+    """A failed server response.
+
+    ``code`` optionally carries a machine-readable error class (e.g.
+    ``"map_build_invalid"`` for requests the map pipeline rejects as
+    posed), so HTTP clients can branch without parsing prose.
+    """
 
     error: str
     command: str | None = None
+    code: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -105,6 +111,8 @@ class ErrorResponse:
         body: dict[str, object] = {"ok": False, "error": self.error}
         if self.command:
             body["command"] = self.command
+        if self.code:
+            body["code"] = self.code
         return json.dumps(body, sort_keys=True)
 
 

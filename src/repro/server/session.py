@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import Blaeu
 from repro.core.navigation import Explorer, Highlight
+from repro.core.pipeline import MapBuildError
 from repro.server.protocol import (
     COMMANDS,
     ErrorResponse,
@@ -117,6 +118,16 @@ class SessionManager:
                             )
                     return handler(request)
             return handler(request)
+        except MapBuildError as error:
+            # A request the map pipeline rejects as posed (no active
+            # columns, nothing to cluster): structurally a client
+            # error, surfaced with a machine-readable code so the HTTP
+            # layer can answer 400 without prose-matching.
+            return ErrorResponse(
+                error=str(error),
+                command=request.command,
+                code="map_build_invalid",
+            )
         except (KeyError, ValueError, RuntimeError) as error:
             return ErrorResponse(error=str(error), command=request.command)
 
@@ -256,6 +267,69 @@ class SessionManager:
                     )
                 del self._sessions[session_id]
         return Response({"closed": session_id})
+
+    # ------------------------------------------------------------------
+    # Count refinement (the service's background exact-count pass)
+    # ------------------------------------------------------------------
+
+    def needs_refine(self, session_id: str) -> bool:
+        """Best-effort, lock-free probe: does the session's current map
+        still carry approximate counts?
+
+        Deliberately reads the explorer without its session lock (a
+        stale answer is harmless — the caller only uses it to decide
+        whether to schedule another refinement pass, and any
+        map-bearing command re-triggers scheduling anyway), so it is
+        safe to call from a latency-sensitive thread.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        return session.explorer.needs_refine
+
+    def refine_session(self, session_id: str) -> bool:
+        """Upgrade a session's current map to exact counts.
+
+        The expensive part — the exact chunked routing pass over the
+        full selection — runs **outside** the session lock, so
+        concurrent interactive commands on the same session are never
+        stuck behind the very pass the two-phase design deferred.  The
+        pass patches the shared cache; the state swap itself then
+        happens under the lock via :meth:`Explorer.refine`, which at
+        that point is a cache lookup.  Returns whether a refinement ran
+        (the caller loops while it did: a navigation racing past the
+        snapshot leaves a newer approximate state behind); a session
+        that disappeared or already shows exact counts is a quiet
+        no-op — refinement is best-effort by design.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        with session.lock:
+            with self._lock:
+                if self._sessions.get(session_id) is not session:
+                    return False
+            explorer = session.explorer
+            if not explorer.needs_refine:
+                return False
+            state = explorer.state
+        # The heavy pass, unlocked: patches the shared map cache.
+        self._engine.map_builder.refine(
+            explorer.table,
+            state.columns,
+            config=explorer.config,
+            selection=state.selection,
+            current_map=state.map,
+        )
+        with session.lock:
+            with self._lock:
+                if self._sessions.get(session_id) is not session:
+                    return True
+            if explorer.states() and explorer.state is state:
+                explorer.refine()  # served from the patched cache
+        return True
 
     def _require(self, request: Request) -> Session:
         session_id = str(request.arg("session"))

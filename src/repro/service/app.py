@@ -106,9 +106,16 @@ class BlaeuService:
             )
         self._manager = SessionManager(engine)
         self._metrics = Metrics()
-        # Graph builds report into the same registry, so /metrics shows
-        # blaeu_graph_*_total counters alongside the HTTP numbers.
+        # Graph and map-pipeline builds report into the same registry,
+        # so /metrics shows blaeu_graph_*_total and blaeu_pipeline_*
+        # counters alongside the HTTP numbers.
         engine.graph_builder.set_metrics(self._metrics)
+        engine.map_builder.set_metrics(self._metrics)
+        #: Sessions with an exact-count refinement in flight, plus the
+        #: asyncio tasks driving them (cancelled on shutdown).
+        self._refining: set[str] = set()
+        self._refine_tasks: set[asyncio.Task] = set()
+        self._stopping = False
         self._pool = WorkerPool(
             workers=self._config.workers,
             max_pending=self._config.max_pending,
@@ -181,7 +188,12 @@ class BlaeuService:
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain workers."""
+        self._stopping = True
         await self._http.stop()
+        for task in list(self._refine_tasks):
+            task.cancel()
+        if self._refine_tasks:
+            await asyncio.gather(*self._refine_tasks, return_exceptions=True)
         self._pool.shutdown(wait=True)
 
     async def serve_forever(self) -> None:
@@ -322,6 +334,14 @@ class BlaeuService:
             "blaeu_graph_code_cache_entries",
             len(self._engine.graph_builder.code_cache),
         )
+        pipeline = self._engine.map_builder.stats()
+        self._metrics.set_gauge(
+            "blaeu_pipeline_last_build_seconds",
+            pipeline["last_build_seconds"],
+        )
+        self._metrics.set_gauge(
+            "blaeu_pipeline_refining_sessions", len(self._refining)
+        )
         return text_response(self._metrics.render())
 
     async def _run_command(
@@ -347,12 +367,91 @@ class BlaeuService:
         except PoolSaturatedError as error:
             return json_response({"ok": False, "error": str(error)}, 503)
         if isinstance(result, Response):
-            return json_response({"ok": True, **result.payload})
+            payload: dict[str, object] = {"ok": True, **result.payload}
+            self._annotate_counts(payload)
+            return json_response(payload)
         assert isinstance(result, ErrorResponse)
-        return json_response(
-            {"ok": False, "error": result.error, "command": command},
-            self._error_status(result.error),
-        )
+        body: dict[str, object] = {
+            "ok": False,
+            "error": result.error,
+            "command": command,
+        }
+        if result.code:
+            # Structured client errors (e.g. the map pipeline rejecting
+            # the request as posed) carry their machine-readable code.
+            body["code"] = result.code
+        return json_response(body, self._error_status(result.error))
+
+    def _annotate_counts(self, payload: dict[str, object]) -> None:
+        """Surface count-refinement status on map-bearing responses.
+
+        Approximate maps additionally schedule the exact routing pass
+        on the worker pool, so ``/map`` (and every other map-returning
+        command) answers immediately and later reads see
+        ``counts_status="exact"`` once the background pass patched the
+        shared cache and the session state.
+        """
+        data_map = payload.get("map")
+        if not isinstance(data_map, dict) or "counts_status" not in data_map:
+            return
+        status = str(data_map["counts_status"])
+        session_id = str(payload.get("session", ""))
+        if status != "exact" and session_id:
+            self._schedule_refine(session_id)
+        payload["counts_status"] = status
+        payload["refining"] = session_id in self._refining
+
+    def _schedule_refine(self, session_id: str) -> None:
+        """Queue one background exact-count pass for a session."""
+        if session_id in self._refining:
+            return
+        self._refining.add(session_id)
+        task = asyncio.create_task(self._refine(session_id))
+        self._refine_tasks.add(task)
+        task.add_done_callback(self._refine_tasks.discard)
+
+    async def _refine(self, session_id: str) -> None:
+        """Drive one refinement through the pool (best-effort).
+
+        A saturated pool backs off and retries — interactive traffic
+        keeps priority; a pool shut down mid-flight ends the attempt.
+        On a clean finish the session is re-checked *after* the
+        in-flight flag drops: a navigation that slipped a new
+        approximate state into the flag's last open window gets its own
+        pass instead of being masked by the dying one.
+        """
+        clean = False
+        try:
+            while True:
+                try:
+                    refined = await self._pool.run(
+                        self._manager.refine_session, session_id
+                    )
+                except PoolSaturatedError:
+                    await asyncio.sleep(0.05)
+                    continue
+                except RuntimeError as error:
+                    if "worker pool is shut down" in str(error):
+                        return  # service stopping; nothing to record
+                    self._metrics.increment("blaeu_pipeline_refine_errors_total")
+                    return
+                except Exception:
+                    self._metrics.increment("blaeu_pipeline_refine_errors_total")
+                    return
+                if not refined:
+                    clean = True
+                    return
+                # A navigation may have raced past the snapshot and left
+                # a newer approximate state; keep going until the
+                # session shows exact counts.
+        finally:
+            self._refining.discard(session_id)
+            if (
+                clean
+                and not self._stopping
+                and self._manager.needs_refine(session_id)
+            ):
+                self._schedule_refine(session_id)
 
     @staticmethod
     def _error_status(error: str) -> int:

@@ -41,7 +41,7 @@ def export_map_json(data_map: DataMap, indent: int | None = None) -> str:
                 "h": round(rect.height, 6),
             },
         }
-        for key in ("cluster", "silhouette", "exemplar"):
+        for key in ("cluster", "silhouette", "exemplar", "n_rows_error"):
             if key in region_dict:
                 out[key] = region_dict[key]
         if "children" in region_dict:
@@ -58,6 +58,7 @@ def export_map_json(data_map: DataMap, indent: int | None = None) -> str:
         "n_rows": data_map.n_rows,
         "silhouette": round(data_map.silhouette, 4),
         "fidelity": round(data_map.fidelity, 4),
+        "counts_status": data_map.counts_status,
         "root": node(data_map.root.to_dict()),
     }
     return json.dumps(payload, indent=indent, sort_keys=True)

@@ -52,6 +52,11 @@ def render_map(data_map: DataMap, show_bars: bool = True) -> str:
             f"silhouette {data_map.silhouette:.2f} | "
             f"fidelity {data_map.fidelity:.2f} | "
             f"sample {data_map.sample_size}"
+            + (
+                f" | counts {data_map.counts_status}"
+                if data_map.counts_status != "exact"
+                else ""
+            )
         ),
         "",
     ]
@@ -68,7 +73,10 @@ def _render_region(
     indent = "  " * region.depth
     share = region.fraction_of(total)
     parts = [f"{indent}[{region.region_id}] {region.label}"]
-    parts.append(f"({region.n_rows} tuples, {share:5.1%})")
+    if region.n_rows_error is not None:
+        parts.append(f"(~{region.n_rows}±{region.n_rows_error} tuples, {share:5.1%})")
+    else:
+        parts.append(f"({region.n_rows} tuples, {share:5.1%})")
     if region.is_leaf:
         if region.silhouette is not None:
             parts.append(f"s={region.silhouette:.2f}")

@@ -246,6 +246,68 @@ class TestLocalThemes:
         assert np.array_equal(first.graph.weights, second.graph.weights)
 
 
+class TestRefine:
+    APPROX = BlaeuConfig(
+        map_k_values=(2, 3),
+        map_sample_size=150,
+        min_zoom_rows=10,
+        count_mode="approximate",
+    )
+
+    @pytest.fixture
+    def approx_explorer(self):
+        planted = mixed_blobs(n_rows=600, k=3, seed=31)
+        return Explorer(planted.table, config=self.APPROX)
+
+    def test_open_returns_approximate_then_refines(self, approx_explorer):
+        data_map = approx_explorer.open_columns(("x0", "x1"))
+        assert data_map.counts_status == "approximate"
+        assert approx_explorer.needs_refine
+        exact = approx_explorer.refine()
+        assert exact.counts_status == "exact"
+        assert approx_explorer.state.map is exact
+        assert not approx_explorer.needs_refine
+        assert exact.root.n_rows == 600
+
+    def test_refined_map_matches_blocking_exact_build(self):
+        """Session-mode refine (no cache) equals a blocking exact build."""
+        from repro.core.pipeline import MapBuilder
+        from repro.viz.export import export_map_json
+
+        planted = mixed_blobs(n_rows=600, k=3, seed=31)
+        approx = Explorer(planted.table, config=self.APPROX)
+        approx.open_columns(("x0", "x1"))
+        refined = approx.refine()
+
+        rng = np.random.default_rng(self.APPROX.seed)
+        direct = MapBuilder().build(
+            planted.table,
+            ("x0", "x1"),
+            config=self.APPROX,
+            rng=rng,
+            count_mode="exact",
+        )
+        assert export_map_json(refined) == export_map_json(direct)
+
+    def test_refine_is_a_noop_on_exact_maps(self, explorer):
+        data_map = explorer.open_columns(("x0", "x1"))
+        assert data_map.counts_status == "exact"
+        assert not explorer.needs_refine
+        assert explorer.refine() is data_map
+
+    def test_rollback_keeps_approximate_state_refineable(
+        self, approx_explorer
+    ):
+        first = approx_explorer.open_columns(("x0", "x1"))
+        target = max(first.leaves(), key=lambda r: r.n_rows)
+        approx_explorer.zoom(target.region_id)
+        approx_explorer.rollback()
+        assert approx_explorer.needs_refine
+        exact = approx_explorer.refine()
+        assert exact.counts_status == "exact"
+        assert approx_explorer.state.map is exact
+
+
 class TestThemesOnExplorer:
     def test_themes_cached(self, explorer):
         first = explorer.themes()

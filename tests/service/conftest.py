@@ -106,3 +106,26 @@ def service():
     ).start()
     yield running
     running.stop()
+
+
+@pytest.fixture(scope="module")
+def approx_service(tmp_path_factory):
+    """A service over a store-backed table with approximate-first counts."""
+    from repro.store import write_store
+
+    config = BlaeuConfig(
+        map_k_values=(2, 3),
+        map_sample_size=200,
+        seed=5,
+        count_mode="approximate",
+    )
+    table = mixed_blobs(n_rows=2_500, k=3, seed=61).table
+    root = tmp_path_factory.mktemp("approx_store") / "s"
+    write_store(table, root, chunk_rows=256)
+    engine = Blaeu(config)
+    engine.load_store(root)
+    running = RunningService(
+        engine, ServiceConfig(port=0, workers=2, max_pending=32)
+    ).start()
+    yield running
+    running.stop()

@@ -73,7 +73,9 @@ class TestSharedMapCache:
             stored, ("x", "y"), config=config, cache=cache
         )
         stats = cache.stats()
-        assert stats.hits == 1 and stats.misses == 1
+        # One warm lookup answers the store build (the six cold misses
+        # are the memory build's map + five pipeline stage artifacts).
+        assert stats.hits == 1 and stats.misses == 6
         assert second is first  # the cached DataMap object, verbatim
         assert stored.data_reads == reads_before, (
             "a cache hit should not touch store data at all"
