@@ -63,6 +63,30 @@ def _inject_slowdown(report: BenchReport, factor: float) -> BenchReport:
     return replace(report, results=slowed, injected_slowdown=factor)
 
 
+def _print_span_breakdown(tracer) -> None:
+    """Aggregate the retained spans by name: count, total, mean.
+
+    The per-stage view of a traced bench run — where did the suite's
+    wall-clock actually go?
+    """
+    totals: dict[str, list[float]] = {}
+    for span in tracer.spans():
+        totals.setdefault(span.name, []).append(span.duration)
+    if not totals:
+        print("trace breakdown: no spans recorded")
+        return
+    print("trace breakdown (by span name):")
+    width = max(len(name) for name in totals)
+    ranked = sorted(totals.items(), key=lambda kv: -sum(kv[1]))
+    for name, durations in ranked:
+        total = sum(durations)
+        print(
+            f"  {name:<{width}}  n={len(durations):<5d} "
+            f"total={total * 1000.0:9.1f}ms  "
+            f"mean={total / len(durations) * 1000.0:8.2f}ms"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
@@ -113,9 +137,21 @@ def main(argv: list[str] | None = None) -> int:
         help="multiply gated timings by FACTOR after measuring "
         "(self-test for the regression gate)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run with tracing enabled and print a per-span-name "
+        "breakdown after the suite (measures tracing overhead too)",
+    )
     args = parser.parse_args(argv)
 
+    if args.trace:
+        from repro.obs.trace import configure_tracing
+
+        tracer = configure_tracing(enabled=True, buffer_size=8192)
     report = run_suite(args.suite, smoke=args.smoke)
+    if args.trace:
+        _print_span_breakdown(tracer)
     if args.inject_slowdown != 1.0:
         print(
             f"note: injecting a synthetic {args.inject_slowdown:g}x slowdown "

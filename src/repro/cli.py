@@ -14,7 +14,10 @@ Run with::
     python -m repro ingest <data.csv> <store-dir> [--name N] \
         [--chunk-rows R] [--delimiter D] [--priority-seed S]
     python -m repro serve [--host H] [--port P] [--cache-size N] \
-        [--cache-ttl S] [--workers N] (<data.csv|store-dir> … | --demo <name>)
+        [--cache-ttl S] [--workers N] [--trace] [--access-log] \
+        (<data.csv|store-dir> … | --demo <name>)
+    python -m repro trace <http://host:port | spans.jsonl> [--limit N] \
+        [--export PATH]
 
 ``serve`` boots the HTTP service (:mod:`repro.service`) instead of the
 interactive shell.  ``ingest`` converts a CSV into an out-of-core store
@@ -55,7 +58,7 @@ from repro.core.navigation import Explorer
 from repro.viz.charts import text_histogram
 from repro.viz.render import render_map, render_region_panel, render_theme_view
 
-__all__ = ["BlaeuShell", "ingest_main", "main", "serve_main"]
+__all__ = ["BlaeuShell", "ingest_main", "main", "serve_main", "trace_main"]
 
 _DEMOS = ("hollywood", "countries", "lofar")
 
@@ -76,13 +79,13 @@ class BlaeuShell:
         self._out = out or sys.stdout
         self._explorer: Explorer | None = None
         self._table_name: str | None = None
-        # The same counter registry the HTTP service exposes at
-        # /metrics backs the shell's "themes" build report.
-        from repro.service.metrics import Metrics
+        # The same registry the HTTP service exposes at /metrics backs
+        # the shell's build reports: the shell is a composition root,
+        # so it installs a fresh process-global registry and every
+        # layer records into it from zero.
+        from repro.obs.metrics import reset_metrics
 
-        self._metrics = Metrics()
-        engine.graph_builder.set_metrics(self._metrics)
-        engine.map_builder.set_metrics(self._metrics)
+        self._metrics = reset_metrics()
         tables = engine.tables()
         if len(tables) == 1:
             self._select_table(tables[0])
@@ -426,6 +429,30 @@ def serve_main(argv: list[str]) -> None:
     parser.add_argument(
         "--workers", type=int, default=4, help="worker threads for map builds"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record request traces (served at /trace, headers carry "
+        "X-Blaeu-Trace)",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=512,
+        help="spans retained in the trace ring buffer (default %(default)s)",
+    )
+    parser.add_argument(
+        "--slow-op-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log any span at least this slow (default: off)",
+    )
+    parser.add_argument(
+        "--access-log",
+        action="store_true",
+        help="log one structured line per request to stderr",
+    )
     args = parser.parse_args(argv)
     if args.demo and args.data:
         parser.error("give either CSV files or --demo, not both")
@@ -448,11 +475,116 @@ def serve_main(argv: list[str]) -> None:
             # Admission bound scales with the pool so large --workers
             # values don't trip the max_pending >= workers invariant.
             max_pending=max(64, args.workers * 4),
+            trace_enabled=args.trace,
+            trace_buffer_size=args.trace_buffer,
+            slow_op_threshold=args.slow_op_threshold,
+            access_log=args.access_log,
         )
     except ValueError as error:
         parser.error(str(error))
     engine = build_engine(engine_argv)
     BlaeuService(engine, config).run()
+
+
+def _group_span_dicts(
+    spans: list[dict], limit: int
+) -> list[dict[str, object]]:
+    """Group exported span dicts into traces, newest first.
+
+    Mirrors :meth:`repro.obs.trace.Tracer.traces` for spans re-read
+    from a JSONL export (where only the dict form survives).
+    """
+    grouped: dict[str, list[dict]] = {}
+    order: list[str] = []
+    for span in spans:
+        trace_id = str(span.get("trace_id", "?"))
+        if trace_id not in grouped:
+            grouped[trace_id] = []
+            order.append(trace_id)
+        grouped[trace_id].append(span)
+    return [
+        {
+            "trace_id": trace_id,
+            "spans": sorted(
+                grouped[trace_id], key=lambda s: s.get("offset", 0.0)
+            ),
+        }
+        for trace_id in reversed(order[-limit:])
+    ]
+
+
+def trace_main(argv: list[str]) -> None:
+    """The ``trace`` subcommand: render recent traces as text trees."""
+    import argparse
+    import json
+
+    from repro.obs.trace import render_trace
+
+    parser = argparse.ArgumentParser(
+        prog="blaeu trace",
+        description=(
+            "Fetch recent traces from a running service's /trace "
+            "endpoint (give its base URL) or re-read a JSONL span "
+            "export, and print each trace as a tree with the slowest "
+            "span marked."
+        ),
+    )
+    parser.add_argument(
+        "source",
+        help="service base URL (e.g. http://127.0.0.1:8787) or a "
+        "spans .jsonl file",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=5,
+        help="most recent traces to show (default %(default)s)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the shown spans as JSONL to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.limit < 1:
+        parser.error("--limit must be at least 1")
+    if args.source.startswith(("http://", "https://")):
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.source.rstrip("/") + f"/trace?limit={args.limit}"
+        try:
+            with urlopen(url) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as error:
+            raise SystemExit(f"trace fetch failed: {error}") from None
+        traces = payload.get("traces", [])
+        if not traces and not payload.get("enabled", True):
+            raise SystemExit(
+                "tracing is disabled on that service; "
+                "restart it with 'blaeu serve --trace'"
+            )
+    else:
+        try:
+            with open(args.source, encoding="utf-8") as handle:
+                spans = [
+                    json.loads(line) for line in handle if line.strip()
+                ]
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"could not read spans: {error}") from None
+        traces = _group_span_dicts(spans, args.limit)
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            for trace in traces:
+                for span in trace.get("spans", []):
+                    handle.write(json.dumps(span) + "\n")
+    if not traces:
+        print("no traces retained")
+        return
+    for trace in traces:
+        print(render_trace(trace))
+        print()
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -463,6 +595,9 @@ def main(argv: list[str] | None = None) -> None:
         return
     if argv and argv[0] == "ingest":
         ingest_main(argv[1:])
+        return
+    if argv and argv[0] == "trace":
+        trace_main(argv[1:])
         return
     if argv and argv[0] == "bench":
         from repro.bench.runner import main as bench_main

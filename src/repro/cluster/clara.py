@@ -21,6 +21,7 @@ import numpy as np
 from repro.cluster.distance import distances_to_points, pairwise_distances
 from repro.cluster.pam import Clustering, pam
 from repro.cluster.parallel import map_in_order
+from repro.obs.trace import get_tracer
 
 __all__ = ["clara"]
 
@@ -97,31 +98,41 @@ def clara(
         )
         return full
 
-    def run_draw(draw_rng: np.random.Generator) -> Clustering:
-        sample_indices = draw_rng.choice(n, size=sample_size, replace=False)
-        sample_indices.sort()
-        sample = points[sample_indices]
-        sample_result = pam(
-            pairwise_distances(sample, metric, dtype=dtype),
-            k,
-            rng=draw_rng,
-            validate=False,
-        )
-        medoid_rows = sample_indices[sample_result.medoids]
+    def run_draw(item: tuple[int, np.random.Generator]) -> Clustering:
+        index, draw_rng = item
+        with get_tracer().span("clara.draw") as span:
+            sample_indices = draw_rng.choice(n, size=sample_size, replace=False)
+            sample_indices.sort()
+            sample = points[sample_indices]
+            sample_result = pam(
+                pairwise_distances(sample, metric, dtype=dtype),
+                k,
+                rng=draw_rng,
+                validate=False,
+            )
+            medoid_rows = sample_indices[sample_result.medoids]
 
-        to_medoids = distances_to_points(
-            points, points[medoid_rows], metric, dtype=dtype
-        )
-        labels = np.argmin(to_medoids, axis=1).astype(np.intp)
-        cost = float(to_medoids[np.arange(n), labels].sum())
-        return Clustering(
-            labels=labels,
-            medoids=medoid_rows.astype(np.intp),
-            cost=cost,
-            n_iterations=sample_result.n_iterations,
-        )
+            to_medoids = distances_to_points(
+                points, points[medoid_rows], metric, dtype=dtype
+            )
+            labels = np.argmin(to_medoids, axis=1).astype(np.intp)
+            cost = float(to_medoids[np.arange(n), labels].sum())
+            if span.enabled:
+                span.set("draw", index)
+                span.set("k", k)
+                span.set("cost", cost)
+            return Clustering(
+                labels=labels,
+                medoids=medoid_rows.astype(np.intp),
+                cost=cost,
+                n_iterations=sample_result.n_iterations,
+            )
 
-    draws = map_in_order(run_draw, rng.spawn(n_draws), n_jobs=n_jobs)
+    # Spawn order (not completion order) fixes each draw's generator, so
+    # the enumeration changes nothing about the random stream.
+    draws = map_in_order(
+        run_draw, list(enumerate(rng.spawn(n_draws))), n_jobs=n_jobs
+    )
 
     # First strictly-better draw wins — the same tie-breaking a serial
     # loop applies, so the choice is independent of completion order.

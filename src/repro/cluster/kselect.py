@@ -23,6 +23,7 @@ import numpy as np
 from repro.cluster.distance import validate_distance_matrix
 from repro.cluster.pam import Clustering, pam
 from repro.cluster.silhouette import SharedSilhouette, mean_silhouette
+from repro.obs.trace import get_tracer
 
 __all__ = ["KCandidate", "KSelection", "select_k", "select_k_points"]
 
@@ -80,10 +81,17 @@ def select_k(
         only = KCandidate(k=1, clustering=clustering, silhouette=0.0)
         return KSelection(candidates=(only,), best=only)
 
+    tracer = get_tracer()
     candidates: list[KCandidate] = []
     for k in usable:
-        clustering = pam(distances, k, rng=rng, validate=False)
-        score = mean_silhouette(distances, clustering.labels, validate=False)
+        with tracer.span("kselect.candidate") as span:
+            clustering = pam(distances, k, rng=rng, validate=False)
+            score = mean_silhouette(
+                distances, clustering.labels, validate=False
+            )
+            if span.enabled:
+                span.set("k", k)
+                span.set("silhouette", round(score, 4))
         candidates.append(KCandidate(k=k, clustering=clustering, silhouette=score))
     best = max(candidates, key=lambda c: (c.silhouette, -c.k))
     return KSelection(candidates=tuple(candidates), best=best)
@@ -139,10 +147,15 @@ def select_k_points(
             rng=rng,
             dtype=dtype,
         )
+    tracer = get_tracer()
     candidates: list[KCandidate] = []
     for k in usable:
-        clustering = cluster_fn(points, k)
-        score = shared.score(clustering.labels)
+        with tracer.span("kselect.candidate") as span:
+            clustering = cluster_fn(points, k)
+            score = shared.score(clustering.labels)
+            if span.enabled:
+                span.set("k", k)
+                span.set("silhouette", round(score, 4))
         candidates.append(KCandidate(k=k, clustering=clustering, silhouette=score))
     best = max(candidates, key=lambda c: (c.silhouette, -c.k))
     return KSelection(candidates=tuple(candidates), best=best)

@@ -14,6 +14,7 @@ exact sequence the serial loop would.
 
 from __future__ import annotations
 
+import contextvars
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
@@ -51,9 +52,21 @@ def map_in_order(
     order, and any worker exception propagates to the caller.  With one
     worker (or one item) this is a plain loop — no pool, no overhead —
     which also guarantees the serial path stays the reference behaviour.
+
+    Each work item runs under its own copy of the caller's
+    :mod:`contextvars` context (a single context cannot be entered by
+    two threads at once), so context-local state — above all the
+    current trace span — flows into the workers: spans opened inside
+    ``fn`` parent to whatever span was current at the call site.
     """
     workers = resolve_jobs(n_jobs, n_items=len(items))
     if workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    contexts = [contextvars.copy_context() for _ in items]
+
+    def run(pair: tuple[contextvars.Context, T]) -> R:
+        context, item = pair
+        return context.run(fn, item)
+
     with ThreadPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(fn, items))
+        return list(executor.map(run, zip(contexts, items)))

@@ -69,6 +69,9 @@ from repro.cluster.stages import (
 from repro.core.config import BlaeuConfig
 from repro.core.datamap import DataMap, Region
 from repro.core.preprocess import FeatureSpace, preprocess
+from repro.obs.metrics import get_metrics
+from repro.obs.profile import profile_block
+from repro.obs.trace import get_tracer, note
 from repro.table.predicates import And, Comparison, Everything, Predicate
 from repro.table.sampling import uniform_sample
 from repro.table.table import Table
@@ -281,24 +284,36 @@ class MapPipeline:
         return ("stage", stage, *self._key_base(), *parts)
 
     def _stage(self, name: str, key: tuple | None, compute):
-        """Run one stage through the per-run memo and the shared cache."""
+        """Run one stage through the per-run memo and the shared cache.
+
+        Each cache-consulting or computing pass runs under a
+        ``stage.<name>`` span carrying the cache outcome, and the
+        computation itself sits inside the opt-in profiler hook.
+        """
         if name in self._local:
             return self._local[name]
-        started = time.perf_counter()
-        if self._cache is not None:
-            hit = self._cache.get(key)
-            if hit is not None:
-                self._recorder.record(
-                    name, hit=True, seconds=time.perf_counter() - started
-                )
-                self._local[name] = hit
-                return hit
-        value = compute()
-        if self._cache is not None:
-            self._cache.put(key, value)
-        self._recorder.record(name, hit=False, seconds=time.perf_counter() - started)
-        self._local[name] = value
-        return value
+        with get_tracer().span("stage." + name) as span:
+            started = time.perf_counter()
+            if self._cache is not None:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._recorder.record(
+                        name, hit=True, seconds=time.perf_counter() - started
+                    )
+                    self._local[name] = hit
+                    if span.enabled:
+                        span.set("cache_hit", True)
+                    return hit
+            with profile_block("stage." + name):
+                value = compute()
+            if self._cache is not None:
+                self._cache.put(key, value)
+            seconds = time.perf_counter() - started
+            self._recorder.record(name, hit=False, seconds=seconds)
+            self._local[name] = value
+            if span.enabled:
+                span.set("cache_hit", False)
+            return value
 
     def _params(self) -> ClusterParams:
         config = self._config
@@ -491,25 +506,30 @@ class MapPipeline:
             and sample_art.sample.n_rows < sample_art.n_selection
         )
         started = time.perf_counter()
-        if approximate:
-            root = _approximate_regions(
-                describe.tree,
-                sample_art.sample,
-                sample_art.n_selection,
-                cluster.leaf_silhouettes,
-                describe.exemplars,
-            )
-            status: str = "approximate"
-            refinement: object | None = describe.tree
-        else:
-            root = _exact_regions(
-                describe.tree,
-                self._table,
-                sample_art.selection_mask,
-                cluster.leaf_silhouettes,
-                describe.exemplars,
-            )
-            status, refinement = "exact", None
+        with get_tracer().span("stage.count") as span, profile_block(
+            "stage.count"
+        ):
+            if approximate:
+                root = _approximate_regions(
+                    describe.tree,
+                    sample_art.sample,
+                    sample_art.n_selection,
+                    cluster.leaf_silhouettes,
+                    describe.exemplars,
+                )
+                status: str = "approximate"
+                refinement: object | None = describe.tree
+            else:
+                root = _exact_regions(
+                    describe.tree,
+                    self._table,
+                    sample_art.selection_mask,
+                    cluster.leaf_silhouettes,
+                    describe.exemplars,
+                )
+                status, refinement = "exact", None
+            if span.enabled:
+                span.set("mode", status)
         self._recorder.record(
             "count", hit=False, seconds=time.perf_counter() - started
         )
@@ -573,12 +593,12 @@ class MapBuilder:
         self._result_cache = cache
 
     def set_metrics(self, metrics: object | None) -> None:
-        """Attach a counter sink exposing ``increment(name, by=1)``.
+        """Override the metric sink (tests isolating their counters).
 
-        The CLI and the HTTP service both pass a
-        :class:`repro.service.metrics.Metrics` registry, so builds,
-        refinements and per-stage cache hits/misses surface as
-        ``blaeu_pipeline_*`` counters wherever metrics are read.
+        By default builds, refinements and per-stage cache hits/misses
+        report into the process-global :func:`repro.obs.get_metrics`
+        registry — the service and the CLI no longer wire anything.
+        ``None`` restores the global default.
         """
         self._metrics = metrics
 
@@ -621,45 +641,57 @@ class MapBuilder:
         columns = tuple(columns)
         mode = count_mode or config.count_mode
         started = time.perf_counter()
-        cache = self._result_cache
-        key = None
-        if cache is not None:
-            key = map_cache_key(
-                table, _selection_sql(selection), columns, config, k=k
-            )
-            hit = cache.get(key)
-            if hit is not None:
+        with get_tracer().span("map.build") as span:
+            cache = self._result_cache
+            key = None
+            if cache is not None:
+                key = map_cache_key(
+                    table, _selection_sql(selection), columns, config, k=k
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    with self._lock:
+                        self._map_hits += 1
+                        # A hit is the whole build: the telemetry must
+                        # show the lookup, not the previous cold build's
+                        # timings.
+                        self._last_build_seconds = time.perf_counter() - started
+                    self._count("blaeu_pipeline_map_hits_total")
+                    note("map_cache", "hit")
+                    if span.enabled:
+                        span.set("cache_hit", True)
+                    if hit.counts_status == "exact" or mode == "approximate":
+                        return hit
+                    return self._upgrade(
+                        hit, table, columns, config, selection, k, key
+                    )
                 with self._lock:
-                    self._map_hits += 1
-                    # A hit is the whole build: the telemetry must show
-                    # the lookup, not the previous cold build's timings.
-                    self._last_build_seconds = time.perf_counter() - started
-                self._count("blaeu_pipeline_map_hits_total")
-                if hit.counts_status == "exact" or mode == "approximate":
-                    return hit
-                return self._upgrade(hit, table, columns, config, selection, k, key)
-            with self._lock:
-                self._map_misses += 1
-            self._count("blaeu_pipeline_map_misses_total")
-            rng = None  # cache-managed builds are key-seeded
-        elif rng is None:
-            rng = np.random.default_rng(config.seed)
-        recorder = _StageRecorder()
-        pipeline = MapPipeline(
-            table,
-            columns,
-            config,
-            selection=selection,
-            k=k,
-            cache=cache if config.pipeline_reuse else None,
-            rng=rng,
-            recorder=recorder,
-        )
-        data_map = pipeline.build(mode)
-        if cache is not None and key is not None:
-            cache.put(key, data_map)
-        self._absorb(recorder, time.perf_counter() - started)
-        return data_map
+                    self._map_misses += 1
+                self._count("blaeu_pipeline_map_misses_total")
+                rng = None  # cache-managed builds are key-seeded
+            elif rng is None:
+                rng = np.random.default_rng(config.seed)
+            note("map_cache", "miss")
+            if span.enabled:
+                span.set("cache_hit", False)
+                span.set("table", getattr(table, "name", ""))
+                span.set("mode", mode)
+            recorder = _StageRecorder()
+            pipeline = MapPipeline(
+                table,
+                columns,
+                config,
+                selection=selection,
+                k=k,
+                cache=cache if config.pipeline_reuse else None,
+                rng=rng,
+                recorder=recorder,
+            )
+            data_map = pipeline.build(mode)
+            if cache is not None and key is not None:
+                cache.put(key, data_map)
+            self._absorb(recorder, time.perf_counter() - started)
+            return data_map
 
     def refine(
         self,
@@ -680,31 +712,34 @@ class MapBuilder:
         """
         config = config or BlaeuConfig()
         columns = tuple(columns)
-        cache = self._result_cache
-        key = None
-        if cache is not None:
-            key = map_cache_key(
-                table, _selection_sql(selection), columns, config, k=k
+        with get_tracer().span("map.refine") as span:
+            cache = self._result_cache
+            key = None
+            if cache is not None:
+                key = map_cache_key(
+                    table, _selection_sql(selection), columns, config, k=k
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    if hit.counts_status == "exact":
+                        if span.enabled:
+                            span.set("cache_hit", True)
+                        return hit
+                    current_map = hit
+            if current_map is None:
+                return self.build(
+                    table,
+                    columns,
+                    config=config,
+                    selection=selection,
+                    k=k,
+                    count_mode="exact",
+                )
+            if current_map.counts_status == "exact":
+                return current_map
+            return self._upgrade(
+                current_map, table, columns, config, selection, k, key
             )
-            hit = cache.get(key)
-            if hit is not None:
-                if hit.counts_status == "exact":
-                    return hit
-                current_map = hit
-        if current_map is None:
-            return self.build(
-                table,
-                columns,
-                config=config,
-                selection=selection,
-                k=k,
-                count_mode="exact",
-            )
-        if current_map.counts_status == "exact":
-            return current_map
-        return self._upgrade(
-            current_map, table, columns, config, selection, k, key
-        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -722,7 +757,10 @@ class MapBuilder:
     ) -> DataMap:
         started = time.perf_counter()
         if approximate.refinement is not None:
-            exact = refine_exact(approximate, table, selection)
+            with get_tracer().span("map.upgrade") as span:
+                exact = refine_exact(approximate, table, selection)
+                if span.enabled:
+                    span.set("table", getattr(table, "name", ""))
         else:
             # No refinement context (e.g. a foreign cache entry): rerun
             # the pipeline exactly; cached stage artifacts keep it cheap.
@@ -758,15 +796,26 @@ class MapBuilder:
                 )
             self._last_stage_seconds.update(recorder.seconds)
         self._count("blaeu_pipeline_builds_total")
+        metrics = self._registry()
+        metrics.observe("blaeu_pipeline_build_seconds", seconds)
         for stage, count in recorder.hits.items():
             self._count(f"blaeu_pipeline_{stage}_hits_total", count)
         for stage, count in recorder.misses.items():
             self._count(f"blaeu_pipeline_{stage}_misses_total", count)
+            # Per-stage latency histograms cover computed stages only;
+            # a cache hit's lookup time would drown the signal.
+            metrics.observe(
+                f"blaeu_pipeline_stage_seconds_{stage}",
+                recorder.seconds.get(stage, 0.0),
+            )
+
+    def _registry(self):
+        """The metric sink: the explicit override or the global registry."""
+        return self._metrics if self._metrics is not None else get_metrics()
 
     def _count(self, name: str, by: int = 1) -> None:
-        metrics = self._metrics
-        if metrics is not None and by:
-            metrics.increment(name, by)
+        if by:
+            self._registry().increment(name, by)
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,8 @@ from repro.graph.codes import (
     iter_code_chunks,
     resolve_entries,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.stats.batched import StreamingPairwiseNMI, pairwise_nmi_matrix
 from repro.stats.correlation import pairwise_correlation_matrix
 from repro.table.column import NumericColumn
@@ -172,12 +174,12 @@ class GraphBuilder:
         self._result_cache = cache
 
     def set_metrics(self, metrics: object | None) -> None:
-        """Attach a counter sink exposing ``increment(name, by=1)``.
+        """Override the metric sink (tests isolating their counters).
 
-        The CLI and the HTTP service both pass a
-        :class:`repro.service.metrics.Metrics` registry, so graph
-        builds, memo hits/misses and code-cache hits/misses surface as
-        ``blaeu_graph_*_total`` counters wherever metrics are read.
+        By default graph builds, memo hits/misses and code-cache
+        hits/misses report into the process-global
+        :func:`repro.obs.get_metrics` registry — the service and the
+        CLI no longer wire anything.  ``None`` restores the default.
         """
         self._metrics = metrics
 
@@ -224,69 +226,81 @@ class GraphBuilder:
             raise ValueError(f"unknown dependency measure {measure!r}")
 
         started = time.perf_counter()
-        key = None
-        if self._result_cache is not None:
-            key = _graph_cache_key(
+        with get_tracer().span("graph.build") as span:
+            key = None
+            if self._result_cache is not None:
+                key = _graph_cache_key(
+                    table,
+                    names,
+                    measure,
+                    n_bins,
+                    sample,
+                    seed,
+                    bin_sample_size,
+                    row_indices,
+                )
+                hit = self._result_cache.get(key)
+                if hit is not None:
+                    with self._lock:
+                        self._result_hits += 1
+                    self._count("blaeu_graph_cache_hits_total")
+                    if span.enabled:
+                        span.set("cache_hit", True)
+                    return hit  # type: ignore[return-value]
+                with self._lock:
+                    self._result_misses += 1
+                self._count("blaeu_graph_cache_misses_total")
+                rng = np.random.default_rng(_key_seed(key))
+            if rng is None:
+                rng = np.random.default_rng(seed)
+
+            if span.enabled:
+                span.set("cache_hit", False)
+                span.set("measure", measure)
+                span.set("n_columns", len(names))
+            code_before = self._code_cache.stats()
+            graph = self._build(
                 table,
                 names,
                 measure,
                 n_bins,
                 sample,
+                rng,
                 seed,
-                bin_sample_size,
                 row_indices,
+                n_jobs,
+                bin_sample_size,
             )
-            hit = self._result_cache.get(key)
-            if hit is not None:
-                with self._lock:
-                    self._result_hits += 1
-                self._count("blaeu_graph_cache_hits_total")
-                return hit  # type: ignore[return-value]
+            if key is not None:
+                self._result_cache.put(key, graph)
+            seconds = time.perf_counter() - started
             with self._lock:
-                self._result_misses += 1
-            self._count("blaeu_graph_cache_misses_total")
-            rng = np.random.default_rng(_key_seed(key))
-        if rng is None:
-            rng = np.random.default_rng(seed)
-
-        code_before = self._code_cache.stats()
-        graph = self._build(
-            table,
-            names,
-            measure,
-            n_bins,
-            sample,
-            rng,
-            seed,
-            row_indices,
-            n_jobs,
-            bin_sample_size,
-        )
-        if key is not None:
-            self._result_cache.put(key, graph)
-        with self._lock:
-            self._builds += 1
-            self._last_build_seconds = time.perf_counter() - started
-        code_after = self._code_cache.stats()
-        self._count("blaeu_graph_builds_total")
-        self._count(
-            "blaeu_graph_code_cache_hits_total",
-            code_after["hits"] - code_before["hits"],
-        )
-        self._count(
-            "blaeu_graph_code_cache_misses_total",
-            code_after["misses"] - code_before["misses"],
-        )
-        return graph
+                self._builds += 1
+                self._last_build_seconds = seconds
+            code_after = self._code_cache.stats()
+            self._count("blaeu_graph_builds_total")
+            self._registry().observe("blaeu_graph_build_seconds", seconds)
+            self._count(
+                "blaeu_graph_code_cache_hits_total",
+                code_after["hits"] - code_before["hits"],
+            )
+            self._count(
+                "blaeu_graph_code_cache_misses_total",
+                code_after["misses"] - code_before["misses"],
+            )
+            return graph
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
+    def _registry(self):
+        """The metric sink: the explicit override or the global registry."""
+        return self._metrics if self._metrics is not None else get_metrics()
+
     def _count(self, name: str, by: int = 1) -> None:
-        metrics = self._metrics
-        if metrics is not None and by:
-            metrics.increment(name, by)
+        if by:
+            self._registry().increment(name, by)
 
     def _build(
         self,
@@ -328,34 +342,47 @@ class GraphBuilder:
         bin_sample_size: int,
         seed: int,
     ) -> np.ndarray:
+        tracer = get_tracer()
         if rows is None and is_store_backed(table):
             # Whole-table build on a store: stream chunked pushdown
             # scans through the accumulating kernel — full columns are
             # never resident.
-            entries = resolve_entries(
+            with tracer.span("graph.codes"):
+                entries = resolve_entries(
+                    table,
+                    names,
+                    n_bins=n_bins,
+                    bin_sample_size=bin_sample_size,
+                    seed=seed,
+                    cache=self._code_cache,
+                )
+            with tracer.span("graph.nmi") as span:
+                streaming = StreamingPairwiseNMI(
+                    names, [entries[name].n_codes for name in names]
+                )
+                chunks = 0
+                for chunk in iter_code_chunks(table, names, entries):
+                    streaming.update(chunk)
+                    chunks += 1
+                if span.enabled:
+                    span.set("streaming", True)
+                    span.set("chunks", chunks)
+                return streaming.finalize()
+        with tracer.span("graph.codes"):
+            codes = gather_codes(
                 table,
                 names,
                 n_bins=n_bins,
                 bin_sample_size=bin_sample_size,
                 seed=seed,
                 cache=self._code_cache,
+                rows=rows,
             )
-            streaming = StreamingPairwiseNMI(
-                names, [entries[name].n_codes for name in names]
-            )
-            for chunk in iter_code_chunks(table, names, entries):
-                streaming.update(chunk)
-            return streaming.finalize()
-        codes = gather_codes(
-            table,
-            names,
-            n_bins=n_bins,
-            bin_sample_size=bin_sample_size,
-            seed=seed,
-            cache=self._code_cache,
-            rows=rows,
-        )
-        return pairwise_nmi_matrix(codes, n_jobs=n_jobs)
+        with tracer.span("graph.nmi") as span:
+            if span.enabled:
+                span.set("streaming", False)
+                span.set("rows", int(codes.codes.shape[1]))
+            return pairwise_nmi_matrix(codes, n_jobs=n_jobs)
 
     def _correlation_weights(
         self,

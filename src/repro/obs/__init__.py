@@ -1,0 +1,71 @@
+"""repro.obs — tracing, unified metrics, and profiling hooks.
+
+The observability subsystem sits at the bottom of the layering
+(stdlib-only, no engine imports), so the service, pipeline, cluster,
+graph and store layers can all record into it without cycles:
+
+* :mod:`repro.obs.trace` — hierarchical spans with context-local
+  propagation, a ring-buffer span store, JSONL export, the slow-op log
+  and the structured-line helpers;
+* :mod:`repro.obs.metrics` — the process-global metric registry
+  (counters, gauges, named and per-route histograms) rendered at
+  ``/metrics``;
+* :mod:`repro.obs.profile` — the opt-in sampling profiler hooked
+  around stage execution.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    Metrics,
+    escape_label_value,
+    get_metrics,
+    reset_metrics,
+    set_global_metrics,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profile_block,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    collect_notes,
+    configure_tracing,
+    current_span,
+    format_fields,
+    get_tracer,
+    note,
+    render_trace,
+    set_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "Metrics",
+    "NULL_SPAN",
+    "SamplingProfiler",
+    "Span",
+    "Tracer",
+    "collect_notes",
+    "configure_tracing",
+    "current_span",
+    "disable_profiling",
+    "enable_profiling",
+    "escape_label_value",
+    "format_fields",
+    "get_metrics",
+    "get_profiler",
+    "get_tracer",
+    "note",
+    "profile_block",
+    "render_trace",
+    "reset_metrics",
+    "set_global_metrics",
+    "set_tracer",
+]

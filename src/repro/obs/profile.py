@@ -1,0 +1,170 @@
+"""An opt-in sampling profiler hook for stage execution.
+
+A single daemon thread wakes every ``interval`` seconds and reads the
+stacks of the threads currently inside a profiled block via
+``sys._current_frames()`` — the standard low-overhead sampling trick:
+nothing is traced, the profiled code runs unmodified, and the cost is
+one dictionary lookup per tick whether one stage or twenty are active.
+
+The hook is wired into :meth:`repro.core.pipeline.MapPipeline._stage`:
+when a profiler is installed (:func:`enable_profiling`), every stage
+computation runs inside :func:`profile_block`, and
+:meth:`SamplingProfiler.report` afterwards shows where each stage's
+time went, innermost frame first.  With no profiler installed the hook
+is a single module-global ``None`` check.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "SamplingProfiler",
+    "disable_profiling",
+    "enable_profiling",
+    "get_profiler",
+    "profile_block",
+]
+
+
+class SamplingProfiler:
+    """Periodic stack sampling of threads inside profiled blocks."""
+
+    def __init__(self, interval: float = 0.005, max_depth: int = 30) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        #: thread id → label of the block it is currently inside.
+        self._active: dict[int, str] = {}
+        #: label → Counter of sampled frame descriptions.
+        self._samples: dict[str, Counter[str]] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Start the sampling thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="blaeu-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampling thread and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            with self._lock:
+                active = dict(self._active)
+            if not active:
+                continue
+            frames = sys._current_frames()
+            with self._lock:
+                for thread_id, label in active.items():
+                    frame = frames.get(thread_id)
+                    if frame is None:
+                        continue
+                    counter = self._samples.setdefault(label, Counter())
+                    counter[_describe(frame)] += 1
+
+    # ------------------------------------------------------------------
+    # Block registration (used via profile_block)
+    # ------------------------------------------------------------------
+
+    def enter(self, label: str) -> int:
+        thread_id = threading.get_ident()
+        with self._lock:
+            self._active[thread_id] = label
+        return thread_id
+
+    def leave(self, thread_id: int) -> None:
+        with self._lock:
+            self._active.pop(thread_id, None)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def report(self, top: int = 5) -> dict[str, list[tuple[str, int]]]:
+        """label → the ``top`` most-sampled frames with their counts."""
+        with self._lock:
+            return {
+                label: counter.most_common(top)
+                for label, counter in sorted(self._samples.items())
+            }
+
+    def sample_count(self, label: str | None = None) -> int:
+        """Total samples taken (optionally for one label)."""
+        with self._lock:
+            if label is not None:
+                return sum(self._samples.get(label, Counter()).values())
+            return sum(sum(c.values()) for c in self._samples.values())
+
+
+def _describe(frame) -> str:
+    """The innermost frame as ``function (file:line)``."""
+    code = frame.f_code
+    return f"{code.co_name} ({code.co_filename}:{frame.f_lineno})"
+
+
+# ----------------------------------------------------------------------
+# The process-global hook
+# ----------------------------------------------------------------------
+
+_PROFILER: SamplingProfiler | None = None
+
+
+def get_profiler() -> SamplingProfiler | None:
+    """The installed profiler, or ``None`` (the default)."""
+    return _PROFILER
+
+
+def enable_profiling(interval: float = 0.005) -> SamplingProfiler:
+    """Install and start a process-global sampling profiler."""
+    global _PROFILER
+    if _PROFILER is not None:
+        _PROFILER.stop()
+    _PROFILER = SamplingProfiler(interval=interval).start()
+    return _PROFILER
+
+
+def disable_profiling() -> None:
+    """Stop and remove the process-global profiler."""
+    global _PROFILER
+    if _PROFILER is not None:
+        _PROFILER.stop()
+        _PROFILER = None
+
+
+@contextmanager
+def profile_block(label: str) -> Iterator[None]:
+    """Sample the current thread under ``label`` while the block runs.
+
+    A no-op (one global read) when no profiler is installed — safe to
+    leave on hot paths permanently.
+    """
+    profiler = _PROFILER
+    if profiler is None:
+        yield
+        return
+    thread_id = profiler.enter(label)
+    try:
+        yield
+    finally:
+        profiler.leave(thread_id)

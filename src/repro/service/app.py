@@ -11,6 +11,7 @@ route                       meaning
 ========================== ==========================================
 ``GET /healthz``            liveness + basic stats
 ``GET /metrics``            Prometheus-style counters and histograms
+``GET /trace``              recent traces from the span ring buffer
 ``GET /tables``             registered table names
 ``GET /catalog``            tables with content fingerprints
 ``POST /api/<command>``     any protocol command; body = its arguments
@@ -27,10 +28,19 @@ import asyncio
 import contextlib
 import json
 import signal
+import sys
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.engine import Blaeu
+from repro.obs.metrics import Metrics, escape_label_value, reset_metrics
+from repro.obs.trace import (
+    Tracer,
+    collect_notes,
+    configure_tracing,
+    format_fields,
+)
 from repro.server.protocol import (
     COMMANDS,
     ErrorResponse,
@@ -48,7 +58,6 @@ from repro.service.http import (
     json_response,
     text_response,
 )
-from repro.service.metrics import Metrics
 from repro.service.pool import PoolSaturatedError, WorkerPool
 
 __all__ = ["BlaeuService", "ServiceConfig"]
@@ -68,6 +77,10 @@ class ServiceConfig:
     workers: int = 4
     max_pending: int = 64
     read_timeout: float = 30.0
+    trace_enabled: bool = False
+    trace_buffer_size: int = 512
+    slow_op_threshold: float | None = None
+    access_log: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_size < 1:
@@ -78,6 +91,10 @@ class ServiceConfig:
             raise ValueError("workers must be at least 1")
         if self.max_pending < self.workers:
             raise ValueError("max_pending must be >= workers")
+        if self.trace_buffer_size < 1:
+            raise ValueError("trace_buffer_size must be at least 1")
+        if self.slow_op_threshold is not None and self.slow_op_threshold <= 0:
+            raise ValueError("slow_op_threshold must be positive (or None)")
 
 
 class BlaeuService:
@@ -105,12 +122,20 @@ class BlaeuService:
                 )
             )
         self._manager = SessionManager(engine)
-        self._metrics = Metrics()
-        # Graph and map-pipeline builds report into the same registry,
-        # so /metrics shows blaeu_graph_*_total and blaeu_pipeline_*
-        # counters alongside the HTTP numbers.
-        engine.graph_builder.set_metrics(self._metrics)
-        engine.map_builder.set_metrics(self._metrics)
+        # One composition root, one registry: every layer (graph builds,
+        # map pipeline, store scans) records into the process-global
+        # registry installed here, so /metrics shows blaeu_graph_*,
+        # blaeu_pipeline_* and blaeu_store_* alongside the HTTP numbers.
+        self._metrics = reset_metrics()
+        self._tracer = configure_tracing(
+            enabled=self._config.trace_enabled,
+            buffer_size=self._config.trace_buffer_size,
+            slow_op_threshold=self._config.slow_op_threshold,
+        )
+        #: Where access-log lines go (swapped out by tests).
+        self.access_log_sink: Callable[[str], None] = (
+            lambda line: print(line, file=sys.stderr)
+        )
         #: Sessions with an exact-count refinement in flight, plus the
         #: asyncio tasks driving them (cancelled on shutdown).
         self._refining: set[str] = set()
@@ -161,6 +186,11 @@ class BlaeuService:
     def metrics(self) -> Metrics:
         """The metric registry behind ``/metrics``."""
         return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer behind ``/trace`` (disabled unless configured)."""
+        return self._tracer
 
     @property
     def pool(self) -> WorkerPool:
@@ -231,17 +261,35 @@ class BlaeuService:
 
     async def _route(self, request: HttpRequest) -> HttpResponse:
         started = time.perf_counter()
-        try:
-            route, response = await self._dispatch(request)
-        except HttpError as error:
-            # Count request-level failures (e.g. malformed JSON bodies)
-            # too — otherwise abusive traffic is invisible in /metrics.
-            route, response = request.path, json_response(
-                {"ok": False, "error": error.message}, error.status
-            )
-        self._metrics.observe_request(
-            route, response.status, time.perf_counter() - started
-        )
+        with self._tracer.span("http.request") as span, collect_notes() as notes:
+            try:
+                route, response = await self._dispatch(request)
+            except HttpError as error:
+                # Count request-level failures (e.g. malformed JSON
+                # bodies) too — otherwise abusive traffic is invisible
+                # in /metrics.  The path is attacker-controlled, so it
+                # must be escaped before becoming a label value.
+                route, response = escape_label_value(request.path), json_response(
+                    {"ok": False, "error": error.message}, error.status
+                )
+            if span.enabled:
+                span.set("method", request.method)
+                span.set("route", route)
+                span.set("status", response.status)
+                response.headers["X-Blaeu-Trace"] = span.trace_id
+        duration = time.perf_counter() - started
+        self._metrics.observe_request(route, response.status, duration)
+        if self._config.access_log:
+            fields: dict[str, object] = {
+                "method": request.method,
+                "route": route,
+                "status": response.status,
+                "duration_ms": round(duration * 1000, 3),
+            }
+            fields.update(notes)
+            if span.enabled:
+                fields["trace"] = span.trace_id
+            self.access_log_sink(format_fields("access", **fields))
         return response
 
     async def _dispatch(
@@ -252,6 +300,8 @@ class BlaeuService:
             return path, self._handle_healthz(request)
         if path == "/metrics":
             return path, self._handle_metrics(request)
+        if path == "/trace":
+            return path, self._handle_trace(request)
         if path == "/tables":
             return path, await self._run_command(request, "tables", {})
         if path == "/catalog":
@@ -308,6 +358,27 @@ class BlaeuService:
                 "hit_rate": round(cache.hit_rate, 4),
             }
         return json_response(payload)
+
+    def _handle_trace(self, request: HttpRequest) -> HttpResponse:
+        """Recent traces from the ring buffer (newest first)."""
+        limit = 10
+        values = request.query.get("limit")
+        if values:
+            try:
+                limit = int(values[0])
+            except ValueError as error:
+                raise HttpError(
+                    400, f"limit must be an integer, got {values[0]!r}"
+                ) from error
+            if limit < 1:
+                raise HttpError(400, "limit must be at least 1")
+        return json_response(
+            {
+                "ok": True,
+                "enabled": self._tracer.enabled,
+                "traces": self._tracer.traces(limit=limit),
+            }
+        )
 
     def _handle_metrics(self, request: HttpRequest) -> HttpResponse:
         cache = self.cache_stats()
@@ -419,39 +490,53 @@ class BlaeuService:
         in-flight flag drops: a navigation that slipped a new
         approximate state into the flag's last open window gets its own
         pass instead of being masked by the dying one.
+
+        The task inherited the originating request's context (captured
+        at ``create_task`` time), so this span joins that request's
+        trace — the trace tree shows which navigation triggered the
+        background pass.
         """
         clean = False
-        try:
-            while True:
-                try:
-                    refined = await self._pool.run(
-                        self._manager.refine_session, session_id
-                    )
-                except PoolSaturatedError:
-                    await asyncio.sleep(0.05)
-                    continue
-                except RuntimeError as error:
-                    if "worker pool is shut down" in str(error):
-                        return  # service stopping; nothing to record
-                    self._metrics.increment("blaeu_pipeline_refine_errors_total")
-                    return
-                except Exception:
-                    self._metrics.increment("blaeu_pipeline_refine_errors_total")
-                    return
-                if not refined:
-                    clean = True
-                    return
-                # A navigation may have raced past the snapshot and left
-                # a newer approximate state; keep going until the
-                # session shows exact counts.
-        finally:
-            self._refining.discard(session_id)
-            if (
-                clean
-                and not self._stopping
-                and self._manager.needs_refine(session_id)
-            ):
-                self._schedule_refine(session_id)
+        with self._tracer.span("refine.session") as span:
+            if span.enabled:
+                span.set("session", session_id)
+            try:
+                while True:
+                    try:
+                        refined = await self._pool.run(
+                            self._manager.refine_session, session_id
+                        )
+                    except PoolSaturatedError:
+                        await asyncio.sleep(0.05)
+                        continue
+                    except RuntimeError as error:
+                        if "worker pool is shut down" in str(error):
+                            return  # service stopping; nothing to record
+                        self._metrics.increment(
+                            "blaeu_pipeline_refine_errors_total"
+                        )
+                        return
+                    except Exception:
+                        self._metrics.increment(
+                            "blaeu_pipeline_refine_errors_total"
+                        )
+                        return
+                    if not refined:
+                        clean = True
+                        return
+                    # A navigation may have raced past the snapshot and
+                    # left a newer approximate state; keep going until
+                    # the session shows exact counts.
+            finally:
+                if span.enabled:
+                    span.set("clean", clean)
+                self._refining.discard(session_id)
+                if (
+                    clean
+                    and not self._stopping
+                    and self._manager.needs_refine(session_id)
+                ):
+                    self._schedule_refine(session_id)
 
     @staticmethod
     def _error_status(error: str) -> int:

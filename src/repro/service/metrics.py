@@ -1,193 +1,13 @@
-"""Request counters and latency histograms for the serving layer.
+"""Compatibility re-exports: the registry moved to :mod:`repro.obs.metrics`.
 
-A tiny, dependency-free take on the Prometheus text exposition format:
-counters keyed by (route, status), one log-bucketed latency histogram
-per route, and gauges the application layer sets directly (cache size,
-pool depth).  Everything is thread-safe — requests finish on worker
-threads — and :meth:`Metrics.render` produces the ``/metrics`` body.
+The serving layer's ``Histogram``/``Metrics`` grew into the
+process-global observability registry shared by every layer; import
+them from :mod:`repro.obs` in new code.  This module keeps the old
+import path working.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, Metrics
 
-__all__ = ["Histogram", "Metrics"]
-
-#: Default latency buckets (seconds): 1 ms … 10 s, roughly log-spaced.
-DEFAULT_BUCKETS: tuple[float, ...] = (
-    0.001,
-    0.0025,
-    0.005,
-    0.01,
-    0.025,
-    0.05,
-    0.1,
-    0.25,
-    0.5,
-    1.0,
-    2.5,
-    5.0,
-    10.0,
-)
-
-
-class Histogram:
-    """A fixed-bucket histogram of observed values (seconds)."""
-
-    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
-        if not buckets or list(buckets) != sorted(buckets):
-            raise ValueError("buckets must be a non-empty ascending sequence")
-        self._buckets = tuple(float(b) for b in buckets)
-        self._counts = [0] * (len(self._buckets) + 1)  # +1: the +Inf bucket
-        self._sum = 0.0
-        self._count = 0
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        index = bisect_left(self._buckets, value)
-        with self._lock:
-            self._counts[index] += 1
-            self._sum += value
-            self._count += 1
-
-    @property
-    def count(self) -> int:
-        """Total number of observations."""
-        with self._lock:
-            return self._count
-
-    @property
-    def sum(self) -> float:
-        """Sum of all observed values."""
-        with self._lock:
-            return self._sum
-
-    def cumulative(self) -> list[tuple[float, int]]:
-        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
-        with self._lock:
-            counts = list(self._counts)
-        out: list[tuple[float, int]] = []
-        running = 0
-        for bound, count in zip(self._buckets, counts):
-            running += count
-            out.append((bound, running))
-        out.append((float("inf"), running + counts[-1]))
-        return out
-
-    def quantile(self, q: float) -> float:
-        """Approximate quantile (upper bucket bound); 0 when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        cumulative = self.cumulative()
-        total = cumulative[-1][1]
-        if total == 0:
-            return 0.0
-        threshold = q * total
-        for bound, running in cumulative:
-            if running >= threshold:
-                return bound if bound != float("inf") else self._buckets[-1]
-        return self._buckets[-1]  # pragma: no cover - loop always returns
-
-
-class Metrics:
-    """The serving layer's metric registry.
-
-    ``observe_request`` is the single write path the HTTP layer uses;
-    gauges are set by the application (cache and pool snapshots) right
-    before rendering.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._requests: dict[tuple[str, int], int] = {}
-        self._latency: dict[str, Histogram] = {}
-        self._gauges: dict[str, float] = {}
-        self._counters: dict[str, int] = {}
-
-    def observe_request(self, route: str, status: int, seconds: float) -> None:
-        """Record one finished HTTP request."""
-        with self._lock:
-            key = (route, status)
-            self._requests[key] = self._requests.get(key, 0) + 1
-            histogram = self._latency.get(route)
-            if histogram is None:
-                histogram = self._latency[route] = Histogram()
-        histogram.observe(seconds)
-
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set an instantaneous value (cache size, pool depth, …)."""
-        with self._lock:
-            self._gauges[name] = float(value)
-
-    def increment(self, name: str, by: int = 1) -> None:
-        """Add to a monotonic named counter (created at first use).
-
-        The generic sibling of ``observe_request`` for non-HTTP events —
-        the graph engine counts its builds and cache hits here, so the
-        same numbers back both ``/metrics`` and the CLI's build report.
-        """
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + by
-
-    def counter(self, name: str) -> int:
-        """Current value of a named counter (0 before first increment)."""
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def request_count(self, route: str | None = None) -> int:
-        """Total requests (optionally restricted to one route)."""
-        with self._lock:
-            return sum(
-                count
-                for (r, _), count in self._requests.items()
-                if route is None or r == route
-            )
-
-    def histogram(self, route: str) -> Histogram | None:
-        """The latency histogram of ``route`` (``None`` before traffic)."""
-        with self._lock:
-            return self._latency.get(route)
-
-    def render(self) -> str:
-        """The Prometheus-style text body served at ``/metrics``."""
-        with self._lock:
-            requests = dict(self._requests)
-            latency = dict(self._latency)
-            gauges = dict(self._gauges)
-            counters = dict(self._counters)
-        lines: list[str] = []
-        lines.append("# TYPE blaeu_requests_total counter")
-        for (route, status), count in sorted(requests.items()):
-            lines.append(
-                f'blaeu_requests_total{{route="{route}",status="{status}"}} '
-                f"{count}"
-            )
-        lines.append("# TYPE blaeu_request_seconds histogram")
-        for route, histogram in sorted(latency.items()):
-            for bound, running in histogram.cumulative():
-                label = "+Inf" if bound == float("inf") else f"{bound:g}"
-                lines.append(
-                    f'blaeu_request_seconds_bucket{{route="{route}",'
-                    f'le="{label}"}} {running}'
-                )
-            lines.append(
-                f'blaeu_request_seconds_sum{{route="{route}"}} '
-                f"{histogram.sum:.6f}"
-            )
-            lines.append(
-                f'blaeu_request_seconds_count{{route="{route}"}} '
-                f"{histogram.count}"
-            )
-        for name, value in sorted(counters.items()):
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {value}")
-        for name, value in sorted(gauges.items()):
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {value:g}")
-        return "\n".join(lines) + "\n"
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "Metrics"]

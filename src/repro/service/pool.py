@@ -13,6 +13,7 @@ collapse.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -85,8 +86,12 @@ class WorkerPool:
                 )
             # Submit while still holding the lock so a concurrent
             # shutdown() cannot slip between the check and the submit.
+            # The job runs under a copy of the submitter's context, so
+            # trace spans opened on the worker thread parent to the
+            # request span that scheduled them.
+            context = contextvars.copy_context()
             try:
-                future = self._executor.submit(fn, *args)
+                future = self._executor.submit(context.run, fn, *args)
             except RuntimeError as error:
                 raise RuntimeError("worker pool is shut down") from error
             self._in_flight += 1

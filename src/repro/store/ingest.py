@@ -31,6 +31,8 @@ from typing import IO, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.store.format import (
     CODES_DTYPE,
     DEFAULT_CHUNK_ROWS,
@@ -281,31 +283,37 @@ def ingest_csv(
     tmp_dir.mkdir(parents=True, exist_ok=True)
     builders: list[_ColumnBuilder] = []
     try:
-        reader = CsvChunkReader(
-            handle,
-            delimiter=delimiter,
-            chunk_rows=chunk_rows,
-            name=resolved_name,
-        )
-        builders = [
-            _ColumnBuilder(
-                column_name,
-                position,
-                tmp_dir,
-                kinds.get(column_name) if kinds else None,
+        with get_tracer().span("store.ingest") as span:
+            reader = CsvChunkReader(
+                handle,
+                delimiter=delimiter,
+                chunk_rows=chunk_rows,
+                name=resolved_name,
             )
-            for position, column_name in enumerate(reader.header)
-        ]
-        n_rows = 0
-        for chunk in reader:
-            n_rows += len(chunk[0])
-            for builder, cells in zip(builders, chunk):
-                builder.feed(cells)
-        for builder in builders:
-            builder.finalize()
-        manifest = _finalize_store(
-            out_dir, resolved_name, n_rows, chunk_rows, priority_seed, builders
-        )
+            builders = [
+                _ColumnBuilder(
+                    column_name,
+                    position,
+                    tmp_dir,
+                    kinds.get(column_name) if kinds else None,
+                )
+                for position, column_name in enumerate(reader.header)
+            ]
+            n_rows = 0
+            for chunk in reader:
+                n_rows += len(chunk[0])
+                for builder, cells in zip(builders, chunk):
+                    builder.feed(cells)
+            for builder in builders:
+                builder.finalize()
+            manifest = _finalize_store(
+                out_dir, resolved_name, n_rows, chunk_rows, priority_seed, builders
+            )
+            if span.enabled:
+                span.set("table", resolved_name)
+                span.set("rows", n_rows)
+                span.set("columns", len(builders))
+            get_metrics().increment("blaeu_store_ingests_total")
     except BaseException:
         for builder in builders:
             builder.abort()

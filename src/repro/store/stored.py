@@ -30,10 +30,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 from repro.store.format import (
     CODES_DTYPE,
@@ -310,11 +314,13 @@ class StoredTable:
         step = chunk_rows or self._manifest.chunk_rows
         if step < 1:
             raise ValueError(f"chunk_rows must be positive, got {step}")
+        metrics = get_metrics()
         for start in range(0, self.n_rows, step):
             stop = min(start + step, self.n_rows)
             chunk_columns = [
                 self._read_column_chunk(name, start, stop) for name in names
             ]
+            metrics.increment("blaeu_store_chunk_reads_total")
             yield start, stop, Table(self._name, chunk_columns)
 
     def scan_mask(
@@ -328,11 +334,26 @@ class StoredTable:
         needed = tuple(sorted(predicate.columns()))
         if not needed:  # Everything (no predicate references any column)
             return predicate.mask(self)  # type: ignore[arg-type]
-        out = np.empty(self.n_rows, dtype=bool)
-        for start, stop, chunk in self.iter_chunks(
-            columns=needed, chunk_rows=chunk_rows
-        ):
-            out[start:stop] = predicate.mask(chunk)
+        with get_tracer().span("store.scan") as span:
+            started = time.perf_counter()
+            reads_before = self._data_reads
+            out = np.empty(self.n_rows, dtype=bool)
+            chunks = 0
+            for start, stop, chunk in self.iter_chunks(
+                columns=needed, chunk_rows=chunk_rows
+            ):
+                out[start:stop] = predicate.mask(chunk)
+                chunks += 1
+            if span.enabled:
+                span.set("rows", self.n_rows)
+                span.set("columns", len(needed))
+                span.set("chunks", chunks)
+                span.set("data_reads", self._data_reads - reads_before)
+            metrics = get_metrics()
+            metrics.increment("blaeu_store_scans_total")
+            metrics.observe(
+                "blaeu_store_scan_seconds", time.perf_counter() - started
+            )
         return out
 
     def select(self, predicate: Predicate, name: str | None = None) -> Table:
@@ -361,7 +382,12 @@ class StoredTable:
             raise IndexError(
                 f"row indices out of range for table with {self.n_rows} rows"
             )
-        columns = [self.column(n).take(indices) for n in self._order]
+        with get_tracer().span("store.gather") as span:
+            if span.enabled:
+                span.set("rows", int(indices.size))
+                span.set("columns", len(self._order))
+            get_metrics().increment("blaeu_store_gathers_total")
+            columns = [self.column(n).take(indices) for n in self._order]
         return Table(name or self._name, columns)
 
     def take_columns(
@@ -392,7 +418,12 @@ class StoredTable:
                 raise KeyError(
                     f"table {self._name!r} has no column {column_name!r}"
                 )
-        columns = [self.column(n).take(indices) for n in names]
+        with get_tracer().span("store.gather") as span:
+            if span.enabled:
+                span.set("rows", int(indices.size))
+                span.set("columns", len(names))
+            get_metrics().increment("blaeu_store_gathers_total")
+            columns = [self.column(n).take(indices) for n in names]
         return Table(name or self._name, columns)
 
     def sample(self, n: int, rng: np.random.Generator | None = None) -> Table:
@@ -452,26 +483,33 @@ class StoredTable:
             return np.empty(0, dtype=np.intp)
         if k >= self.n_rows:
             return np.arange(self.n_rows, dtype=np.intp)
-        step = chunk_rows or self._manifest.chunk_rows
-        path = self._root / self._manifest.priority_file
-        best_priority = np.empty(0, dtype=np.int64)
-        best_index = np.empty(0, dtype=np.intp)
-        for start in range(0, self.n_rows, step):
-            stop = min(start + step, self.n_rows)
-            self._data_reads += 1
-            chunk = read_file_chunk(path, PRIORITY_DTYPE, start, stop).astype(
-                np.int64, copy=False
-            )
-            priority = np.concatenate([best_priority, chunk])
-            index = np.concatenate(
-                [best_index, np.arange(start, stop, dtype=np.intp)]
-            )
-            if priority.size > k:
-                keep = np.argpartition(priority, k - 1)[:k]
-                priority = priority[keep]
-                index = index[keep]
-            best_priority, best_index = priority, index
-        return np.sort(best_index)
+        with get_tracer().span("store.topk_sample") as span:
+            step = chunk_rows or self._manifest.chunk_rows
+            path = self._root / self._manifest.priority_file
+            best_priority = np.empty(0, dtype=np.int64)
+            best_index = np.empty(0, dtype=np.intp)
+            chunks = 0
+            for start in range(0, self.n_rows, step):
+                stop = min(start + step, self.n_rows)
+                self._data_reads += 1
+                chunk = read_file_chunk(
+                    path, PRIORITY_DTYPE, start, stop
+                ).astype(np.int64, copy=False)
+                priority = np.concatenate([best_priority, chunk])
+                index = np.concatenate(
+                    [best_index, np.arange(start, stop, dtype=np.intp)]
+                )
+                if priority.size > k:
+                    keep = np.argpartition(priority, k - 1)[:k]
+                    priority = priority[keep]
+                    index = index[keep]
+                best_priority, best_index = priority, index
+                chunks += 1
+            if span.enabled:
+                span.set("k", k)
+                span.set("chunks", chunks)
+            get_metrics().increment("blaeu_store_topk_scans_total")
+            return np.sort(best_index)
 
     # ------------------------------------------------------------------
     # Internals

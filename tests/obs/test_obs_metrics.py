@@ -1,0 +1,86 @@
+"""Unit tests for the unified registry: validation, naming, globals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Metrics,
+    escape_label_value,
+    get_metrics,
+    reset_metrics,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad", ["", "9starts_with_digit", "has-dash", "has space", "has\nnl"]
+    )
+    def test_malformed_metric_names_are_rejected(self, bad):
+        metrics = Metrics()
+        with pytest.raises(ValueError):
+            metrics.increment(bad)
+        with pytest.raises(ValueError):
+            metrics.set_gauge(bad, 1.0)
+        with pytest.raises(ValueError):
+            metrics.observe(bad, 0.1)
+
+    @pytest.mark.parametrize("bad", ['quo"te', "new\nline", 123])
+    def test_malformed_route_labels_are_rejected(self, bad):
+        metrics = Metrics()
+        with pytest.raises(ValueError):
+            metrics.observe_request(bad, 200, 0.01)
+
+    def test_escape_label_value_neutralizes_hostile_paths(self):
+        hostile = '/x"} 1\nblaeu_requests_total{route="/pwned'
+        escaped = escape_label_value(hostile)
+        assert "\n" not in escaped
+        assert '"' not in escaped.replace('\\"', "")
+        metrics = Metrics()
+        metrics.observe_request(escaped, 200, 0.01)  # now accepted
+        assert metrics.request_count(escaped) == 1
+        assert escape_label_value("a\\b") == "a\\\\b"
+
+
+class TestNamedInstruments:
+    def test_named_histogram_records_and_renders(self):
+        metrics = Metrics()
+        metrics.observe("blaeu_pipeline_stage_seconds_sample", 0.004)
+        metrics.observe("blaeu_pipeline_stage_seconds_sample", 0.2)
+        histogram = metrics.named_histogram(
+            "blaeu_pipeline_stage_seconds_sample"
+        )
+        assert histogram is not None and histogram.count == 2
+        assert metrics.named_histogram("missing") is None
+        text = metrics.render()
+        assert "# TYPE blaeu_pipeline_stage_seconds_sample histogram" in text
+        assert 'blaeu_pipeline_stage_seconds_sample_bucket{le="+Inf"} 2' in text
+        assert "blaeu_pipeline_stage_seconds_sample_count 2" in text
+
+    def test_counters_and_gauges_render_alongside(self):
+        metrics = Metrics()
+        metrics.increment("blaeu_store_scans_total", 3)
+        metrics.set_gauge("blaeu_pool_in_flight", 2)
+        text = metrics.render()
+        assert "blaeu_store_scans_total 3" in text
+        assert "blaeu_pool_in_flight 2" in text
+
+
+class TestGlobalRegistry:
+    def test_reset_installs_a_fresh_global(self):
+        first = reset_metrics()
+        first.increment("blaeu_graph_builds_total")
+        assert get_metrics() is first
+        second = reset_metrics()
+        assert get_metrics() is second
+        assert second is not first
+        assert second.counter("blaeu_graph_builds_total") == 0
+
+    def test_service_shim_still_exports_the_registry(self):
+        from repro.service.metrics import Histogram as ShimHistogram
+        from repro.service.metrics import Metrics as ShimMetrics
+
+        from repro.obs.metrics import Histogram, Metrics
+
+        assert ShimMetrics is Metrics
+        assert ShimHistogram is Histogram

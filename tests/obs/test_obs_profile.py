@@ -1,0 +1,53 @@
+"""Unit tests for the opt-in sampling profiler."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.profile import (
+    SamplingProfiler,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profile_block,
+)
+
+
+def _busy_wait(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+class TestSamplingProfiler:
+    def test_samples_attribute_to_the_active_label(self):
+        profiler = enable_profiling(interval=0.001)
+        try:
+            with profile_block("stage.cluster"):
+                _busy_wait(0.15)
+        finally:
+            disable_profiling()
+        assert profiler.sample_count("stage.cluster") > 0
+        report = profiler.report(top=3)
+        assert "stage.cluster" in report
+        frame, count = report["stage.cluster"][0]
+        assert count >= 1
+        assert "(" in frame and ":" in frame  # "func (file:line)" shape
+
+    def test_profile_block_is_a_noop_when_disabled(self):
+        assert get_profiler() is None
+        with profile_block("anything"):
+            _busy_wait(0.01)
+        assert get_profiler() is None
+
+    def test_stop_is_idempotent_and_interval_validated(self):
+        profiler = SamplingProfiler(interval=0.001).start()
+        profiler.stop()
+        profiler.stop()
+        assert profiler.sample_count() == 0
+        try:
+            SamplingProfiler(interval=0.0)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("interval=0 must be rejected")

@@ -1,0 +1,271 @@
+"""Unit tests for the tracer: spans, context propagation, export."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.cluster.clara import clara
+from repro.cluster.parallel import map_in_order
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    collect_notes,
+    configure_tracing,
+    current_span,
+    format_fields,
+    get_tracer,
+    note,
+    render_trace,
+)
+from repro.service.pool import WorkerPool
+
+
+class TestSpans:
+    def test_nested_spans_share_the_trace_and_parent_correctly(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            assert current_span() is root
+            with tracer.span("child") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                with tracer.span("grandchild") as grandchild:
+                    assert grandchild.parent_id == child.span_id
+        assert current_span() is None
+        names = [s.name for s in tracer.spans()]
+        # Finish order: innermost first.
+        assert names == ["grandchild", "child", "root"]
+
+    def test_sibling_roots_get_distinct_trace_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_explicit_parent_overrides_the_context(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            pass
+        with tracer.span("linked", parent=root) as linked:
+            assert linked.trace_id == root.trace_id
+            assert linked.parent_id == root.span_id
+
+    def test_attributes_and_duration_are_recorded(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("op") as span:
+            span.set("k", 3)
+            span.set("cache_hit", False)
+        record = tracer.spans()[0].to_dict()
+        assert record["attributes"] == {"k": 3, "cache_hit": False}
+        assert record["duration"] >= 0.0
+        assert record["name"] == "op"
+
+    def test_exception_still_finishes_the_span(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert [s.name for s in tracer.spans()] == ["boom"]
+        assert current_span() is None
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other") is NULL_SPAN
+        with tracer.span("x") as span:
+            span.set("ignored", 1)
+            assert span.enabled is False
+        assert tracer.spans() == []
+        assert NULL_SPAN.attributes == {}
+
+    def test_disabled_spans_do_not_allocate(self):
+        tracer = Tracer(enabled=False)
+
+        def loop() -> None:
+            for _ in range(1000):
+                with tracer.span("x") as span:
+                    if span.enabled:
+                        span.set("a", 1)
+
+        loop()  # warm up caches and code objects
+        tracemalloc.start()
+        loop()
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert current == 0
+        assert peak < 2048  # nothing per-iteration; only loop scaffolding
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(buffer_size=0)
+        with pytest.raises(ValueError):
+            Tracer(slow_op_threshold=0.0)
+
+
+class TestPropagation:
+    def test_map_in_order_children_parent_to_the_caller_span(self):
+        tracer = configure_tracing(enabled=True, buffer_size=64)
+
+        def work(index: int) -> tuple[str, str | None]:
+            with get_tracer().span("child") as span:
+                return span.trace_id, span.parent_id
+
+        with tracer.span("root") as root:
+            results = map_in_order(work, [0, 1, 2, 3], n_jobs=2)
+        assert len(results) == 4
+        assert {trace_id for trace_id, _ in results} == {root.trace_id}
+        assert {parent for _, parent in results} == {root.span_id}
+
+    def test_worker_pool_children_parent_to_the_request_span(self):
+        tracer = configure_tracing(enabled=True, buffer_size=64)
+
+        def work() -> tuple[str, str | None]:
+            with get_tracer().span("engine.work") as span:
+                return span.trace_id, span.parent_id
+
+        async def main():
+            pool = WorkerPool(workers=2, max_pending=8)
+            try:
+                with tracer.span("http.request") as root:
+                    results = await asyncio.gather(
+                        pool.run(work), pool.run(work)
+                    )
+                return root, results
+            finally:
+                pool.shutdown(wait=True)
+
+        root, results = asyncio.run(main())
+        assert {trace_id for trace_id, _ in results} == {root.trace_id}
+        assert {parent for _, parent in results} == {root.span_id}
+
+    def test_clara_draw_spans_join_the_callers_trace(self):
+        tracer = configure_tracing(enabled=True, buffer_size=256)
+        points = np.random.default_rng(7).normal(size=(80, 3))
+        with tracer.span("map.build") as root:
+            clara(
+                points,
+                k=2,
+                n_draws=3,
+                rng=np.random.default_rng(0),
+                n_jobs=2,
+            )
+        draws = [s for s in tracer.spans() if s.name == "clara.draw"]
+        assert len(draws) == 3
+        assert {s.trace_id for s in draws} == {root.trace_id}
+        assert {s.parent_id for s in draws} == {root.span_id}
+        assert {s.attributes["draw"] for s in draws} == {0, 1, 2}
+
+    def test_tracing_does_not_change_clara_results(self):
+        points = np.random.default_rng(7).normal(size=(80, 3))
+        configure_tracing(enabled=True, buffer_size=256)
+        traced = clara(
+            points, k=2, n_draws=3, rng=np.random.default_rng(0), n_jobs=2
+        )
+        configure_tracing(enabled=False)
+        plain = clara(
+            points, k=2, n_draws=3, rng=np.random.default_rng(0), n_jobs=2
+        )
+        np.testing.assert_array_equal(traced.labels, plain.labels)
+        np.testing.assert_array_equal(traced.medoids, plain.medoids)
+
+
+class TestBufferAndExport:
+    def test_ring_buffer_evicts_oldest_spans(self):
+        tracer = Tracer(enabled=True, buffer_size=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_traces_groups_newest_first(self):
+        tracer = Tracer(enabled=True, buffer_size=32)
+        with tracer.span("first") as first:
+            with tracer.span("first.child"):
+                pass
+        with tracer.span("second") as second:
+            pass
+        traces = tracer.traces(limit=10)
+        assert [t["trace_id"] for t in traces] == [
+            second.trace_id,
+            first.trace_id,
+        ]
+        # Spans inside one trace come back in start order.
+        assert [s["name"] for s in traces[1]["spans"]] == [
+            "first",
+            "first.child",
+        ]
+        assert len(tracer.traces(limit=1)) == 1
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as a:
+            a.set("rows", 10)
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["name"] == "a"
+        assert record["attributes"] == {"rows": 10}
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 1
+        assert json.loads(buffer.getvalue())["trace_id"] == a.trace_id
+
+    def test_slow_op_log_fires_only_past_the_threshold(self):
+        lines: list[str] = []
+        tracer = Tracer(
+            enabled=True, slow_op_threshold=1e-9, slow_op_sink=lines.append
+        )
+        with tracer.span("slow"):
+            pass
+        assert len(lines) == 1
+        assert lines[0].startswith("slow_op name=slow ")
+        quiet = Tracer(
+            enabled=True, slow_op_threshold=3600.0, slow_op_sink=lines.append
+        )
+        with quiet.span("fast"):
+            pass
+        assert len(lines) == 1
+
+
+class TestFormattingAndNotes:
+    def test_format_fields_quotes_awkward_values(self):
+        line = format_fields(
+            "access", route="/api/open", message='say "hi" now', empty=""
+        )
+        assert line == (
+            'access route=/api/open message="say \\"hi\\" now" empty=""'
+        )
+
+    def test_notes_travel_to_the_collector(self):
+        with collect_notes() as fields:
+            note("map_cache", "miss")
+        assert fields == {"map_cache": "miss"}
+        note("after", 1)  # nobody listening: dropped
+        assert fields == {"map_cache": "miss"}
+
+    def test_render_trace_marks_the_slowest_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("leaf") as leaf:
+                leaf.set("rows", 5)
+        (trace,) = tracer.traces(limit=1)
+        text = render_trace(trace)
+        assert text.splitlines()[0].startswith(f"trace {leaf.trace_id}")
+        assert "- root" in text and "- leaf" in text
+        assert "[rows=5]" in text
+        assert text.count("◀ slowest") == 1
+        # The leaf is indented one level under the root.
+        root_line = next(x for x in text.splitlines() if "- root" in x)
+        leaf_line = next(x for x in text.splitlines() if "- leaf" in x)
+        assert len(leaf_line) - len(leaf_line.lstrip()) > len(
+            root_line
+        ) - len(root_line.lstrip())

@@ -97,6 +97,12 @@ class RunningService:
 
 
 @pytest.fixture(scope="module")
+def service_runner():
+    """The harness class itself, for tests building bespoke services."""
+    return RunningService
+
+
+@pytest.fixture(scope="module")
 def service():
     """A service over a small synthetic table, torn down after the module."""
     engine = Blaeu(BlaeuConfig(map_k_values=(2, 3), seed=5))

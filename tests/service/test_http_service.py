@@ -28,6 +28,15 @@ class TestHealthAndMetrics:
         assert "blaeu_pool_in_flight" in text
         assert 'route="/healthz"' in text
 
+    def test_trace_endpoint_reports_tracing_disabled_by_default(
+        self, service
+    ):
+        status, payload = service.get_json("/trace")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["enabled"] is False
+        assert payload["traces"] == []
+
 
 class TestCatalogRoutes:
     def test_tables_lists_registered_tables(self, service):
