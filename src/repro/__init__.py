@@ -28,6 +28,7 @@ from repro.core import (
     Blaeu,
     BlaeuConfig,
     DataMap,
+    ExplorationConfig,
     Explorer,
     Highlight,
     MapBuilder,
@@ -43,11 +44,19 @@ from repro.table import Database, Table, read_csv
 
 __version__ = "1.0.0"
 
+#: The curated public surface.  ``Blaeu`` (the engine), ``Explorer``
+#: (the navigation session), ``Database`` (the table registry),
+#: ``build_map`` (the one-shot mapping entry point) and
+#: ``ExplorationConfig`` (every engine knob; ``BlaeuConfig`` is its
+#: historical name) are the five names the quickstart needs; the rest
+#: are the supporting types those five hand back.  Serving-layer names
+#: live in :mod:`repro.service`.
 __all__ = [
     "Blaeu",
     "BlaeuConfig",
     "DataMap",
     "Database",
+    "ExplorationConfig",
     "Explorer",
     "Highlight",
     "MapBuildError",

@@ -13,6 +13,13 @@ Five suites cover the layers the ROADMAP cares about:
   store-backed selection.
 * ``service`` — wraps ``benchmarks/bench_service_throughput.py`` (cold vs
   warm cache, concurrent throughput) into the stable report schema.
+* ``scale`` — wraps ``benchmarks/bench_multiworker_scaling.py``: the
+  ``--workers N`` supervisor fleet vs the single-process service on a
+  cold multi-table map-build batch.  The timings gate against the
+  baseline (multi-worker must never regress single-worker); the
+  scaling ratio is recorded ungated — single-core CI runners cap
+  process scaling at ~1x, so the >= 2x floor is asserted inside the
+  script only on >= 4-CPU hosts.
 * ``store`` — the out-of-core layer (:mod:`repro.store`): chunked CSV
   ingest throughput, cold/warm pushdown scans, and the persisted
   top-k cascade sample vs a full priority redraw.
@@ -53,6 +60,7 @@ __all__ = [
     "run_clustering",
     "run_graph",
     "run_mapping",
+    "run_scale",
     "run_service",
     "run_store",
 ]
@@ -491,6 +499,54 @@ def run_service(smoke: bool) -> list[BenchResult]:
 
 
 # ----------------------------------------------------------------------
+# scale suite
+# ----------------------------------------------------------------------
+
+
+def run_scale(smoke: bool) -> list[BenchResult]:
+    """The multi-worker suite: supervisor fleet vs single process.
+
+    Both timings gate against the baseline — in particular the
+    ``--workers 4`` batch must not regress the single-worker one.  The
+    scaling ratio and bit-identity travel as ungated artifacts (the
+    script itself asserts the >= 2x floor on >= 4-CPU hosts and the
+    bit-identity everywhere).
+    """
+    script = _benchmarks_dir() / "bench_multiworker_scaling.py"
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_multiworker_scaling", script
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    record = module.run_benchmark(smoke=smoke, n_workers=4)
+    return [
+        BenchResult(
+            name="multiworker_scaling",
+            params={
+                "n_workers": record["n_workers"],
+                "n_tables": record["n_tables"],
+                "n_rows": record["n_rows"],
+                "n_cold_builds": record["n_cold_builds"],
+                "host_cpus": record["host_cpus"],
+            },
+            metrics={
+                "single_worker_seconds": float(
+                    record["single_worker_seconds"]
+                ),
+                "multi_worker_seconds": float(record["multi_worker_seconds"]),
+                "single_worker_rps": float(record["single_worker_rps"]),
+                "multi_worker_rps": float(record["multi_worker_rps"]),
+                "scaling_ratio": float(record["scaling_ratio"]),
+                "maps_identical": float(record["maps_identical"]),
+            },
+            gated=("single_worker_seconds", "multi_worker_seconds"),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
 # store suite
 # ----------------------------------------------------------------------
 
@@ -829,6 +885,7 @@ SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "clustering": run_clustering,
     "graph": run_graph,
     "mapping": run_mapping,
+    "scale": run_scale,
     "service": run_service,
     "store": run_store,
 }

@@ -14,7 +14,8 @@ Run with::
     python -m repro ingest <data.csv> <store-dir> [--name N] \
         [--chunk-rows R] [--delimiter D] [--priority-seed S]
     python -m repro serve [--host H] [--port P] [--cache-size N] \
-        [--cache-ttl S] [--workers N] [--trace] [--access-log] \
+        [--cache-ttl S] [--workers N] [--threads T] [--cache-dir DIR] \
+        [--trace] [--access-log] \
         (<data.csv|store-dir> … | --demo <name>)
     python -m repro trace <http://host:port | spans.jsonl> [--limit N] \
         [--export PATH]
@@ -427,7 +428,40 @@ def serve_main(argv: list[str]) -> None:
         help="map-cache entry lifetime in seconds (default: no expiry)",
     )
     parser.add_argument(
-        "--workers", type=int, default=4, help="worker threads for map builds"
+        "--workers",
+        type=int,
+        default=1,
+        help="worker *processes*; more than one boots the pre-fork "
+        "supervisor over a shared on-disk artifact cache "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="worker threads per process for map builds "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared on-disk artifact cache (the L2 tier); created if "
+        "missing.  Workers of one supervisor always share a cache dir "
+        "(a temp dir when this flag is omitted)",
+    )
+    parser.add_argument(
+        "--cache-disk-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="size budget of --cache-dir before LRU eviction "
+        "(default 1 GiB)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help=argparse.SUPPRESS,  # supervisor-internal port announcement
     )
     parser.add_argument(
         "--trace",
@@ -462,19 +496,73 @@ def serve_main(argv: list[str]) -> None:
         engine_argv = list(args.data)
     else:
         parser.error("provide CSV files or --demo <name>")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
 
-    from repro.service.app import BlaeuService, ServiceConfig
+    if args.workers > 1:
+        # Pre-fork mode: N single-process services behind a routing
+        # front, sharing one artifact-cache directory so warm work
+        # crosses process (and restart) boundaries.
+        import tempfile
+
+        from repro.service.supervisor import Supervisor
+
+        cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="blaeu-cache-")
+        worker_argv = [
+            "--threads",
+            str(args.threads),
+            "--cache-size",
+            str(args.cache_size),
+            "--cache-dir",
+            cache_dir,
+        ]
+        if args.cache_ttl is not None:
+            worker_argv += ["--cache-ttl", str(args.cache_ttl)]
+        if args.cache_disk_bytes is not None:
+            worker_argv += ["--cache-disk-bytes", str(args.cache_disk_bytes)]
+        if args.trace:
+            worker_argv += ["--trace", "--trace-buffer", str(args.trace_buffer)]
+        if args.slow_op_threshold is not None:
+            worker_argv += ["--slow-op-threshold", str(args.slow_op_threshold)]
+        if args.access_log:
+            worker_argv += ["--access-log"]
+        worker_argv += engine_argv
+        try:
+            supervisor = Supervisor(
+                worker_argv,
+                n_workers=args.workers,
+                host=args.host,
+                port=args.port,
+            )
+        except ValueError as error:  # pragma: no cover - guarded above
+            parser.error(str(error))
+        supervisor.run()
+        return
+
+    from repro.service.app import BlaeuService, CacheConfig, ServiceConfig
+    from repro.store.artifacts import DEFAULT_MAX_BYTES
 
     try:
+        cache = (
+            CacheConfig(
+                size=args.cache_size,
+                ttl=args.cache_ttl,
+                dir=args.cache_dir,
+                disk_bytes=args.cache_disk_bytes or DEFAULT_MAX_BYTES,
+            )
+            if args.cache_dir
+            else None
+        )
         config = ServiceConfig(
             host=args.host,
             port=args.port,
+            cache=cache,
             cache_size=args.cache_size,
             cache_ttl=args.cache_ttl,
-            workers=args.workers,
-            # Admission bound scales with the pool so large --workers
+            workers=args.threads,
+            # Admission bound scales with the pool so large --threads
             # values don't trip the max_pending >= workers invariant.
-            max_pending=max(64, args.workers * 4),
+            max_pending=max(64, args.threads * 4),
             trace_enabled=args.trace,
             trace_buffer_size=args.trace_buffer,
             slow_op_threshold=args.slow_op_threshold,
@@ -483,7 +571,7 @@ def serve_main(argv: list[str]) -> None:
     except ValueError as error:
         parser.error(str(error))
     engine = build_engine(engine_argv)
-    BlaeuService(engine, config).run()
+    BlaeuService(engine, config).run(port_file=args.port_file)
 
 
 def _group_span_dicts(

@@ -4,7 +4,7 @@ This package is the paper's primary contribution — everything else in
 the repository is substrate for it.  See DESIGN.md for the module map.
 """
 
-from repro.core.config import BlaeuConfig
+from repro.core.config import BlaeuConfig, ExplorationConfig
 from repro.core.datamap import DataMap, Region
 from repro.core.engine import Blaeu
 from repro.core.insights import InsightReport, region_insights
@@ -19,6 +19,7 @@ __all__ = [
     "Blaeu",
     "BlaeuConfig",
     "DataMap",
+    "ExplorationConfig",
     "ExplorationState",
     "Explorer",
     "FeatureSpace",

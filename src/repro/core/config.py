@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.tree.cart import CartParams
 
-__all__ = ["BlaeuConfig"]
+__all__ = ["BlaeuConfig", "ExplorationConfig"]
 
 
 @dataclass(frozen=True)
@@ -180,3 +180,11 @@ class BlaeuConfig:
             payload.pop(knob)
         text = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+#: The curated public name of the engine configuration: exploration is
+#: what the knobs tune (sample sizes per zoom, cluster-count grids,
+#: CLARA cutovers), so ``repro.ExplorationConfig`` is the spelling the
+#: package surface advertises.  ``BlaeuConfig`` remains the internal
+#: (and historical) name; they are the same class.
+ExplorationConfig = BlaeuConfig

@@ -4,30 +4,76 @@ The paper's architecture (Figure 4) puts a server between the browser
 and the DBMS; this package is that tier, grown for the ROADMAP's
 "heavy traffic" north star:
 
-* :mod:`repro.service.cache` — an LRU+TTL result cache shared across
-  sessions, so two users navigating to the same place reuse one
-  clustering run.
+* :mod:`repro.service.cache` — the in-memory LRU+TTL result cache and
+  the memory/disk :class:`TieredCache` that stacks it over the shared
+  on-disk :class:`~repro.store.artifacts.ArtifactCache`.
 * :mod:`repro.service.pool` — a bounded worker pool that keeps slow
   map builds off the event loop.
-* :mod:`repro.service.metrics` — request counters and latency
-  histograms, rendered at ``/metrics``.
 * :mod:`repro.service.http` — a stdlib-only ``asyncio`` HTTP/1.1
   server.
 * :mod:`repro.service.app` — the wiring: engine + session manager +
-  cache + pool behind JSON endpoints, with graceful shutdown.
+  cache tiers + pool behind the versioned ``/v1`` JSON API, with
+  graceful shutdown.
+* :mod:`repro.service.routing` / :mod:`repro.service.supervisor` — the
+  multi-process tier: consistent-hash placement of table fingerprints
+  and the pre-fork supervisor behind ``blaeu serve --workers N``.
+
+This package is also the *facade* for the session tier: the
+``repro.server`` entry points (session management, protocol parsing,
+session persistence) are re-exported here, which is where new code
+should import them from (``repro.server`` itself warns).
 """
 
-from repro.service.app import BlaeuService, ServiceConfig
-from repro.service.cache import CacheStats, LRUCache
+from repro.server.persistence import replay_session, save_session
+from repro.server.protocol import (
+    ErrorResponse,
+    ProtocolError,
+    Request,
+    Response,
+    parse_request,
+)
+from repro.server.session import Session, SessionManager
+from repro.service.app import (
+    BlaeuService,
+    CacheConfig,
+    PoolConfig,
+    ServiceConfig,
+    TraceConfig,
+)
+from repro.service.cache import (
+    CacheStats,
+    LRUCache,
+    TieredCache,
+    TieredCacheStats,
+)
 from repro.service.metrics import Metrics
 from repro.service.pool import PoolSaturatedError, WorkerPool
+from repro.service.routing import HashRing
+from repro.service.supervisor import Supervisor, SupervisorError
 
 __all__ = [
     "BlaeuService",
-    "ServiceConfig",
+    "CacheConfig",
     "CacheStats",
+    "ErrorResponse",
+    "HashRing",
     "LRUCache",
     "Metrics",
-    "WorkerPool",
+    "PoolConfig",
     "PoolSaturatedError",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServiceConfig",
+    "Session",
+    "SessionManager",
+    "Supervisor",
+    "SupervisorError",
+    "TieredCache",
+    "TieredCacheStats",
+    "TraceConfig",
+    "WorkerPool",
+    "parse_request",
+    "replay_session",
+    "save_session",
 ]

@@ -27,13 +27,16 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import signal
 import sys
 import time
 from dataclasses import dataclass
 from typing import Callable
+from urllib.parse import urlencode
 
 from repro.core.engine import Blaeu
+from repro.core.pipeline import MapBuildError
 from repro.obs.metrics import Metrics, escape_label_value, reset_metrics
 from repro.obs.trace import (
     Tracer,
@@ -49,52 +52,232 @@ from repro.server.protocol import (
     parse_request,
 )
 from repro.server.session import SessionManager
-from repro.service.cache import CacheStats, LRUCache
+from repro.service.cache import CacheStats, LRUCache, TieredCache
 from repro.service.http import (
     HttpError,
     HttpRequest,
     HttpResponse,
     HttpServer,
     json_response,
+    redirect_response,
     text_response,
 )
 from repro.service.pool import PoolSaturatedError, WorkerPool
+from repro.store.artifacts import DEFAULT_MAX_BYTES, ArtifactCache
 
-__all__ = ["BlaeuService", "ServiceConfig"]
+__all__ = [
+    "BlaeuService",
+    "CacheConfig",
+    "PoolConfig",
+    "ServiceConfig",
+    "TraceConfig",
+]
 
 #: Error prefixes that mean "the thing you named does not exist".
 _NOT_FOUND_PREFIXES = ("no session ", "no table ", "no theme ", "no region ")
 
+#: Legacy routes kept as 307 shims for one release (→ their /v1 homes).
+LEGACY_ROUTES = {
+    "/tables": "/v1/tables",
+    "/catalog": "/v1/tables",
+    "/trace": "/v1/traces",
+}
+
+
+def _env(name: str) -> str | None:
+    value = os.environ.get(name, "").strip()
+    return value or None
+
+
+def _env_int(name: str) -> int | None:
+    value = _env(name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError as error:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from error
+
+
+def _env_float(name: str) -> float | None:
+    value = _env(name)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError as error:
+        raise ValueError(f"{name} must be a number, got {value!r}") from error
+
+
+def _env_bool(name: str) -> bool | None:
+    value = _env(name)
+    if value is None:
+        return None
+    lowered = value.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{name} must be a boolean flag, got {value!r}")
+
+
+def _pick(*candidates):
+    """The first non-``None`` candidate (explicit > env > default)."""
+    for candidate in candidates:
+        if candidate is not None:
+            return candidate
+    return None
+
 
 @dataclass(frozen=True)
-class ServiceConfig:
-    """Knobs of the serving layer (the engine has its own config)."""
+class CacheConfig:
+    """The result-cache tiers: in-memory L1, optional on-disk L2.
 
-    host: str = "127.0.0.1"
-    port: int = 8787
-    cache_size: int = 256
-    cache_ttl: float | None = None
-    workers: int = 4
-    max_pending: int = 64
-    read_timeout: float = 30.0
-    trace_enabled: bool = False
-    trace_buffer_size: int = 512
+    ``dir=None`` disables the disk tier (single-process default);
+    pointing several workers at one ``dir`` is what shares warm
+    artifacts across processes and restarts.
+    """
+
+    size: int = 256
+    ttl: float | None = None
+    dir: str | None = None
+    disk_bytes: int = DEFAULT_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("cache_size must be at least 1")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("cache_ttl must be positive (or None)")
+        if self.disk_bytes < 1:
+            raise ValueError("cache disk_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Observability knobs (tracing, slow-op log, access log)."""
+
+    enabled: bool = False
+    buffer_size: int = 512
     slow_op_threshold: float | None = None
     access_log: bool = False
 
     def __post_init__(self) -> None:
-        if self.cache_size < 1:
-            raise ValueError("cache_size must be at least 1")
-        if self.cache_ttl is not None and self.cache_ttl <= 0:
-            raise ValueError("cache_ttl must be positive (or None)")
-        if self.workers < 1:
-            raise ValueError("workers must be at least 1")
-        if self.max_pending < self.workers:
-            raise ValueError("max_pending must be >= workers")
-        if self.trace_buffer_size < 1:
+        if self.buffer_size < 1:
             raise ValueError("trace_buffer_size must be at least 1")
         if self.slow_op_threshold is not None and self.slow_op_threshold <= 0:
             raise ValueError("slow_op_threshold must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Concurrency shape: threads per worker, processes per service."""
+
+    threads: int = 4
+    max_pending: int = 64
+    processes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError("workers must be at least 1")
+        if self.max_pending < self.threads:
+            raise ValueError("max_pending must be >= workers")
+        if self.processes < 1:
+            raise ValueError("processes must be at least 1")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving layer (the engine has its own config).
+
+    The canonical surface is the nested groups — ``cache``, ``trace``
+    and ``pool`` — each overridable through ``BLAEU_*`` environment
+    variables (explicit arguments > environment > defaults):
+
+    ==========================  =====================================
+    variable                    nested knob
+    ==========================  =====================================
+    ``BLAEU_CACHE_SIZE``        ``cache.size``
+    ``BLAEU_CACHE_TTL``         ``cache.ttl``
+    ``BLAEU_CACHE_DIR``         ``cache.dir``
+    ``BLAEU_CACHE_DISK_BYTES``  ``cache.disk_bytes``
+    ``BLAEU_TRACE``             ``trace.enabled``
+    ``BLAEU_TRACE_BUFFER``      ``trace.buffer_size``
+    ``BLAEU_SLOW_OP_THRESHOLD`` ``trace.slow_op_threshold``
+    ``BLAEU_ACCESS_LOG``        ``trace.access_log``
+    ``BLAEU_THREADS``           ``pool.threads``
+    ``BLAEU_MAX_PENDING``       ``pool.max_pending``
+    ``BLAEU_WORKERS``           ``pool.processes``
+    ==========================  =====================================
+
+    The pre-redesign flat kwargs (``cache_size``, ``cache_ttl``,
+    ``workers`` — *threads*, ``max_pending``, ``trace_enabled``,
+    ``trace_buffer_size``, ``slow_op_threshold``, ``access_log``) keep
+    working: ``__post_init__`` folds them into the nested groups (an
+    explicitly passed nested group wins) and re-materializes them as
+    read-only aliases, so ``config.cache_size`` always answers.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    read_timeout: float = 30.0
+    cache: CacheConfig | None = None
+    trace: TraceConfig | None = None
+    pool: PoolConfig | None = None
+    # Legacy flat aliases; ``None`` means "not given" and defers to the
+    # nested group, the environment, then the default.
+    cache_size: int | None = None
+    cache_ttl: float | None = None
+    workers: int | None = None
+    max_pending: int | None = None
+    trace_enabled: bool | None = None
+    trace_buffer_size: int | None = None
+    slow_op_threshold: float | None = None
+    access_log: bool | None = None
+
+    def __post_init__(self) -> None:
+        cache = self.cache or CacheConfig(
+            size=_pick(self.cache_size, _env_int("BLAEU_CACHE_SIZE"), 256),
+            ttl=_pick(self.cache_ttl, _env_float("BLAEU_CACHE_TTL")),
+            dir=_env("BLAEU_CACHE_DIR"),
+            disk_bytes=_pick(
+                _env_int("BLAEU_CACHE_DISK_BYTES"), DEFAULT_MAX_BYTES
+            ),
+        )
+        trace = self.trace or TraceConfig(
+            enabled=_pick(self.trace_enabled, _env_bool("BLAEU_TRACE"), False),
+            buffer_size=_pick(
+                self.trace_buffer_size, _env_int("BLAEU_TRACE_BUFFER"), 512
+            ),
+            slow_op_threshold=_pick(
+                self.slow_op_threshold, _env_float("BLAEU_SLOW_OP_THRESHOLD")
+            ),
+            access_log=_pick(
+                self.access_log, _env_bool("BLAEU_ACCESS_LOG"), False
+            ),
+        )
+        threads = _pick(self.workers, _env_int("BLAEU_THREADS"), 4)
+        pool = self.pool or PoolConfig(
+            threads=threads,
+            max_pending=_pick(
+                self.max_pending,
+                _env_int("BLAEU_MAX_PENDING"),
+                max(64, threads * 4),
+            ),
+            processes=_pick(_env_int("BLAEU_WORKERS"), 1),
+        )
+        # Materialize both surfaces: nested groups for new callers,
+        # resolved flat aliases for pre-redesign ones.
+        object.__setattr__(self, "cache", cache)
+        object.__setattr__(self, "trace", trace)
+        object.__setattr__(self, "pool", pool)
+        object.__setattr__(self, "cache_size", cache.size)
+        object.__setattr__(self, "cache_ttl", cache.ttl)
+        object.__setattr__(self, "workers", pool.threads)
+        object.__setattr__(self, "max_pending", pool.max_pending)
+        object.__setattr__(self, "trace_enabled", trace.enabled)
+        object.__setattr__(self, "trace_buffer_size", trace.buffer_size)
+        object.__setattr__(self, "slow_op_threshold", trace.slow_op_threshold)
+        object.__setattr__(self, "access_log", trace.access_log)
 
 
 class BlaeuService:
@@ -115,12 +298,22 @@ class BlaeuService:
         self._config = config or ServiceConfig()
         self._engine = engine
         if engine.map_cache is None:
-            engine.set_map_cache(
-                LRUCache(
-                    max_size=self._config.cache_size,
-                    ttl=self._config.cache_ttl,
-                )
+            cache_config = self._config.cache
+            memory = LRUCache(
+                max_size=cache_config.size, ttl=cache_config.ttl
             )
+            if cache_config.dir:
+                engine.set_map_cache(
+                    TieredCache(
+                        memory,
+                        ArtifactCache(
+                            cache_config.dir,
+                            max_bytes=cache_config.disk_bytes,
+                        ),
+                    )
+                )
+            else:
+                engine.set_map_cache(memory)
         self._manager = SessionManager(engine)
         # One composition root, one registry: every layer (graph builds,
         # map pipeline, store scans) records into the process-global
@@ -231,12 +424,21 @@ class BlaeuService:
         with contextlib.suppress(asyncio.CancelledError):
             await self._http.serve_forever()
 
-    def run(self) -> None:
-        """Blocking entry point with SIGINT/SIGTERM-triggered shutdown."""
-        asyncio.run(self._run())
+    def run(self, port_file: str | None = None) -> None:
+        """Blocking entry point with SIGINT/SIGTERM-triggered shutdown.
 
-    async def _run(self) -> None:
+        ``port_file`` (written atomically after bind) is how supervisor
+        workers announce the port they got when asked for port 0.
+        """
+        asyncio.run(self._run(port_file))
+
+    async def _run(self, port_file: str | None = None) -> None:
         await self.start()
+        if port_file:
+            tmp = f"{port_file}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(str(self.port))
+            os.replace(tmp, port_file)
         loop = asyncio.get_running_loop()
         stop_requested = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -270,7 +472,12 @@ class BlaeuService:
                 # in /metrics.  The path is attacker-controlled, so it
                 # must be escaped before becoming a label value.
                 route, response = escape_label_value(request.path), json_response(
-                    {"ok": False, "error": error.message}, error.status
+                    {
+                        "ok": False,
+                        "error": error.message,
+                        "code": error.code,
+                    },
+                    error.status,
                 )
             if span.enabled:
                 span.set("method", request.method)
@@ -300,27 +507,41 @@ class BlaeuService:
             return path, self._handle_healthz(request)
         if path == "/metrics":
             return path, self._handle_metrics(request)
-        if path == "/trace":
-            return path, self._handle_trace(request)
-        if path == "/tables":
-            return path, await self._run_command(request, "tables", {})
-        if path == "/catalog":
-            return path, await self._run_command(request, "catalog", {})
+        # Legacy routes answer 307 (method- and body-preserving) shims
+        # into the /v1 namespace for one release.
+        if path in LEGACY_ROUTES:
+            return path, redirect_response(
+                self._shim_target(LEGACY_ROUTES[path], request)
+            )
         if path.startswith("/api/"):
-            command = path[len("/api/") :]
-            if request.method != "POST":
-                return path, json_response(
-                    {"ok": False, "error": "use POST for /api/ commands"},
-                    405,
+            return path, redirect_response(
+                self._shim_target(
+                    "/v1/commands/" + path[len("/api/") :], request
                 )
+            )
+        if path == "/v1/tables":
+            if request.method != "GET":
+                return path, self._method_not_allowed("GET")
+            return path, await self._run_command(request, "catalog", {})
+        if path == "/v1/traces":
+            if request.method != "GET":
+                return path, self._method_not_allowed("GET")
+            return path, self._handle_trace(request)
+        if path.startswith("/v1/tables/"):
+            return await self._dispatch_table_resource(request, path)
+        if path.startswith("/v1/commands/"):
+            command = path[len("/v1/commands/") :]
+            if request.method != "POST":
+                return path, self._method_not_allowed("POST")
             if command not in COMMANDS:
-                return "/api/<unknown>", json_response(
+                return "/v1/commands/<unknown>", json_response(
                     {
                         "ok": False,
                         "error": (
                             f"unknown command {command!r}; "
                             f"known: {sorted(COMMANDS)}"
                         ),
+                        "code": "unknown_command",
                     },
                     404,
                 )
@@ -328,7 +549,191 @@ class BlaeuService:
                 request, command, request.json()
             )
         return "/<unknown>", json_response(
-            {"ok": False, "error": f"no route {request.path!r}"}, 404
+            {
+                "ok": False,
+                "error": f"no route {request.path!r}",
+                "code": "unknown_route",
+            },
+            404,
+        )
+
+    @staticmethod
+    def _shim_target(base: str, request: HttpRequest) -> str:
+        """The /v1 home of a legacy route, query string preserved."""
+        if not request.query:
+            return base
+        return base + "?" + urlencode(request.query, doseq=True)
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> HttpResponse:
+        return json_response(
+            {
+                "ok": False,
+                "error": f"use {allowed} for this resource",
+                "code": "method_not_allowed",
+            },
+            405,
+        )
+
+    async def _dispatch_table_resource(
+        self, request: HttpRequest, path: str
+    ) -> tuple[str, HttpResponse]:
+        """Resource routes under ``/v1/tables/{table}/…``.
+
+        ``{table}`` accepts a registered name or a full content
+        fingerprint (the identity the artifact tiers and the
+        multi-worker router key on).
+        """
+        parts = path[len("/v1/tables/") :].split("/")
+        if len(parts) != 2 or parts[1] not in ("map", "graph", "themes"):
+            return "/v1/tables/<unknown>", json_response(
+                {
+                    "ok": False,
+                    "error": f"no route {request.path!r}",
+                    "code": "unknown_route",
+                },
+                404,
+            )
+        ref, resource = parts
+        route = f"/v1/tables/<table>/{resource}"
+        if request.method != "GET":
+            return route, self._method_not_allowed("GET")
+        table = self._resolve_table(ref)
+        if table is None:
+            return route, json_response(
+                {
+                    "ok": False,
+                    "error": f"no table {ref!r}",
+                    "code": "not_found",
+                },
+                404,
+            )
+        if resource == "themes":
+            return route, await self._run_command(
+                request, "themes", {"table": table}
+            )
+        if resource == "graph":
+            handler = self._handle_graph
+        else:
+            handler = self._handle_map
+        try:
+            response = await self._pool.run(handler, table, request)
+        except PoolSaturatedError as error:
+            return route, json_response(
+                {"ok": False, "error": str(error), "code": "pool_saturated"},
+                503,
+            )
+        return route, response
+
+    def _resolve_table(self, ref: str) -> str | None:
+        """A table name from a name or content-fingerprint reference."""
+        if ref in self._engine.tables():
+            return ref
+        for record in self._engine.database.catalog():
+            if record["fingerprint"] == ref:
+                return str(record["name"])
+        return None
+
+    def _handle_map(self, table: str, request: HttpRequest) -> HttpResponse:
+        """``GET /v1/tables/{table}/map`` — a stateless one-shot map.
+
+        ``?theme=<index|name>`` or ``?columns=a,b,c`` choose the column
+        set (a bare table defaults to its first theme); ``?k=`` forces
+        the cluster count.  Runs on the worker pool.
+        """
+        theme_values = request.query.get("theme", [])
+        column_values = request.query.get("columns", [])
+        k_values = request.query.get("k", [])
+        k: int | None = None
+        if k_values:
+            try:
+                k = int(k_values[0])
+            except ValueError:
+                raise HttpError(
+                    400, f"k must be an integer, got {k_values[0]!r}"
+                ) from None
+        if column_values:
+            columns = tuple(
+                name.strip()
+                for name in column_values[0].split(",")
+                if name.strip()
+            )
+            if not columns:
+                raise HttpError(400, "columns must name at least one column")
+        else:
+            themes = self._engine.themes(table)
+            ref: str | int = 0
+            if theme_values:
+                word = theme_values[0]
+                ref = int(word) if word.isdigit() else word
+            try:
+                theme = (
+                    themes[ref] if isinstance(ref, int) else themes.theme(ref)
+                )
+                columns = tuple(theme.columns)
+            except (KeyError, IndexError):
+                return json_response(
+                    {
+                        "ok": False,
+                        "error": f"no theme {ref!r} on table {table!r}",
+                        "code": "not_found",
+                    },
+                    404,
+                )
+        try:
+            data_map = self._engine.map(table, columns, k=k)
+        except MapBuildError as error:
+            return json_response(
+                {
+                    "ok": False,
+                    "error": str(error),
+                    "code": "map_build_invalid",
+                },
+                400,
+            )
+        except KeyError as error:
+            return json_response(
+                {
+                    "ok": False,
+                    "error": str(error).strip("'\""),
+                    "code": "not_found",
+                },
+                404,
+            )
+        return json_response(
+            {
+                "ok": True,
+                "table": table,
+                "columns": list(columns),
+                "map": data_map.to_dict(),
+            }
+        )
+
+    def _handle_graph(self, table: str, request: HttpRequest) -> HttpResponse:
+        """``GET /v1/tables/{table}/graph`` — the dependency graph.
+
+        Serves the column-dependency graph behind the table's themes as
+        an explicit node/edge list (weights are the pairwise dependency
+        scores the themes were partitioned on).
+        """
+        graph = self._engine.themes(table).graph
+        edges = [
+            {
+                "source": graph.columns[i],
+                "target": graph.columns[j],
+                "weight": round(float(graph.weights[i, j]), 6),
+            }
+            for i in range(len(graph.columns))
+            for j in range(i + 1, len(graph.columns))
+        ]
+        return json_response(
+            {
+                "ok": True,
+                "table": table,
+                "measure": graph.measure,
+                "columns": list(graph.columns),
+                "edges": edges,
+            }
         )
 
     def _handle_healthz(self, request: HttpRequest) -> HttpResponse:
@@ -390,6 +795,21 @@ class BlaeuService:
             self._metrics.set_gauge(
                 "blaeu_cache_evictions_total", cache.evictions
             )
+        tier_stats = getattr(self._engine.map_cache, "tier_stats", None)
+        if callable(tier_stats):
+            tiers = tier_stats()
+            self._metrics.set_gauge(
+                "blaeu_artifact_cache_promotions", tiers.promotions
+            )
+            disk = getattr(self._engine.map_cache, "disk", None)
+            if disk is not None:
+                disk_stats = disk.stats()
+                self._metrics.set_gauge(
+                    "blaeu_artifact_cache_entries", disk_stats.entries
+                )
+                self._metrics.set_gauge(
+                    "blaeu_artifact_cache_bytes", disk_stats.total_bytes
+                )
         self._metrics.set_gauge("blaeu_pool_in_flight", pool.in_flight)
         self._metrics.set_gauge("blaeu_pool_completed_total", pool.completed)
         self._metrics.set_gauge("blaeu_pool_failed_total", pool.failed)
@@ -427,31 +847,43 @@ class BlaeuService:
         try:
             parsed = parse_request(json.dumps(payload))
         except ProtocolError as error:
-            return json_response({"ok": False, "error": str(error)}, 400)
+            return json_response(
+                {"ok": False, "error": str(error), "code": "bad_request"}, 400
+            )
         except TypeError as error:
             return json_response(
-                {"ok": False, "error": f"unserializable arguments: {error}"},
+                {
+                    "ok": False,
+                    "error": f"unserializable arguments: {error}",
+                    "code": "bad_request",
+                },
                 400,
             )
         try:
             result = await self._pool.run(self._manager.handle, parsed)
         except PoolSaturatedError as error:
-            return json_response({"ok": False, "error": str(error)}, 503)
+            return json_response(
+                {"ok": False, "error": str(error), "code": "pool_saturated"},
+                503,
+            )
         if isinstance(result, Response):
             payload: dict[str, object] = {"ok": True, **result.payload}
             self._annotate_counts(payload)
             return json_response(payload)
         assert isinstance(result, ErrorResponse)
+        status = self._error_status(result.error)
         body: dict[str, object] = {
             "ok": False,
             "error": result.error,
             "command": command,
-        }
-        if result.code:
             # Structured client errors (e.g. the map pipeline rejecting
-            # the request as posed) carry their machine-readable code.
-            body["code"] = result.code
-        return json_response(body, self._error_status(result.error))
+            # the request as posed) carry their own machine-readable
+            # code; everything else gets the status-derived one, so no
+            # error body leaves the service without a ``code``.
+            "code": result.code
+            or ("not_found" if status == 404 else "bad_request"),
+        }
+        return json_response(body, status)
 
     def _annotate_counts(self, payload: dict[str, object]) -> None:
         """Surface count-refinement status on map-bearing responses.

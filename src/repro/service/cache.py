@@ -11,6 +11,13 @@ from session ids — which is what makes the cache safely *shared*.
 Eviction is least-recently-used with an optional time-to-live; both are
 enforced on every access, and an injectable clock keeps the TTL logic
 deterministically testable.
+
+:class:`TieredCache` stacks this in-memory hot tier (L1) over the
+disk-backed :class:`~repro.store.artifacts.ArtifactCache` (L2): reads
+fall through to disk and *promote* back into memory; writes land in
+memory always and on disk when the value is codec-serializable.  That
+is how multiple worker processes share warm artifacts, and how a
+restarted worker serves its first request warm.
 """
 
 from __future__ import annotations
@@ -19,9 +26,14 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
-__all__ = ["CacheStats", "LRUCache"]
+from repro.obs.metrics import get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.artifacts import ArtifactCache
+
+__all__ = ["CacheStats", "LRUCache", "TieredCache", "TieredCacheStats"]
 
 
 @dataclass(frozen=True)
@@ -172,4 +184,126 @@ class LRUCache:
                 expirations=self._expirations,
                 size=len(self._entries),
                 max_size=self._max_size,
+            )
+
+
+@dataclass(frozen=True)
+class TieredCacheStats:
+    """Per-tier effectiveness of one :class:`TieredCache`."""
+
+    memory: CacheStats
+    memory_hits: int
+    disk_hits: int
+    misses: int
+    promotions: int
+    disk_skipped: int
+
+
+class TieredCache:
+    """An L1 (memory) / L2 (disk) cache behind the ``get``/``put`` surface.
+
+    Parameters
+    ----------
+    memory:
+        The in-memory hot tier (an :class:`LRUCache`).
+    disk:
+        The shared on-disk tier (an
+        :class:`~repro.store.artifacts.ArtifactCache`), or ``None`` to
+        degrade to memory-only (the single-process default).
+
+    Reads check memory first; a disk hit is *promoted* into memory so
+    the per-key decode cost is paid once per process.  Writes always
+    land in memory; disk persistence is best-effort — values outside
+    the codec's type registry simply stay memory-only, which keeps the
+    tier transparent to the pipeline.  Counters additionally feed the
+    process-global metrics registry (``blaeu_artifact_cache_*``), so
+    ``/metrics`` shows the disk tier's effectiveness per worker.
+    """
+
+    def __init__(self, memory: LRUCache, disk: "ArtifactCache | None" = None) -> None:
+        self._memory = memory
+        self._disk = disk
+        self._lock = threading.Lock()
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._promotions = 0
+        self._disk_skipped = 0
+
+    @property
+    def memory(self) -> LRUCache:
+        """The L1 tier."""
+        return self._memory
+
+    @property
+    def disk(self) -> "ArtifactCache | None":
+        """The L2 tier (``None`` when running memory-only)."""
+        return self._disk
+
+    def get(self, key: Hashable) -> object | None:
+        """L1 lookup, falling through to L2 with promotion."""
+        value = self._memory.get(key)
+        if value is not None:
+            with self._lock:
+                self._memory_hits += 1
+            return value
+        if self._disk is not None:
+            value = self._disk.get(key)
+            if value is not None:
+                self._memory.put(key, value)
+                with self._lock:
+                    self._disk_hits += 1
+                    self._promotions += 1
+                get_metrics().increment("blaeu_artifact_cache_hits_total")
+                return value
+            get_metrics().increment("blaeu_artifact_cache_misses_total")
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert into memory, and onto disk when serializable."""
+        self._memory.put(key, value)
+        if self._disk is None:
+            return
+        if self._disk.put(key, value):
+            get_metrics().increment("blaeu_artifact_cache_writes_total")
+        else:
+            with self._lock:
+                self._disk_skipped += 1
+            get_metrics().increment("blaeu_artifact_cache_write_skips_total")
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry from both tiers."""
+        present = self._memory.invalidate(key)
+        if self._disk is not None:
+            self._disk.invalidate(key)
+        return present
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers."""
+        self._memory.clear()
+        if self._disk is not None:
+            self._disk.clear()
+
+    def stats(self) -> CacheStats:
+        """The L1 snapshot (duck-compatible with :class:`LRUCache`).
+
+        The serving layer's health endpoint reads ``stats()`` off
+        whatever cache the engine carries; keeping the L1 shape here
+        means tiering never changes that surface.  Tier-aware callers
+        use :meth:`tier_stats`.
+        """
+        return self._memory.stats()
+
+    def tier_stats(self) -> TieredCacheStats:
+        """Per-tier counters (memory/disk hits, promotions, skips)."""
+        with self._lock:
+            return TieredCacheStats(
+                memory=self._memory.stats(),
+                memory_hits=self._memory_hits,
+                disk_hits=self._disk_hits,
+                misses=self._misses,
+                promotions=self._promotions,
+                disk_skipped=self._disk_skipped,
             )

@@ -28,6 +28,7 @@ __all__ = [
     "HttpResponse",
     "HttpServer",
     "json_response",
+    "redirect_response",
     "text_response",
 ]
 
@@ -39,6 +40,7 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 REASONS = {
     200: "OK",
     202: "Accepted",
+    307: "Temporary Redirect",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -48,14 +50,32 @@ REASONS = {
     503: "Service Unavailable",
 }
 
+#: Status → default machine-readable error code (every error body the
+#: service emits carries one; see the /v1 API contract in the README).
+ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    408: "request_timeout",
+    413: "payload_too_large",
+    500: "internal",
+    503: "unavailable",
+}
+
 
 class HttpError(Exception):
-    """A request-level failure with an HTTP status."""
+    """A request-level failure with an HTTP status and error code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``code`` defaults to the status-derived code from
+    :data:`ERROR_CODES`, so every error body carries a structured code
+    even when the raising site only knows the status.
+    """
+
+    def __init__(self, status: int, message: str, code: str | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code or ERROR_CODES.get(status, "error")
 
 
 @dataclass(frozen=True)
@@ -111,6 +131,18 @@ def json_response(
     """A JSON response from a payload dictionary."""
     body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
     return HttpResponse(status=status, body=body)
+
+
+def redirect_response(location: str, status: int = 307) -> HttpResponse:
+    """A redirect shim response (307 preserves method and body)."""
+    return HttpResponse(
+        status=status,
+        body=json.dumps(
+            {"ok": False, "code": "moved", "location": location},
+            sort_keys=True,
+        ).encode("utf-8"),
+        headers={"Location": location},
+    )
 
 
 def text_response(text: str, status: int = 200) -> HttpResponse:
@@ -210,7 +242,12 @@ class HttpServer:
                     break
                 except HttpError as error:
                     response = json_response(
-                        {"ok": False, "error": error.message}, error.status
+                        {
+                            "ok": False,
+                            "error": error.message,
+                            "code": error.code,
+                        },
+                        error.status,
                     )
                     writer.write(response.serialize(keep_alive=False))
                     await writer.drain()
@@ -225,13 +262,22 @@ class HttpServer:
                     response = await self._handler(request)
                 except HttpError as error:
                     response = json_response(
-                        {"ok": False, "error": error.message}, error.status
+                        {
+                            "ok": False,
+                            "error": error.message,
+                            "code": error.code,
+                        },
+                        error.status,
                     )
                 except asyncio.CancelledError:
                     raise
                 except Exception as error:  # noqa: BLE001 - last resort
                     response = json_response(
-                        {"ok": False, "error": f"internal error: {error}"},
+                        {
+                            "ok": False,
+                            "error": f"internal error: {error}",
+                            "code": "internal",
+                        },
                         500,
                     )
                 writer.write(response.serialize(keep_alive=keep_alive))

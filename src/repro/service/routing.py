@@ -1,0 +1,95 @@
+"""Consistent-hash routing of table fingerprints to worker slots.
+
+The multi-worker supervisor keeps each worker's in-memory hot tier
+effective by always sending work on the same table *content* to the
+same worker slot: the L1 cache then concentrates that table's maps and
+stage artifacts in one process instead of diluting them across all of
+them.  Keys are content fingerprints (not names), the same identity
+the cache tiers use — two names bound to identical data route
+together, exactly like they share cache entries.
+
+A classic hash ring with virtual nodes keeps the mapping stable under
+membership change: when one of N slots is removed, only ~1/N of the
+keyspace moves.  Slots are small integers (worker *slots*, not
+processes — a restarted worker reoccupies its slot and, thanks to the
+disk artifact tier, rewarms from what its predecessor persisted).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(token: str) -> int:
+    """A uniform 64-bit ring position for a token."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer worker slots.
+
+    Parameters
+    ----------
+    slots:
+        The worker slot ids (e.g. ``range(n_workers)``).
+    replicas:
+        Virtual nodes per slot; more replicas = smoother key spread.
+    """
+
+    def __init__(self, slots: range | list[int], replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self._replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, int] = {}
+        self._slots: set[int] = set()
+        for slot in slots:
+            self.add(slot)
+
+    @property
+    def slots(self) -> tuple[int, ...]:
+        """The live slots, ascending."""
+        return tuple(sorted(self._slots))
+
+    def add(self, slot: int) -> None:
+        """Add a slot (idempotent)."""
+        if slot in self._slots:
+            return
+        self._slots.add(slot)
+        for replica in range(self._replicas):
+            point = _point(f"slot:{slot}:{replica}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners[point] = slot
+
+    def remove(self, slot: int) -> None:
+        """Remove a slot (idempotent); its keyspace spills to neighbours."""
+        if slot not in self._slots:
+            return
+        self._slots.discard(slot)
+        for replica in range(self._replicas):
+            point = _point(f"slot:{slot}:{replica}")
+            index = bisect.bisect_left(self._points, point)
+            if index < len(self._points) and self._points[index] == point:
+                del self._points[index]
+            self._owners.pop(point, None)
+
+    def owner(self, key: str) -> int:
+        """The slot owning ``key`` (clockwise successor on the ring)."""
+        if not self._points:
+            raise LookupError("hash ring has no slots")
+        point = _point(f"key:{key}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, slot: object) -> bool:
+        return slot in self._slots

@@ -1,0 +1,696 @@
+"""A pre-fork supervisor: N worker processes over one artifact cache.
+
+``blaeu serve --workers N`` boots this tier instead of a single
+:class:`~repro.service.app.BlaeuService`.  The supervisor owns the
+public socket and forwards each request to one of N worker processes,
+each a full single-process service on a loopback port.  What makes the
+fleet act like one warm service is the *shared on-disk artifact cache*
+(:mod:`repro.store.artifacts`): every worker mounts the same cache
+directory as its L2 tier, so a map one worker pays for is a disk hit
+for every other worker — and for the worker's own replacement after a
+restart.
+
+Request placement is consistent-hash routing
+(:mod:`repro.service.routing`) keyed on content identity:
+
+* ``/v1/tables/{ref}/…`` routes on the table's *fingerprint* (names
+  are resolved through the catalog), so all work on the same data
+  lands on the worker whose in-memory L1 already holds it;
+* session commands route on the session id — sessions are sticky to a
+  *slot*, and a restarted worker reoccupies its slot;
+* ``/metrics`` and ``/v1/traces`` fan out to every worker and answer
+  the merged view (counters summed, traces interleaved), each series
+  also broken out per worker slot where it matters
+  (``blaeu_worker_up``).
+
+Workers announce their bound port through a *port file* (they bind
+port 0), are monitored, and are respawned into their slot on death;
+``POST /v1/workers/{slot}/restart`` triggers a graceful rolling
+restart whose replacement serves warm from disk.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import urlencode
+
+from repro.service.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    json_response,
+    redirect_response,
+    text_response,
+)
+from repro.service.routing import HashRing
+
+__all__ = ["Supervisor", "SupervisorError", "merge_metrics"]
+
+#: Headers the proxy strips rather than forwards (hop-by-hop framing).
+_HOP_HEADERS = ("connection", "content-length", "host", "keep-alive")
+
+
+class SupervisorError(RuntimeError):
+    """A worker failed to boot or died unrecoverably."""
+
+
+@dataclass
+class WorkerProcess:
+    """One supervised worker slot."""
+
+    slot: int
+    process: subprocess.Popen | None = None
+    port: int | None = None
+    generation: int = 0
+    restarts: int = 0
+    port_file: Path = field(default=Path("."))
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+def merge_metrics(bodies: list[str], extra: list[str] | None = None) -> str:
+    """Sum per-worker Prometheus expositions into one body.
+
+    Series with identical names and labels are summed — correct for
+    counters, histogram buckets/sums/counts, and the gauge-as-total
+    style this codebase uses.  ``# TYPE`` lines are kept (first wins)
+    and re-emitted ahead of their series, so the merged body is valid
+    exposition text.
+    """
+    types: dict[str, str] = {}
+    series: dict[str, float] = {}
+    for body in bodies:
+        for line in body.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 4 and parts[1] == "TYPE":
+                    types.setdefault(parts[2], line)
+                continue
+            key, _, value = line.rpartition(" ")
+            if not key:
+                continue
+            try:
+                number = float(value)
+            except ValueError:
+                continue
+            series[key] = series.get(key, 0.0) + number
+
+    def metric_name(key: str) -> str:
+        name = key.split("{", 1)[0].strip()
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    grouped: dict[str, list[str]] = {}
+    for key, value in series.items():
+        text = f"{value:g}"
+        grouped.setdefault(metric_name(key), []).append(f"{key} {text}")
+    lines: list[str] = []
+    emitted: set[str] = set()
+    for name, type_line in types.items():
+        if name not in grouped:
+            continue
+        lines.append(type_line)
+        lines.extend(grouped[name])
+        emitted.add(name)
+    for name, entries in grouped.items():
+        if name not in emitted:
+            lines.extend(entries)
+    if extra:
+        lines.extend(extra)
+    return "\n".join(lines) + "\n"
+
+
+class Supervisor:
+    """The multi-worker front: spawn, route, aggregate, respawn.
+
+    Parameters
+    ----------
+    worker_argv:
+        The ``blaeu serve`` argument vector each worker runs with
+        (data sources and per-worker flags) — *without* ``--port`` /
+        ``--port-file``, which the supervisor appends per slot.
+    n_workers:
+        Worker process count (slots ``0 … n-1``).
+    host / port:
+        The public bind address (workers bind loopback port 0).
+    state_dir:
+        Where port files live; a temp directory by default.
+    spawn_timeout:
+        Seconds to wait for a worker to announce its port.
+    """
+
+    def __init__(
+        self,
+        worker_argv: list[str],
+        n_workers: int,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        read_timeout: float = 30.0,
+        state_dir: str | Path | None = None,
+        spawn_timeout: float = 60.0,
+    ) -> None:
+        if n_workers < 2:
+            raise ValueError("a supervisor needs at least 2 workers")
+        self._worker_argv = list(worker_argv)
+        self._n_workers = n_workers
+        self._state_dir = (
+            Path(state_dir)
+            if state_dir is not None
+            else Path(tempfile.mkdtemp(prefix="blaeu-supervisor-"))
+        )
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        self._spawn_timeout = spawn_timeout
+        self._workers = [
+            WorkerProcess(
+                slot=slot, port_file=self._state_dir / f"worker-{slot}.port"
+            )
+            for slot in range(n_workers)
+        ]
+        self._ring = HashRing(range(n_workers))
+        self._fingerprints: dict[str, str] = {}  # name -> fingerprint
+        self._http = HttpServer(
+            self._route, host=host, port=port, read_timeout=read_timeout
+        )
+        self._monitor_task: asyncio.Task | None = None
+        self._stopping = False
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The public bind host."""
+        return self._http.host
+
+    @property
+    def port(self) -> int:
+        """The public bound port (after :meth:`start`)."""
+        return self._http.port
+
+    @property
+    def workers(self) -> list[WorkerProcess]:
+        """The worker slots (live view)."""
+        return self._workers
+
+    @property
+    def ring(self) -> HashRing:
+        """The routing ring (slots are stable across restarts)."""
+        return self._ring
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker, wait for their ports, open the front."""
+        for worker in self._workers:
+            self._spawn(worker)
+        await asyncio.gather(
+            *(self._await_port(worker) for worker in self._workers)
+        )
+        await self._http.start()
+        self._started_at = time.monotonic()
+        self._monitor_task = asyncio.create_task(self._monitor())
+
+    async def stop(self) -> None:
+        """Stop the front, then terminate the fleet."""
+        self._stopping = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._monitor_task
+            self._monitor_task = None
+        await self._http.stop()
+        for worker in self._workers:
+            self._terminate(worker)
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled."""
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._http.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point with signal-triggered shutdown."""
+        asyncio.run(self._run())
+
+    async def _run(self) -> None:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
+                loop.add_signal_handler(signum, stop_requested.set)
+        ports = [worker.port for worker in self._workers]
+        print(
+            f"blaeu supervisor listening on http://{self.host}:{self.port} "
+            f"({self._n_workers} workers on ports {ports})"
+        )
+        serve_task = asyncio.create_task(self.serve_forever())
+        await stop_requested.wait()
+        await self.stop()
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+
+    async def restart(self, slot: int) -> None:
+        """Gracefully restart one worker (warm restart via the disk tier).
+
+        The old process gets SIGTERM (drains in-flight work), the
+        replacement reoccupies the same slot — so the ring still sends
+        it the same tables, whose artifacts it now finds on disk.
+        """
+        worker = self._worker(slot)
+        self._terminate(worker)
+        worker.restarts += 1
+        self._spawn(worker)
+        await self._await_port(worker)
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+
+    def _worker(self, slot: int) -> WorkerProcess:
+        if not 0 <= slot < self._n_workers:
+            raise HttpError(404, f"no worker slot {slot}")
+        return self._workers[slot]
+
+    def _spawn(self, worker: WorkerProcess) -> None:
+        worker.generation += 1
+        with contextlib.suppress(OSError):
+            worker.port_file.unlink()
+        worker.port = None
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--port-file",
+            str(worker.port_file),
+            *self._worker_argv,
+        ]
+        env = dict(os.environ)
+        env["BLAEU_WORKER_SLOT"] = str(worker.slot)
+        worker.process = subprocess.Popen(  # noqa: S603 - our own argv
+            argv,
+            stdout=subprocess.DEVNULL,
+            stderr=None,  # workers share the supervisor's stderr
+            env=env,
+            cwd=os.getcwd(),
+        )
+
+    async def _await_port(self, worker: WorkerProcess) -> None:
+        deadline = time.monotonic() + self._spawn_timeout
+        while time.monotonic() < deadline:
+            if worker.process is not None and worker.process.poll() is not None:
+                raise SupervisorError(
+                    f"worker {worker.slot} exited with "
+                    f"{worker.process.returncode} before announcing a port"
+                )
+            try:
+                text = worker.port_file.read_text(encoding="utf-8").strip()
+            except OSError:
+                text = ""
+            if text:
+                worker.port = int(text)
+                return
+            await asyncio.sleep(0.05)
+        raise SupervisorError(
+            f"worker {worker.slot} did not announce a port within "
+            f"{self._spawn_timeout:.0f}s"
+        )
+
+    def _terminate(self, worker: WorkerProcess) -> None:
+        process = worker.process
+        if process is None:
+            return
+        if process.poll() is None:
+            with contextlib.suppress(OSError):
+                process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                process.kill()
+                process.wait(timeout=10)
+        worker.process = None
+        worker.port = None
+
+    async def _monitor(self) -> None:
+        """Respawn dead workers into their slots (ring stays stable)."""
+        while True:
+            await asyncio.sleep(0.25)
+            for worker in self._workers:
+                if self._stopping or worker.alive or worker.process is None:
+                    continue
+                worker.restarts += 1
+                self._spawn(worker)
+                with contextlib.suppress(SupervisorError):
+                    await self._await_port(worker)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(self, request: HttpRequest) -> HttpResponse:
+        try:
+            return await self._dispatch(request)
+        except HttpError as error:
+            return json_response(
+                {"ok": False, "error": error.message, "code": error.code},
+                error.status,
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as error:
+            # The routed worker died mid-request; the monitor will
+            # respawn it.  Tell the client to retry rather than hang.
+            return json_response(
+                {
+                    "ok": False,
+                    "error": f"worker unavailable: {error}",
+                    "code": "unavailable",
+                },
+                503,
+            )
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return await self._handle_healthz()
+        if path == "/metrics":
+            return await self._handle_metrics()
+        if path in ("/trace", "/v1/traces"):
+            if path == "/trace":
+                return redirect_response("/v1/traces")
+            return await self._handle_traces(request)
+        if path == "/v1/workers":
+            return self._handle_workers()
+        if path.startswith("/v1/workers/") and path.endswith("/restart"):
+            if request.method != "POST":
+                raise HttpError(405, "use POST to restart a worker")
+            word = path[len("/v1/workers/") : -len("/restart")]
+            try:
+                slot = int(word)
+            except ValueError:
+                raise HttpError(404, f"no worker slot {word!r}") from None
+            await self.restart(slot)
+            worker = self._worker(slot)
+            return json_response(
+                {
+                    "ok": True,
+                    "slot": slot,
+                    "port": worker.port,
+                    "generation": worker.generation,
+                    "restarts": worker.restarts,
+                }
+            )
+        slot = self._slot_for(request, path)
+        return await self._forward(slot, request)
+
+    def _slot_for(self, request: HttpRequest, path: str) -> int:
+        """The worker slot owning this request's content identity."""
+        if path.startswith("/v1/tables/"):
+            ref = path[len("/v1/tables/") :].split("/", 1)[0]
+            return self._ring.owner(f"table:{self._fingerprint(ref)}")
+        body: dict[str, object] = {}
+        if request.body:
+            with contextlib.suppress(HttpError):
+                body = request.json()
+        session = body.get("session")
+        if isinstance(session, str) and session:
+            return self._ring.owner(f"session:{session}")
+        table = body.get("table")
+        if isinstance(table, str) and table:
+            return self._ring.owner(f"table:{self._fingerprint(table)}")
+        return self._ring.owner(f"path:{path}")
+
+    def _fingerprint(self, ref: str) -> str:
+        """Resolve a table name to its content fingerprint (best effort).
+
+        The catalog map is filled by :meth:`_handle_healthz` /
+        :meth:`_refresh_catalog`; an unresolved name still routes
+        deterministically on its own spelling.
+        """
+        return self._fingerprints.get(ref, ref)
+
+    async def _refresh_catalog(self) -> None:
+        """Re-learn name → fingerprint from any live worker."""
+        for worker in self._workers:
+            if worker.port is None:
+                continue
+            try:
+                response = await self._request_worker(
+                    worker, "GET", "/v1/tables"
+                )
+                payload = json.loads(response.body.decode("utf-8"))
+            except (OSError, ValueError, asyncio.IncompleteReadError):
+                continue
+            records = payload.get("catalog", [])
+            if isinstance(records, list):
+                for record in records:
+                    if isinstance(record, dict):
+                        name = str(record.get("name", ""))
+                        fingerprint = str(record.get("fingerprint", ""))
+                        if name and fingerprint:
+                            self._fingerprints[name] = fingerprint
+                return
+
+    # ------------------------------------------------------------------
+    # Proxying
+    # ------------------------------------------------------------------
+
+    async def _forward(
+        self, slot: int, request: HttpRequest
+    ) -> HttpResponse:
+        if not self._fingerprints and request.path.startswith("/v1/tables/"):
+            await self._refresh_catalog()
+            slot = self._slot_for(request, request.path.rstrip("/") or "/")
+        worker = self._worker(slot)
+        if worker.port is None:
+            await self._await_port(worker)
+        response = await self._request_worker(
+            worker,
+            request.method,
+            self._target(request),
+            headers=request.headers,
+            body=request.body,
+        )
+        response.headers["X-Blaeu-Worker"] = str(slot)
+        return response
+
+    @staticmethod
+    def _target(request: HttpRequest) -> str:
+        if not request.query:
+            return request.path
+        return request.path + "?" + urlencode(request.query, doseq=True)
+
+    async def _request_worker(
+        self,
+        worker: WorkerProcess,
+        method: str,
+        target: str,
+        headers: dict[str, str] | None = None,
+        body: bytes = b"",
+    ) -> HttpResponse:
+        """One ``Connection: close`` HTTP exchange with a worker."""
+        if worker.port is None:
+            raise ConnectionError(f"worker {worker.slot} has no port")
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", worker.port
+        )
+        try:
+            lines = [f"{method} {target} HTTP/1.1", "Host: 127.0.0.1"]
+            for name, value in (headers or {}).items():
+                if name.lower() not in _HOP_HEADERS:
+                    lines.append(f"{name}: {value}")
+            lines.append(f"Content-Length: {len(body)}")
+            lines.append("Connection: close")
+            writer.write(
+                ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+            )
+            await writer.drain()
+            return await self._read_response(reader)
+        finally:
+            writer.close()
+            with contextlib.suppress(
+                ConnectionError, asyncio.IncompleteReadError, OSError
+            ):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader) -> HttpResponse:
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            body = await reader.readexactly(int(length_text))
+        else:  # pragma: no cover - workers always send Content-Length
+            body = await reader.read()
+        passthrough = {
+            name: value
+            for name, value in headers.items()
+            if name in ("location", "x-blaeu-trace")
+        }
+        return HttpResponse(
+            status=status,
+            body=body,
+            content_type=headers.get(
+                "content-type", "application/json; charset=utf-8"
+            ),
+            headers=passthrough,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregated endpoints
+    # ------------------------------------------------------------------
+
+    async def _fan_out(
+        self, method: str, target: str
+    ) -> list[tuple[WorkerProcess, HttpResponse | None]]:
+        async def one(worker: WorkerProcess) -> HttpResponse | None:
+            try:
+                return await self._request_worker(worker, method, target)
+            except (OSError, ConnectionError, asyncio.IncompleteReadError):
+                return None
+
+        responses = await asyncio.gather(
+            *(one(worker) for worker in self._workers)
+        )
+        return list(zip(self._workers, responses))
+
+    async def _handle_healthz(self) -> HttpResponse:
+        await self._refresh_catalog()
+        results = await self._fan_out("GET", "/healthz")
+        workers = []
+        tables = 0
+        for worker, response in results:
+            healthy = response is not None and response.status == 200
+            entry: dict[str, object] = {
+                "slot": worker.slot,
+                "port": worker.port,
+                "healthy": healthy,
+                "generation": worker.generation,
+                "restarts": worker.restarts,
+            }
+            if healthy:
+                payload = json.loads(response.body.decode("utf-8"))
+                entry["sessions"] = payload.get("sessions", 0)
+                tables = max(tables, int(payload.get("tables", 0)))
+            workers.append(entry)
+        healthy_count = sum(1 for entry in workers if entry["healthy"])
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return json_response(
+            {
+                "ok": healthy_count == self._n_workers,
+                "status": "healthy" if healthy_count else "down",
+                "uptime_seconds": round(uptime, 3),
+                "tables": tables,
+                "workers": workers,
+            },
+            200 if healthy_count else 503,
+        )
+
+    async def _handle_metrics(self) -> HttpResponse:
+        results = await self._fan_out("GET", "/metrics")
+        bodies = [
+            response.body.decode("utf-8")
+            for _, response in results
+            if response is not None and response.status == 200
+        ]
+        extra = ["# TYPE blaeu_worker_up gauge"]
+        extra.extend(
+            f'blaeu_worker_up{{slot="{worker.slot}"}} '
+            f"{1 if response is not None else 0}"
+            for worker, response in results
+        )
+        extra.append("# TYPE blaeu_worker_restarts_total counter")
+        extra.append(
+            "blaeu_worker_restarts_total "
+            f"{sum(worker.restarts for worker in self._workers)}"
+        )
+        extra.append("# TYPE blaeu_supervisor_workers gauge")
+        extra.append(f"blaeu_supervisor_workers {self._n_workers}")
+        return text_response(merge_metrics(bodies, extra))
+
+    async def _handle_traces(self, request: HttpRequest) -> HttpResponse:
+        limit = 10
+        values = request.query.get("limit")
+        if values:
+            try:
+                limit = int(values[0])
+            except ValueError:
+                raise HttpError(
+                    400, f"limit must be an integer, got {values[0]!r}"
+                ) from None
+        results = await self._fan_out("GET", f"/v1/traces?limit={limit}")
+        traces: list[dict[str, object]] = []
+        enabled = False
+        for worker, response in results:
+            if response is None or response.status != 200:
+                continue
+            payload = json.loads(response.body.decode("utf-8"))
+            enabled = enabled or bool(payload.get("enabled", False))
+            for trace in payload.get("traces", []):
+                if isinstance(trace, dict):
+                    trace["worker"] = worker.slot
+                    traces.append(trace)
+        return json_response(
+            {"ok": True, "enabled": enabled, "traces": traces[:limit]}
+        )
+
+    def _handle_workers(self) -> HttpResponse:
+        return json_response(
+            {
+                "ok": True,
+                "workers": [
+                    {
+                        "slot": worker.slot,
+                        "port": worker.port,
+                        "alive": worker.alive,
+                        "pid": (
+                            worker.process.pid
+                            if worker.process is not None
+                            else None
+                        ),
+                        "generation": worker.generation,
+                        "restarts": worker.restarts,
+                    }
+                    for worker in self._workers
+                ],
+            }
+        )

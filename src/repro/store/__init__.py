@@ -74,15 +74,35 @@ from repro.store.format import (
     StoreManifest,
     write_store,
 )
+from repro.store.artifacts import (
+    DEFAULT_MAX_BYTES,
+    ArtifactCache,
+    ArtifactCacheStats,
+)
+from repro.store.codec import (
+    ArtifactCorruptError,
+    CodecError,
+    decode,
+    encodable,
+    encode,
+)
 from repro.store.ingest import ingest_csv
 from repro.store.stored import StoredTable
 
 __all__ = [
     "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_MAX_BYTES",
+    "ArtifactCache",
+    "ArtifactCacheStats",
+    "ArtifactCorruptError",
+    "CodecError",
     "MANIFEST_NAME",
     "ColumnMeta",
     "StoreManifest",
     "StoredTable",
+    "decode",
+    "encodable",
+    "encode",
     "ingest_csv",
     "write_store",
 ]

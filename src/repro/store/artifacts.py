@@ -1,0 +1,347 @@
+"""A crash-safe, size-bounded on-disk artifact cache (the L2 tier).
+
+The staged pipeline made every expensive result an immutable artifact
+under a content key; this module gives those artifacts a home that
+survives process restarts and is shared between worker processes.
+Design constraints, and how each is met:
+
+* **Crash safety** — entries are written to a private temp file,
+  fsynced, then published with ``os.replace`` (atomic on POSIX), so a
+  concurrent reader sees either the old bytes or the new bytes, never a
+  torn file.  The payload itself carries a sha256 (see
+  :mod:`repro.store.codec`), so even damage *outside* the cache's
+  control (a crash mid-``fsync``, disk corruption) is detected on read.
+* **Cross-process coordination** — a per-key ``flock`` serializes
+  writers of the same key, and :meth:`ArtifactCache.lock` exposes the
+  same lock so callers can coordinate "compute once" across processes.
+  Hosts without ``fcntl`` degrade to uncoordinated (still atomic)
+  writes.
+* **Bounded size** — an ``index.json`` (itself atomically replaced,
+  under its own lock) tracks per-entry sizes and last-use stamps;
+  writers evict least-recently-used entries beyond ``max_bytes``.
+* **Corruption quarantine** — an entry that fails checksum or decode
+  validation is moved into ``quarantine/`` (for post-mortems) and
+  reported as a miss, so the caller transparently recomputes.
+
+Layout of a cache directory::
+
+    root/
+      index.json          {key_hash: {key, nbytes, last_used, created}}
+      index.lock          flock guarding index.json
+      objects/ab/abcd….art
+      locks/abcd….lock    per-key write locks
+      quarantine/         corrupted entries, moved aside
+      tmp/                in-flight writes
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.store.codec import ArtifactCorruptError, CodecError, decode, encode
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX host
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["ArtifactCache", "ArtifactCacheStats", "DEFAULT_MAX_BYTES"]
+
+#: Default size budget of a cache directory (1 GiB).
+DEFAULT_MAX_BYTES = 1 << 30
+
+_SUFFIX = ".art"
+
+
+@dataclass(frozen=True)
+class ArtifactCacheStats:
+    """Counters of one :class:`ArtifactCache` instance (this process)."""
+
+    hits: int
+    misses: int
+    writes: int
+    write_errors: int
+    evictions: int
+    quarantined: int
+    entries: int
+    total_bytes: int
+
+
+def _key_hash(key: object) -> str:
+    """The stable on-disk identity of a cache key.
+
+    ``repr`` of the key tuples is deterministic for the str/int/None
+    leaves the pipeline uses — the same convention
+    :func:`repro.core.pipeline.cache_key_seed` already relies on.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Disk-backed ``get``/``put`` over codec-serializable artifacts.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if missing).  Multiple processes may
+        share one root; that is the point.
+    max_bytes:
+        Size budget; writers evict LRU entries beyond it.
+    clock:
+        Injectable time source (tests).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self._root = Path(root)
+        self._max_bytes = int(max_bytes)
+        self._clock = clock
+        self._mutex = threading.Lock()  # guards the counters only
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._write_errors = 0
+        self._evictions = 0
+        self._quarantined = 0
+        for sub in ("objects", "locks", "quarantine", "tmp"):
+            (self._root / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The cache directory."""
+        return self._root
+
+    @property
+    def max_bytes(self) -> int:
+        """The size budget."""
+        return self._max_bytes
+
+    def stats(self) -> ArtifactCacheStats:
+        """Process-local counters plus the on-disk entry census."""
+        index = self._read_index()
+        with self._mutex:
+            return ArtifactCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                write_errors=self._write_errors,
+                evictions=self._evictions,
+                quarantined=self._quarantined,
+                entries=len(index),
+                total_bytes=sum(int(e.get("nbytes", 0)) for e in index.values()),
+            )
+
+    def __len__(self) -> int:
+        return len(self._read_index())
+
+    # ------------------------------------------------------------------
+    # The cache surface (duck-compatible with LRUCache)
+    # ------------------------------------------------------------------
+
+    def get(self, key: object) -> object | None:
+        """The decoded artifact, or ``None`` (absent or quarantined)."""
+        name = _key_hash(key)
+        path = self._object_path(name)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self._bump("_misses")
+            return None
+        except OSError:
+            self._bump("_misses")
+            return None
+        try:
+            value = decode(blob)
+        except (ArtifactCorruptError, CodecError, ValueError) as error:
+            self._quarantine(name, path, error)
+            self._bump("_misses")
+            return None
+        self._touch(name)
+        self._bump("_hits")
+        return value
+
+    def put(self, key: object, value: object) -> bool:
+        """Serialize and publish ``value``; ``False`` if not encodable.
+
+        Raising on unencodable values would make the disk tier more
+        fragile than the memory tier it backs — the caller (the tiered
+        cache) treats ``False`` as "memory-only entry".
+        """
+        try:
+            blob = encode(value)
+        except CodecError:
+            self._bump("_write_errors")
+            return False
+        name = _key_hash(key)
+        path = self._object_path(name)
+        tmp = self._root / "tmp" / f"{name}.{os.getpid()}.{threading.get_ident()}"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            with self.lock(key):
+                os.replace(tmp, path)
+        except OSError:
+            self._bump("_write_errors")
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return False
+        self._bump("_writes")
+        self._record(name, key, len(blob))
+        return True
+
+    def invalidate(self, key: object) -> None:
+        """Drop one entry (missing is fine)."""
+        name = _key_hash(key)
+        with self._index_lock():
+            index = self._read_index()
+            index.pop(name, None)
+            self._write_index(index)
+        with contextlib.suppress(OSError):
+            self._object_path(name).unlink()
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._index_lock():
+            self._write_index({})
+        objects = self._root / "objects"
+        for path in objects.glob(f"*/*{_SUFFIX}"):
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    @contextlib.contextmanager
+    def lock(self, key: object) -> Iterator[None]:
+        """An exclusive cross-process lock scoped to one key.
+
+        Lets cooperating workers elect a single computer of an absent
+        artifact instead of duplicating an expensive build.  Reentrant
+        use from the same process is *not* supported (flock is per open
+        file description, so this is for short critical sections).
+        """
+        with self._flock(self._root / "locks" / f"{_key_hash(key)}.lock"):
+            yield
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _object_path(self, name: str) -> Path:
+        return self._root / "objects" / name[:2] / f"{name}{_SUFFIX}"
+
+    def _bump(self, counter: str) -> None:
+        with self._mutex:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    @contextlib.contextmanager
+    def _flock(self, path: Path) -> Iterator[None]:
+        if fcntl is None:  # pragma: no cover - non-POSIX host
+            yield
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _index_lock(self):
+        return self._flock(self._root / "index.lock")
+
+    def _read_index(self) -> dict[str, dict[str, object]]:
+        try:
+            raw = (self._root / "index.json").read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        try:
+            index = json.loads(raw)
+        except json.JSONDecodeError:
+            # The index is a rebuildable accessory, never the source of
+            # truth — a torn index (pre-atomic-write crash) degrades to
+            # an empty census, and the next write re-records survivors.
+            return {}
+        return index if isinstance(index, dict) else {}
+
+    def _write_index(self, index: dict[str, dict[str, object]]) -> None:
+        tmp = self._root / "tmp" / f"index.{os.getpid()}.{threading.get_ident()}"
+        tmp.write_text(
+            json.dumps(index, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self._root / "index.json")
+
+    def _record(self, name: str, key: object, nbytes: int) -> None:
+        """Index a fresh write, then shed LRU entries beyond the budget."""
+        now = self._clock()
+        evicted: list[str] = []
+        with self._index_lock():
+            index = self._read_index()
+            entry = index.get(name, {})
+            index[name] = {
+                "key": repr(key),
+                "nbytes": int(nbytes),
+                "created": entry.get("created", now),
+                "last_used": now,
+            }
+            total = sum(int(e.get("nbytes", 0)) for e in index.values())
+            if total > self._max_bytes:
+                # Oldest first; the entry just written is the newest, so
+                # it only goes when it alone exceeds the whole budget.
+                by_age = sorted(
+                    index.items(), key=lambda kv: float(kv[1].get("last_used", 0.0))
+                )
+                for stale_name, stale in by_age:
+                    if total <= self._max_bytes:
+                        break
+                    total -= int(stale.get("nbytes", 0))
+                    del index[stale_name]
+                    evicted.append(stale_name)
+            self._write_index(index)
+        for stale_name in evicted:
+            with contextlib.suppress(OSError):
+                self._object_path(stale_name).unlink()
+        if evicted:
+            with self._mutex:
+                self._evictions += len(evicted)
+
+    def _touch(self, name: str) -> None:
+        """Refresh an entry's recency stamp (best effort)."""
+        with contextlib.suppress(OSError):
+            with self._index_lock():
+                index = self._read_index()
+                entry = index.get(name)
+                if entry is not None:
+                    entry["last_used"] = self._clock()
+                    self._write_index(index)
+
+    def _quarantine(self, name: str, path: Path, error: Exception) -> None:
+        """Move a failed entry aside; the caller recomputes."""
+        target = self._root / "quarantine" / f"{name}{_SUFFIX}"
+        with contextlib.suppress(OSError):
+            os.replace(path, target)
+        with self._index_lock():
+            index = self._read_index()
+            if index.pop(name, None) is not None:
+                self._write_index(index)
+        with self._mutex:
+            self._quarantined += 1

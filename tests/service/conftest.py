@@ -61,35 +61,53 @@ class RunningService:
     # Client helpers
     # ------------------------------------------------------------------
 
-    def get(self, path: str) -> tuple[int, bytes]:
-        connection = http.client.HTTPConnection(
-            "127.0.0.1", self.port, timeout=30
-        )
-        try:
-            connection.request("GET", path)
-            response = connection.getresponse()
-            return response.status, response.read()
-        finally:
-            connection.close()
+    def get(self, path: str, follow_redirects: bool = True) -> tuple[int, bytes]:
+        # Legacy routes answer 307 shims into /v1; the helper follows
+        # one hop (like a real client) unless a test wants the shim.
+        for _ in range(2):
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=30
+            )
+            try:
+                connection.request("GET", path)
+                response = connection.getresponse()
+                location = response.getheader("Location")
+                if follow_redirects and response.status == 307 and location:
+                    response.read()
+                    path = location
+                    continue
+                return response.status, response.read()
+            finally:
+                connection.close()
+        raise RuntimeError(f"redirect loop at {path!r}")
 
-    def post(self, path: str, body: object) -> tuple[int, dict]:
+    def post(
+        self, path: str, body: object, follow_redirects: bool = True
+    ) -> tuple[int, dict]:
         payload = (
             body if isinstance(body, bytes) else json.dumps(body).encode()
         )
-        connection = http.client.HTTPConnection(
-            "127.0.0.1", self.port, timeout=30
-        )
-        try:
-            connection.request(
-                "POST",
-                path,
-                body=payload,
-                headers={"Content-Type": "application/json"},
+        for _ in range(2):
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=30
             )
-            response = connection.getresponse()
-            return response.status, json.loads(response.read())
-        finally:
-            connection.close()
+            try:
+                connection.request(
+                    "POST",
+                    path,
+                    body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                location = response.getheader("Location")
+                if follow_redirects and response.status == 307 and location:
+                    response.read()
+                    path = location  # 307 preserves method and body
+                    continue
+                return response.status, json.loads(response.read())
+            finally:
+                connection.close()
+        raise RuntimeError(f"redirect loop at {path!r}")
 
     def get_json(self, path: str) -> tuple[int, dict]:
         status, body = self.get(path)

@@ -23,17 +23,32 @@ from repro.service.app import ServiceConfig
 
 
 def _request(running, method, path, body=None):
-    """One HTTP exchange returning (status, headers, body bytes)."""
-    connection = http.client.HTTPConnection(
-        "127.0.0.1", running.port, timeout=60
-    )
-    try:
-        payload = json.dumps(body).encode() if body is not None else None
-        connection.request(method, path, body=payload)
-        response = connection.getresponse()
-        return response.status, dict(response.getheaders()), response.read()
-    finally:
-        connection.close()
+    """One HTTP exchange returning (status, headers, body bytes).
+
+    Follows one 307 hop so legacy spellings keep exercising the /v1
+    handlers (a 307 preserves method and body by definition).
+    """
+    payload = json.dumps(body).encode() if body is not None else None
+    for _ in range(2):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", running.port, timeout=60
+        )
+        try:
+            connection.request(method, path, body=payload)
+            response = connection.getresponse()
+            location = response.getheader("Location")
+            if response.status == 307 and location:
+                response.read()
+                path = location
+                continue
+            return (
+                response.status,
+                dict(response.getheaders()),
+                response.read(),
+            )
+        finally:
+            connection.close()
+    raise RuntimeError(f"redirect loop at {path!r}")
 
 
 def _find_trace(running, trace_id, timeout=10.0, require=()):
@@ -122,7 +137,7 @@ class TestTracedRequests:
         root = roots[0]
         assert root["duration"] <= wall
         assert root["duration"] >= 0.5 * wall
-        assert root["attributes"]["route"] == "/api/open"
+        assert root["attributes"]["route"] == "/v1/commands/open"
         assert root["attributes"]["status"] == 200
 
         build = next(s for s in spans if s["name"] == "map.build")
@@ -179,8 +194,9 @@ class TestTracedRequests:
         assert "status=200" in line
         assert "duration_ms=" in line
         assert "trace=" in line
-        # The cold /api/open earlier noted its map-cache outcome.
-        opens = [x for x in lines if "route=/api/open" in x]
+        # The cold open earlier (shimmed to /v1) noted its
+        # map-cache outcome.
+        opens = [x for x in lines if "route=/v1/commands/open" in x]
         assert any("map_cache=miss" in x for x in opens)
         assert any("map_cache=hit" in x for x in opens)
 

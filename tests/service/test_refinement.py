@@ -180,7 +180,7 @@ class TestStructuredMapBuildErrors:
 
         request = HttpRequest(
             method="POST",
-            path="/api/open",
+            path="/v1/commands/open",
             query={},
             headers={},
             body=json.dumps(

@@ -51,7 +51,7 @@ def test_serve_boots_and_round_trips_one_request(csv_path):
             "0",
             "--cache-size",
             "16",
-            "--workers",
+            "--threads",
             "2",
             str(csv_path),
         ],
@@ -83,11 +83,14 @@ def test_serve_boots_and_round_trips_one_request(csv_path):
         assert payload["ok"] is True
         assert payload["tables"] == 1
 
+        # The legacy spelling follows its 307 shim into /v1/tables
+        # (urllib follows 307 on GET), answering the catalog listing.
         with urllib.request.urlopen(
             f"http://127.0.0.1:{port}/tables", timeout=5
         ) as response:
             tables = json.loads(response.read())
-        assert tables == {"ok": True, "tables": ["points"]}
+        assert tables["ok"] is True
+        assert [r["name"] for r in tables["catalog"]] == ["points"]
     finally:
         process.terminate()
         try:
@@ -95,6 +98,91 @@ def test_serve_boots_and_round_trips_one_request(csv_path):
         except subprocess.TimeoutExpired:  # pragma: no cover
             process.kill()
             process.wait(timeout=10)
+
+
+def test_serve_multi_worker_boots_routes_and_restarts(csv_path, tmp_path):
+    """``--workers 2`` boots the supervisor: routed requests answer,
+    metrics merge across workers, and a restarted worker comes back."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--threads",
+            "2",
+            "--cache-size",
+            "16",
+            "--cache-dir",
+            str(tmp_path / "artifacts"),
+            str(csv_path),
+        ],
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        assert process.stdout is not None
+        line = process.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        assert match, f"unexpected banner: {line!r}"
+        port = int(match.group(1))
+        base = f"http://127.0.0.1:{port}"
+
+        deadline = time.monotonic() + 30
+        payload = None
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    f"{base}/healthz", timeout=5
+                ) as response:
+                    payload = json.loads(response.read())
+                break
+            except OSError:
+                time.sleep(0.2)
+        assert payload is not None, "supervisor never answered /healthz"
+        assert payload["ok"] is True
+        assert [w["healthy"] for w in payload["workers"]] == [True, True]
+
+        with urllib.request.urlopen(f"{base}/v1/tables", timeout=10) as response:
+            catalog = json.loads(response.read())
+        assert [r["name"] for r in catalog["catalog"]] == ["points"]
+
+        with urllib.request.urlopen(
+            f"{base}/v1/tables/points/map", timeout=60
+        ) as response:
+            data_map = json.loads(response.read())
+        assert data_map["ok"] is True
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+            metrics = response.read().decode()
+        assert "blaeu_supervisor_workers 2" in metrics
+        assert 'blaeu_worker_up{slot="0"} 1' in metrics
+        assert 'blaeu_worker_up{slot="1"} 1' in metrics
+
+        restart = urllib.request.Request(
+            f"{base}/v1/workers/0/restart", method="POST"
+        )
+        with urllib.request.urlopen(restart, timeout=60) as response:
+            restarted = json.loads(response.read())
+        assert restarted["ok"] is True and restarted["restarts"] == 1
+
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+            payload = json.loads(response.read())
+        assert [w["healthy"] for w in payload["workers"]] == [True, True]
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            process.kill()
+            process.wait(timeout=15)
 
 
 def test_serve_requires_data_or_demo():

@@ -1,0 +1,94 @@
+"""The two-tier result cache: promotion, best-effort disk, stats shape."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.cache import CacheStats, LRUCache, TieredCache
+from repro.store.artifacts import ArtifactCache
+
+
+def _tiered(tmp_path, max_size: int = 8) -> TieredCache:
+    return TieredCache(
+        LRUCache(max_size=max_size), ArtifactCache(tmp_path / "disk")
+    )
+
+
+class TestReads:
+    def test_memory_hit_never_touches_disk(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put("k", {"v": 1})
+        disk_reads_before = cache.disk.stats().hits
+        assert cache.get("k") == {"v": 1}
+        assert cache.disk.stats().hits == disk_reads_before
+        assert cache.tier_stats().memory_hits == 1
+
+    def test_disk_fallthrough_promotes_into_memory(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put("k", {"v": np.arange(4.0)})
+        cache.memory.clear()  # as after an eviction or a restart
+        value = cache.get("k")
+        np.testing.assert_array_equal(value["v"], np.arange(4.0))
+        stats = cache.tier_stats()
+        assert stats.disk_hits == 1
+        assert stats.promotions == 1
+        # The promoted entry now answers from L1.
+        cache.get("k")
+        assert cache.tier_stats().memory_hits == 1
+
+    def test_a_second_process_view_shares_the_disk_tier(self, tmp_path):
+        first = _tiered(tmp_path)
+        first.put("k", {"v": 7})
+        second = _tiered(tmp_path)  # fresh L1 over the same directory
+        assert second.get("k") == {"v": 7}
+        assert second.tier_stats().disk_hits == 1
+
+    def test_full_miss_counts_once(self, tmp_path):
+        cache = _tiered(tmp_path)
+        assert cache.get("absent") is None
+        stats = cache.tier_stats()
+        assert (stats.memory_hits, stats.disk_hits, stats.misses) == (0, 0, 1)
+
+    def test_memory_only_mode_never_misses_the_absent_disk(self):
+        cache = TieredCache(LRUCache(max_size=4), disk=None)
+        cache.put("k", object())  # unencodable is fine: no disk tier
+        assert cache.get("k") is not None
+        assert cache.disk is None
+
+
+class TestWrites:
+    def test_unencodable_values_stay_memory_only(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put("k", object())
+        assert cache.get("k") is not None  # L1 has it
+        assert cache.tier_stats().disk_skipped == 1
+        assert cache.disk.get("k") is None  # L2 politely declined
+
+    def test_invalidate_and_clear_reach_both_tiers(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.invalidate("a") is True
+        assert cache.disk.get("a") is None
+        cache.clear()
+        assert cache.get("b") is None
+        assert len(cache.disk) == 0
+
+
+class TestStatsShape:
+    def test_stats_stays_l1_shaped_for_duck_typed_callers(self, tmp_path):
+        # /healthz reads .stats() off whatever cache the engine holds;
+        # tiering must not change that surface.
+        cache = _tiered(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        stats = cache.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.hits == 1 and stats.size == 1
+
+    def test_tier_stats_nests_the_memory_snapshot(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put("k", {"v": 1})
+        tier = cache.tier_stats()
+        assert isinstance(tier.memory, CacheStats)
+        assert tier.memory.size == 1

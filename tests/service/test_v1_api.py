@@ -1,0 +1,265 @@
+"""The versioned /v1 surface: resources, shims, codes, config, exports.
+
+``test_http_service.py`` exercises the command plane end to end; this
+file pins the *contract* of the redesign — resource routes, the 307
+deprecation shims, structured error codes, ServiceConfig's layered
+precedence, and the curated import surface.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import warnings
+
+import pytest
+
+from repro.service.app import (
+    CacheConfig,
+    PoolConfig,
+    ServiceConfig,
+    TraceConfig,
+)
+
+
+def _raw(service, method, path, body=None):
+    """One exchange with redirects NOT followed: (status, headers, dict)."""
+    payload = json.dumps(body).encode() if body is not None else None
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", service.port, timeout=30
+    )
+    try:
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw else {}
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        connection.close()
+
+
+class TestResourceRoutes:
+    def test_map_resource_by_name(self, service):
+        status, payload = service.get_json("/v1/tables/mixed_blobs/map")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["table"] == "mixed_blobs"
+        assert payload["map"]["n_rows"] == 300
+
+    def test_map_resource_by_fingerprint(self, service):
+        _, catalog = service.get_json("/v1/tables")
+        fingerprint = catalog["catalog"][0]["fingerprint"]
+        by_name = service.get_json("/v1/tables/mixed_blobs/map")[1]
+        by_print = service.get_json(f"/v1/tables/{fingerprint}/map")[1]
+        # Same content identity → the same map, bit for bit.
+        assert by_print["map"] == by_name["map"]
+
+    def test_graph_resource_answers(self, service):
+        status, payload = service.get_json("/v1/tables/mixed_blobs/graph")
+        assert status == 200
+        assert payload["ok"] is True
+
+    def test_themes_resource_answers(self, service):
+        status, payload = service.get_json("/v1/tables/mixed_blobs/themes")
+        assert status == 200
+        assert payload["themes"]
+
+    def test_unknown_table_reference_is_404_not_found(self, service):
+        status, _, payload = _raw(service, "GET", "/v1/tables/ghost/map")
+        assert status == 404
+        assert payload["code"] == "not_found"
+
+    def test_unknown_subresource_is_404_unknown_route(self, service):
+        status, _, payload = _raw(service, "GET", "/v1/tables/x/nope")
+        assert status == 404
+        assert payload["code"] == "unknown_route"
+
+    def test_post_on_a_resource_is_405_with_code(self, service):
+        status, _, payload = _raw(
+            service, "POST", "/v1/tables/mixed_blobs/map", {}
+        )
+        assert status == 405
+        assert payload["code"] == "method_not_allowed"
+
+    def test_unknown_theme_is_404(self, service):
+        status, _, payload = _raw(
+            service, "GET", "/v1/tables/mixed_blobs/map?theme=zzz"
+        )
+        assert status == 404
+        assert payload["code"] == "not_found"
+
+
+class TestLegacyShims:
+    @pytest.mark.parametrize(
+        ("old", "new"),
+        [
+            ("/tables", "/v1/tables"),
+            ("/catalog", "/v1/tables"),
+            ("/trace", "/v1/traces"),
+        ],
+    )
+    def test_get_shims_answer_307_with_location(self, service, old, new):
+        status, headers, _ = _raw(service, "GET", old)
+        assert status == 307
+        assert headers["Location"] == new
+
+    def test_api_shim_preserves_the_command(self, service):
+        status, headers, _ = _raw(service, "POST", "/api/themes", {})
+        assert status == 307
+        assert headers["Location"] == "/v1/commands/themes"
+
+    def test_shims_preserve_query_strings(self, service):
+        status, headers, _ = _raw(service, "GET", "/trace?limit=3")
+        assert status == 307
+        assert headers["Location"] == "/v1/traces?limit=3"
+
+    def test_a_shimmed_post_round_trips_the_body(self, service):
+        # 307 preserves method and body, so the legacy spelling still
+        # runs the command after one hop (the conftest helper follows).
+        status, payload = service.post(
+            "/api/open",
+            {"session": "shim", "table": "mixed_blobs", "theme": 0},
+        )
+        assert status == 200
+        assert payload["ok"] is True
+
+
+class TestErrorCodes:
+    def test_unknown_command_code(self, service):
+        status, _, payload = _raw(service, "POST", "/v1/commands/nope", {})
+        assert status == 404
+        assert payload["code"] == "unknown_command"
+
+    def test_unknown_route_code(self, service):
+        status, _, payload = _raw(service, "GET", "/nowhere")
+        assert status == 404
+        assert payload["code"] == "unknown_route"
+
+    def test_bad_request_code(self, service):
+        status, _, payload = _raw(service, "POST", "/v1/commands/open", {})
+        assert status == 400
+        assert payload["code"] == "bad_request"
+
+    def test_missing_session_code(self, service):
+        status, _, payload = _raw(
+            service, "POST", "/v1/commands/zoom", {"session": "ghost", "region": 0}
+        )
+        assert status == 404
+        assert payload["code"] == "not_found"
+
+
+class TestServiceConfigLayers:
+    def test_defaults(self, monkeypatch):
+        for name in ("BLAEU_CACHE_SIZE", "BLAEU_THREADS", "BLAEU_TRACE"):
+            monkeypatch.delenv(name, raising=False)
+        config = ServiceConfig()
+        assert config.cache == CacheConfig()
+        assert config.trace == TraceConfig()
+        assert config.pool == PoolConfig()
+
+    def test_env_overrides_defaults(self, monkeypatch):
+        monkeypatch.setenv("BLAEU_CACHE_SIZE", "99")
+        monkeypatch.setenv("BLAEU_TRACE", "yes")
+        monkeypatch.setenv("BLAEU_THREADS", "7")
+        monkeypatch.setenv("BLAEU_WORKERS", "3")
+        config = ServiceConfig()
+        assert config.cache.size == 99
+        assert config.trace.enabled is True
+        assert config.pool.threads == 7
+        assert config.pool.processes == 3
+
+    def test_flat_kwargs_override_env(self, monkeypatch):
+        monkeypatch.setenv("BLAEU_CACHE_SIZE", "99")
+        config = ServiceConfig(cache_size=12)
+        assert config.cache.size == 12
+
+    def test_nested_group_overrides_everything(self, monkeypatch):
+        monkeypatch.setenv("BLAEU_CACHE_SIZE", "99")
+        config = ServiceConfig(cache=CacheConfig(size=5), cache_size=12)
+        assert config.cache.size == 5
+        # The flat alias re-materializes from the winning group, so
+        # pre-redesign readers see the resolved truth.
+        assert config.cache_size == 5
+
+    def test_flat_aliases_always_answer(self):
+        config = ServiceConfig(
+            trace=TraceConfig(enabled=True, buffer_size=64),
+            pool=PoolConfig(threads=2, max_pending=8),
+        )
+        assert config.trace_enabled is True
+        assert config.trace_buffer_size == 64
+        assert config.workers == 2
+        assert config.max_pending == 8
+
+    def test_malformed_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("BLAEU_CACHE_SIZE", "many")
+        with pytest.raises(ValueError):
+            ServiceConfig()
+
+    def test_validation_still_bites(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=0)
+        with pytest.raises(ValueError):
+            PoolConfig(threads=4, max_pending=1)
+        with pytest.raises(ValueError):
+            TraceConfig(buffer_size=0)
+
+
+class TestCuratedImports:
+    def test_top_level_names(self):
+        import repro
+
+        for name in (
+            "Blaeu",
+            "Explorer",
+            "Database",
+            "build_map",
+            "ExplorationConfig",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_exploration_config_is_the_engine_config(self):
+        from repro import ExplorationConfig
+        from repro.core.config import BlaeuConfig
+
+        assert ExplorationConfig is BlaeuConfig
+
+    def test_service_facade_carries_the_serving_surface(self):
+        import repro.service as service
+
+        for name in (
+            "BlaeuService",
+            "ServiceConfig",
+            "SessionManager",
+            "Session",
+            "TieredCache",
+            "HashRing",
+            "Supervisor",
+            "parse_request",
+            "save_session",
+            "replay_session",
+        ):
+            assert name in service.__all__
+            assert getattr(service, name) is not None
+
+    def test_server_names_warn_and_forward(self):
+        import importlib
+
+        import repro.server
+
+        importlib.reload(repro.server)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            moved = repro.server.SessionManager
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ), "expected a DeprecationWarning from repro.server"
+        from repro.service import SessionManager
+
+        assert moved is SessionManager
+
+    def test_server_submodules_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.server.session import SessionManager  # noqa: F401

