@@ -1,0 +1,246 @@
+"""Guided-exploration benchmark — ranking latency + prefetch hit-rate lift.
+
+Two questions from the guide PR:
+
+* how fast is :func:`~repro.guide.recommend.suggest_actions` on an open
+  exploration state (it runs inline in ``suggest`` commands and in the
+  speculation planner, so it must stay well under a map build), and
+* does speculative prefetch actually help?  A navigation trace is
+  recorded by following the recommender's own top suggestions, then
+  replayed twice against fresh engines: once bare, once with a
+  :class:`~repro.guide.prefetch.PrefetchScheduler` warming the top
+  suggestions between steps (the user's think time).  The prefetch-on
+  replay must reach at least the prefetch-off map-cache hit rate, and
+  its foreground step latency must stay within 10% of the bare replay
+  (speculation must never get in the way; with a correct plan it makes
+  the foreground *faster*).
+
+Run it directly (``--smoke`` shrinks the workload for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_guide_prefetch.py
+
+Results go to stdout as one ``BENCH {json}`` line and to
+``benchmarks/results/bench_guide_prefetch.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.datasets.synthetic import mixed_blobs
+from repro.guide.prefetch import PrefetchScheduler, prefetch_actions
+from repro.guide.recommend import suggest_actions
+from repro.guide.trace import NavigationTrace, TraceRecorder, replay_trace
+from repro.service.cache import LRUCache
+from repro.service.pool import WorkerPool
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Trace actions the recorder can replay (``recluster`` has no
+#: navigation verb yet, so the recorded walk skips those suggestions).
+_REPLAYABLE = ("open_theme", "zoom", "project")
+
+
+def build_engine(n_rows: int) -> Blaeu:
+    """A fresh engine + shared LRU result cache over the bench table."""
+    engine = Blaeu(
+        BlaeuConfig(map_k_values=(2, 3), seed=5), map_cache=LRUCache(256)
+    )
+    engine.register(mixed_blobs(n_rows=n_rows, k=3, seed=61).table)
+    return engine
+
+
+def record_trace(n_rows: int, n_steps: int) -> NavigationTrace:
+    """Walk ``n_steps`` actions by always taking the top suggestion.
+
+    The recorded stream is exactly the navigation the recommender
+    steers towards — the realistic best case for speculation, and the
+    honest one: prefetch warms what the guide recommends, and the
+    simulated analyst follows the guide.
+    """
+    engine = build_engine(n_rows)
+    explorer = engine.explore(engine.tables()[0])
+    recorder = TraceRecorder()
+    recorder.attach(explorer, "bench")
+    for _ in range(n_steps):
+        ranked = suggest_actions(explorer, limit=5)
+        choice = next(
+            (s for s in ranked if s.action in _REPLAYABLE), None
+        )
+        if choice is None:
+            break
+        if choice.action == "open_theme":
+            explorer.open_theme(choice.target)
+        elif choice.action == "zoom":
+            explorer.zoom(choice.target)
+        else:
+            explorer.project(choice.target)
+    return recorder.trace()
+
+
+def _map_hits(engine: Blaeu) -> int:
+    return int(engine.map_builder.stats()["map_cache_hits"])
+
+
+def replay_bare(
+    engine: Blaeu, trace: NavigationTrace
+) -> tuple[list[float], float]:
+    """Replay without speculation; per-step seconds and the hit rate.
+
+    The hit rate counts only *foreground* steps served from the map
+    cache (per-step hit deltas) — with a prefetcher running, the
+    speculative builds' own misses must not dilute the number that
+    matters: how often the user's click was already warm.
+    """
+    explorer = engine.explore(engine.tables()[0])
+    timings: list[float] = []
+    warm_steps = 0
+    for step in trace:
+        single = NavigationTrace(steps=(step,))
+        before = _map_hits(engine)
+        started = time.perf_counter()
+        replay_trace(explorer, single)
+        timings.append(time.perf_counter() - started)
+        if _map_hits(engine) > before:
+            warm_steps += 1
+    return timings, warm_steps / len(trace)
+
+
+def replay_prefetching(
+    engine: Blaeu, trace: NavigationTrace, top_n: int
+) -> tuple[list[float], float, dict[str, int]]:
+    """Replay with a speculating scheduler filling the think time.
+
+    After each foreground step the scheduler plans and warms the top
+    suggestions, and the replay waits for it to drain — the moment the
+    analyst spends reading the map before the next click.
+    """
+
+    async def run() -> tuple[list[float], float, dict[str, int]]:
+        pool = WorkerPool(workers=2, max_pending=8)
+        scheduler = PrefetchScheduler(pool, top_n=top_n, jobs=1)
+        explorer = engine.explore(engine.tables()[0])
+        timings: list[float] = []
+        warm_steps = 0
+        try:
+            for step in trace:
+                single = NavigationTrace(steps=(step,))
+                before = _map_hits(engine)
+                started = time.perf_counter()
+                replay_trace(explorer, single)
+                timings.append(time.perf_counter() - started)
+                if _map_hits(engine) > before:
+                    warm_steps += 1
+                scheduler.speculate(
+                    "bench",
+                    lambda: prefetch_actions(
+                        explorer, suggest_actions(explorer, limit=top_n)
+                    ),
+                )
+                await scheduler.drain()  # think time
+            stats = scheduler.stats()
+        finally:
+            await scheduler.aclose()
+            pool.shutdown()
+        return timings, warm_steps / len(trace), stats
+
+    return asyncio.run(run())
+
+
+def time_suggest(engine: Blaeu, repeats: int) -> float:
+    """Best-of-N seconds to rank suggestions on an open state."""
+    explorer = engine.explore(engine.tables()[0])
+    explorer.open_theme(0)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        suggestions = suggest_actions(explorer, limit=5)
+        best = min(best, time.perf_counter() - started)
+        assert suggestions, "an open state must always have suggestions"
+    return best
+
+
+def run_benchmark(smoke: bool) -> dict[str, object]:
+    n_rows = 3_000 if smoke else 12_000
+    n_steps = 4 if smoke else 6
+    repeats = 5 if smoke else 15
+    top_n = 3
+
+    trace = record_trace(n_rows, n_steps)
+    assert len(trace) >= 2, "the recorded walk stalled immediately"
+
+    off_timings, off_rate = replay_bare(build_engine(n_rows), trace)
+    on_timings, on_rate, prefetch_stats = replay_prefetching(
+        build_engine(n_rows), trace, top_n
+    )
+
+    # The cold first step is identical in both runs; the lift lives in
+    # the follow-up steps the scheduler had time to warm.
+    p50_off = statistics.median(off_timings[1:])
+    p50_on = statistics.median(on_timings[1:])
+    p50_ratio = p50_on / p50_off if p50_off else 1.0
+
+    suggest_seconds = time_suggest(build_engine(n_rows), repeats)
+
+    record: dict[str, object] = {
+        "benchmark": "guide_prefetch",
+        "smoke": smoke,
+        "n_rows": n_rows,
+        "n_steps": len(trace),
+        "top_n": top_n,
+        "suggest_seconds": round(suggest_seconds, 6),
+        "hit_rate_off": round(off_rate, 4),
+        "hit_rate_on": round(on_rate, 4),
+        "hit_rate_lift": round(on_rate - off_rate, 4),
+        "replay_off_p50_seconds": round(p50_off, 6),
+        "replay_on_p50_seconds": round(p50_on, 6),
+        "foreground_p50_ratio": round(p50_ratio, 4),
+        "prefetch_completed": prefetch_stats["completed"],
+        "prefetch_cancelled": prefetch_stats["cancelled"],
+        "prefetch_errors": prefetch_stats["errors"],
+    }
+
+    assert on_rate >= off_rate, (
+        f"prefetch-on hit rate {on_rate:.2%} fell below the prefetch-off "
+        f"baseline {off_rate:.2%}"
+    )
+    assert p50_ratio <= 1.10, (
+        f"speculation slowed the foreground: p50 ratio {p50_ratio:.2f} "
+        "exceeds the 1.10 bar"
+    )
+    assert prefetch_stats["errors"] == 0, prefetch_stats
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload with relaxed thresholds (CI)",
+    )
+    args = parser.parse_args()
+
+    record = run_benchmark(smoke=args.smoke)
+    print("BENCH " + json.dumps(record, sort_keys=True))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "bench_guide_prefetch.json"
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"OK: hit rate {record['hit_rate_off']:.0%} -> "
+        f"{record['hit_rate_on']:.0%} with prefetch, foreground p50 ratio "
+        f"{record['foreground_p50_ratio']}, suggest in "
+        f"{record['suggest_seconds']}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

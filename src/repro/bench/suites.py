@@ -20,6 +20,10 @@ Five suites cover the layers the ROADMAP cares about:
   scaling ratio is recorded ungated — single-core CI runners cap
   process scaling at ~1x, so the >= 2x floor is asserted inside the
   script only on >= 4-CPU hosts.
+* ``guide`` — wraps ``benchmarks/bench_guide_prefetch.py``: suggestion
+  ranking latency, and a recorded navigation trace replayed with and
+  without the speculative prefetcher (warm-hit-rate lift, foreground
+  p50 non-regression).
 * ``store`` — the out-of-core layer (:mod:`repro.store`): chunked CSV
   ingest throughput, cold/warm pushdown scans, and the persisted
   top-k cascade sample vs a full priority redraw.
@@ -59,6 +63,7 @@ __all__ = [
     "SUITES",
     "run_clustering",
     "run_graph",
+    "run_guide",
     "run_mapping",
     "run_scale",
     "run_service",
@@ -499,6 +504,57 @@ def run_service(smoke: bool) -> list[BenchResult]:
 
 
 # ----------------------------------------------------------------------
+# guide suite
+# ----------------------------------------------------------------------
+
+
+def run_guide(smoke: bool) -> list[BenchResult]:
+    """The guided-exploration suite: ranking latency + prefetch lift.
+
+    Wraps ``benchmarks/bench_guide_prefetch.py``: the recommender's
+    ranking time gates against the baseline; the hit-rate lift and
+    foreground p50 ratio travel as ungated artifacts (the script itself
+    asserts prefetch-on >= prefetch-off and the <= 1.10 foreground
+    ratio).
+    """
+    script = _benchmarks_dir() / "bench_guide_prefetch.py"
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_guide_prefetch", script
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    record = module.run_benchmark(smoke=smoke)
+    return [
+        BenchResult(
+            name="guide_prefetch",
+            params={
+                "n_rows": record["n_rows"],
+                "n_steps": record["n_steps"],
+                "top_n": record["top_n"],
+            },
+            metrics={
+                "suggest_seconds": float(record["suggest_seconds"]),
+                "replay_off_p50_seconds": float(
+                    record["replay_off_p50_seconds"]
+                ),
+                "replay_on_p50_seconds": float(
+                    record["replay_on_p50_seconds"]
+                ),
+                "hit_rate_off": float(record["hit_rate_off"]),
+                "hit_rate_on": float(record["hit_rate_on"]),
+                "hit_rate_lift": float(record["hit_rate_lift"]),
+                "foreground_p50_ratio": float(
+                    record["foreground_p50_ratio"]
+                ),
+            },
+            gated=("suggest_seconds",),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
 # scale suite
 # ----------------------------------------------------------------------
 
@@ -884,6 +940,7 @@ def run_graph(smoke: bool) -> list[BenchResult]:
 SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "clustering": run_clustering,
     "graph": run_graph,
+    "guide": run_guide,
     "mapping": run_mapping,
     "scale": run_scale,
     "service": run_service,

@@ -19,6 +19,8 @@ Run with::
         (<data.csv|store-dir> … | --demo <name>)
     python -m repro trace <http://host:port | spans.jsonl> [--limit N] \
         [--export PATH]
+    python -m repro guide (<data.csv|store-dir> … | --demo <name>) \
+        [--table T] [--theme T | --columns a,b,c] [--limit N]
 
 ``serve`` boots the HTTP service (:mod:`repro.service`) instead of the
 interactive shell.  ``ingest`` converts a CSV into an out-of-core store
@@ -40,6 +42,7 @@ Commands inside the session::
     project <theme|#>       re-map the selection with another theme
     hist <column>           text histogram of a column in the selection
     sql [region]            the implicit query so far
+    suggest [N]             ranked next actions for the current state
     history                 the action stack
     back                    rollback one step
     goto <#>                rollback to a history entry
@@ -59,7 +62,14 @@ from repro.core.navigation import Explorer
 from repro.viz.charts import text_histogram
 from repro.viz.render import render_map, render_region_panel, render_theme_view
 
-__all__ = ["BlaeuShell", "ingest_main", "main", "serve_main", "trace_main"]
+__all__ = [
+    "BlaeuShell",
+    "guide_main",
+    "ingest_main",
+    "main",
+    "serve_main",
+    "trace_main",
+]
 
 _DEMOS = ("hollywood", "countries", "lofar")
 
@@ -217,6 +227,18 @@ class BlaeuShell:
         explorer = self._require_explorer()
         region = args[0] if args else None
         self._print(explorer.sql(region))
+
+    def _cmd_suggest(self, args: list[str]) -> None:
+        if len(args) > 1 or (args and not args[0].isdigit()):
+            raise ValueError("usage: suggest [limit]")
+        limit = int(args[0]) if args else 5
+        explorer = self._require_explorer()
+        suggestions = explorer.suggest(limit=limit)
+        if not suggestions:
+            self._print("no suggestions for this state")
+            return
+        for index, suggestion in enumerate(suggestions, start=1):
+            self._print(f" {index}. {suggestion.describe()}")
 
     def _cmd_history(self, args: list[str]) -> None:
         explorer = self._require_explorer()
@@ -399,6 +421,87 @@ def ingest_main(argv: list[str]) -> None:
     )
 
 
+def guide_main(argv: list[str]) -> None:
+    """The ``guide`` subcommand: ranked next actions, one shot.
+
+    Prints what :meth:`Explorer.suggest` would recommend — which theme
+    to open (default), or, given ``--theme``/``--columns``, which
+    zoom / projection / re-clustering of that map to try next.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="blaeu guide",
+        description=(
+            "Rank the suggested next exploration actions for a table "
+            "(guided exploration, see repro.guide)."
+        ),
+    )
+    parser.add_argument(
+        "data", nargs="*", help="CSV files or store directories to register"
+    )
+    parser.add_argument(
+        "--demo", choices=_DEMOS, help="use a bundled demo dataset"
+    )
+    parser.add_argument(
+        "--table",
+        default=None,
+        help="table to guide (default: the only registered table)",
+    )
+    parser.add_argument(
+        "--theme",
+        default=None,
+        help="suggest follow-ups of this theme's map (name or index)",
+    )
+    parser.add_argument(
+        "--columns",
+        default=None,
+        metavar="A,B,C",
+        help="suggest follow-ups of the map over these columns",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=5,
+        help="suggestions to show (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.demo and args.data:
+        parser.error("give either data files or --demo, not both")
+    if args.theme and args.columns:
+        parser.error("give either --theme or --columns, not both")
+    if args.limit < 1:
+        parser.error("--limit must be at least 1")
+    engine_argv = ["--demo", args.demo] if args.demo else list(args.data)
+    if not engine_argv:
+        parser.error("provide data files or --demo <name>")
+    engine = build_engine(engine_argv)
+    tables = engine.tables()
+    table = args.table or (tables[0] if len(tables) == 1 else None)
+    if table is None:
+        parser.error(f"--table is required (registered: {list(tables)})")
+    if table not in tables:
+        raise SystemExit(f"no table {table!r}; registered: {list(tables)}")
+    explorer = engine.explore(table)
+    try:
+        if args.columns:
+            columns = tuple(
+                name.strip() for name in args.columns.split(",") if name.strip()
+            )
+            explorer.open_columns(columns)
+        elif args.theme is not None:
+            explorer.open_theme(_theme_ref(args.theme))
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"guide failed: {error}") from None
+    suggestions = explorer.suggest(limit=args.limit)
+    if not suggestions:
+        print("no suggestions for this state")
+        return
+    print(f"suggested next actions for {table!r}:")
+    for index, suggestion in enumerate(suggestions, start=1):
+        print(f" {index}. {suggestion.describe()}")
+
+
 def serve_main(argv: list[str]) -> None:
     """The ``serve`` subcommand: boot the HTTP service over the data."""
     import argparse
@@ -487,6 +590,25 @@ def serve_main(argv: list[str]) -> None:
         action="store_true",
         help="log one structured line per request to stderr",
     )
+    parser.add_argument(
+        "--prefetch",
+        action="store_true",
+        help="speculatively build the top suggested next maps into the "
+        "shared cache after each served map (idle workers only)",
+    )
+    parser.add_argument(
+        "--guide-top-n",
+        type=int,
+        default=3,
+        help="suggestions per /suggestions response and actions warmed "
+        "per speculation (default %(default)s)",
+    )
+    parser.add_argument(
+        "--guide-prefetch-jobs",
+        type=int,
+        default=1,
+        help="maximum concurrent speculative builds (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.demo and args.data:
         parser.error("give either CSV files or --demo, not both")
@@ -526,6 +648,10 @@ def serve_main(argv: list[str]) -> None:
             worker_argv += ["--slow-op-threshold", str(args.slow_op_threshold)]
         if args.access_log:
             worker_argv += ["--access-log"]
+        if args.prefetch:
+            worker_argv += ["--prefetch"]
+        worker_argv += ["--guide-top-n", str(args.guide_top_n)]
+        worker_argv += ["--guide-prefetch-jobs", str(args.guide_prefetch_jobs)]
         worker_argv += engine_argv
         try:
             supervisor = Supervisor(
@@ -539,7 +665,12 @@ def serve_main(argv: list[str]) -> None:
         supervisor.run()
         return
 
-    from repro.service.app import BlaeuService, CacheConfig, ServiceConfig
+    from repro.service.app import (
+        BlaeuService,
+        CacheConfig,
+        GuideConfig,
+        ServiceConfig,
+    )
     from repro.store.artifacts import DEFAULT_MAX_BYTES
 
     try:
@@ -567,6 +698,11 @@ def serve_main(argv: list[str]) -> None:
             trace_buffer_size=args.trace_buffer,
             slow_op_threshold=args.slow_op_threshold,
             access_log=args.access_log,
+            guide=GuideConfig(
+                top_n=args.guide_top_n,
+                prefetch=args.prefetch,
+                prefetch_jobs=args.guide_prefetch_jobs,
+            ),
         )
     except ValueError as error:
         parser.error(str(error))
@@ -686,6 +822,9 @@ def main(argv: list[str] | None = None) -> None:
         return
     if argv and argv[0] == "trace":
         trace_main(argv[1:])
+        return
+    if argv and argv[0] == "guide":
+        guide_main(argv[1:])
         return
     if argv and argv[0] == "bench":
         from repro.bench.runner import main as bench_main

@@ -134,7 +134,12 @@ def region_insights(
 
     numeric: list[NumericInsight] = []
     categories: list[CategoryInsight] = []
-    if n_inside == 0 or n_outside == 0:
+    # An empty or single-row region has no inside distribution to
+    # contrast (Cohen's d needs at least two values and a non-zero
+    # pooled spread), and a region covering the whole selection has no
+    # outside — all three degenerate to an empty report rather than
+    # per-column edge cases.
+    if n_inside < 2 or n_outside == 0:
         return InsightReport(
             n_inside=n_inside, n_outside=n_outside,
             numeric=(), categories=(),
@@ -198,13 +203,25 @@ def _category_contrasts(
 
     out: list[CategoryInsight] = []
     for code in range(n_categories):
+        # The support floor must come first: a label seen only a few
+        # times inside the region has an unstable share, and when the
+        # label never occurs *outside* the region its overall share
+        # approaches the inside share scaled by the region fraction —
+        # without the floor, tiny regions would report huge (in the
+        # limit, unbounded) lifts from a handful of rows.
         if inside_counts[code] < MIN_LABEL_SUPPORT:
             continue
         inside_share = inside_counts[code] / inside_codes.size
         overall_share = overall_counts[code] / all_codes.size
-        if overall_share == 0.0:
+        if overall_share <= 0.0:
+            # Unreachable while the region is a subset of the table
+            # (inside counts contribute to overall counts), but kept as
+            # a hard guard: a zero outside-probability label must never
+            # divide through to an infinite lift.
             continue
         lift = inside_share / overall_share
+        if not np.isfinite(lift):
+            continue
         if abs(np.log2(max(lift, 1e-9))) < min_effect:
             continue
         out.append(

@@ -25,6 +25,7 @@ from repro.table.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.insights import InsightReport
+    from repro.guide.recommend import Suggestion
 
 __all__ = ["Explorer", "ExplorationState", "Highlight"]
 
@@ -120,6 +121,27 @@ class Explorer:
         self._graph_builder = graph_builder or GraphBuilder()
         self._map_builder = map_builder or MapBuilder(result_cache=map_cache)
         self._stack: list[ExplorationState] = []
+        self._observers: list[object] = []
+
+    # ------------------------------------------------------------------
+    # Observers (navigation-trace recording)
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer) -> None:
+        """Register a ``(action, target)`` callback fired after each
+        completed navigation action (see :mod:`repro.guide.trace`)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously registered observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify(self, action: str, target: str) -> None:
+        for observer in list(self._observers):
+            observer(action, target)
 
     # ------------------------------------------------------------------
     # Themes
@@ -227,21 +249,25 @@ class Explorer:
     def open_theme(self, theme: str | int | Theme) -> DataMap:
         """Select a theme and build the initial map over the whole table."""
         resolved = self._resolve_theme(theme)
-        return self._push(
+        data_map = self._push(
             selection=Everything(),
             columns=resolved.columns,
             action=f"open theme {resolved.name!r}",
         )
+        self._notify("open_theme", resolved.name)
+        return data_map
 
     def open_columns(self, columns: tuple[str, ...]) -> DataMap:
         """Build the initial map over an explicit column set."""
         for name in columns:
             self._table.column(name)
-        return self._push(
+        data_map = self._push(
             selection=Everything(),
             columns=tuple(columns),
             action=f"open columns {list(columns)}",
         )
+        self._notify("open_columns", ",".join(columns))
+        return data_map
 
     def zoom(self, region_id: str) -> DataMap:
         """Drill down into a region: re-cluster inside it (paper Fig. 1c).
@@ -258,32 +284,38 @@ class Explorer:
                 f"region {region_id!r} holds {n_rows} tuples; at least "
                 f"{self._config.min_zoom_rows} are needed to zoom"
             )
-        return self._push(
+        data_map = self._push(
             selection=new_selection,
             columns=state.columns,
             action=f"zoom into {region_id} ({region.label})",
         )
+        self._notify("zoom", region_id)
+        return data_map
 
     def project(self, theme: str | int | Theme) -> DataMap:
         """Re-map the current selection with another theme's columns (Fig. 1d)."""
         state = self.state
         resolved = self._resolve_theme(theme)
-        return self._push(
+        data_map = self._push(
             selection=state.selection,
             columns=resolved.columns,
             action=f"project onto theme {resolved.name!r}",
         )
+        self._notify("project", resolved.name)
+        return data_map
 
     def project_columns(self, columns: tuple[str, ...]) -> DataMap:
         """Re-map the current selection with an explicit column set."""
         state = self.state
         for name in columns:
             self._table.column(name)
-        return self._push(
+        data_map = self._push(
             selection=state.selection,
             columns=tuple(columns),
             action=f"project onto columns {list(columns)}",
         )
+        self._notify("project_columns", ",".join(columns))
+        return data_map
 
     def highlight(
         self,
@@ -431,6 +463,7 @@ class Explorer:
         if len(self._stack) < 2:
             raise RuntimeError("nothing to roll back to")
         self._stack.pop()
+        self._notify("rollback", "")
         return self.state.map
 
     # ------------------------------------------------------------------
@@ -481,6 +514,7 @@ class Explorer:
                 f"state {index} out of range [0, {len(self._stack)})"
             )
         del self._stack[index + 1 :]
+        self._notify("goto", str(index))
         return self.state.map
 
     def insights(self, region_id: str) -> "InsightReport":
@@ -496,6 +530,20 @@ class Explorer:
         region = state.map.region(region_id)
         selection = self._table.select(state.selection)
         return region_insights(selection, region.predicate)
+
+    def suggest(self, limit: int = 5) -> "list[Suggestion]":
+        """Ranked next actions for the current state (guided exploration).
+
+        Before the first map: which theme to open.  Afterwards: which
+        region to zoom into, which theme to project onto, which k to
+        re-cluster with — scored from insight divergence, per-region
+        silhouettes and dependency-graph weights.  A pure read
+        (deterministic for a fixed state; no map is built, no state
+        changes); see :mod:`repro.guide.recommend`.
+        """
+        from repro.guide.recommend import suggest_actions
+
+        return suggest_actions(self, limit=limit)
 
     # ------------------------------------------------------------------
     # Implicit query

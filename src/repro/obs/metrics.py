@@ -180,6 +180,7 @@ class Metrics:
         self._latency: dict[str, Histogram] = {}
         self._gauges: dict[str, float] = {}
         self._counters: dict[str, int] = {}
+        self._labeled: dict[str, dict[tuple[tuple[str, str], ...], int]] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def observe_request(self, route: str, status: int, seconds: float) -> None:
@@ -214,6 +215,34 @@ class Metrics:
         """Current value of a named counter (0 before first increment)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    def increment_labeled(
+        self, name: str, labels: dict[str, str], by: int = 1
+    ) -> None:
+        """Add to one labeled series of a monotonic counter.
+
+        The labeled sibling of :meth:`increment` — one counter name
+        carries several ``{label="value"}`` series (the tiered cache
+        splits its hits by ``tier``).  Label names follow the metric
+        grammar; label values must already be exposition-safe
+        (:func:`escape_label_value` untrusted input first).
+        """
+        _validate_name(name)
+        key = tuple(
+            (_validate_name(label), _validate_label_value(value))
+            for label, value in sorted(labels.items())
+        )
+        if not key:
+            raise ValueError("labeled counters need at least one label")
+        with self._lock:
+            series = self._labeled.setdefault(name, {})
+            series[key] = series.get(key, 0) + by
+
+    def labeled_counter(self, name: str, labels: dict[str, str]) -> int:
+        """Current value of one labeled series (0 before first increment)."""
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._labeled.get(name, {}).get(key, 0)
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the named histogram.
@@ -259,6 +288,9 @@ class Metrics:
             latency = dict(self._latency)
             gauges = dict(self._gauges)
             counters = dict(self._counters)
+            labeled = {
+                name: dict(series) for name, series in self._labeled.items()
+            }
             histograms = dict(self._histograms)
         lines: list[str] = []
         lines.append("# TYPE blaeu_requests_total counter")
@@ -275,6 +307,11 @@ class Metrics:
         for name, value in sorted(counters.items()):
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {value}")
+        for name, series in sorted(labeled.items()):
+            lines.append(f"# TYPE {name} counter")
+            for key, value in sorted(series.items()):
+                rendered = ",".join(f'{k}="{v}"' for k, v in key)
+                lines.append(f"{name}{{{rendered}}} {value}")
         for name, histogram in sorted(histograms.items()):
             lines.append(f"# TYPE {name} histogram")
             _render_histogram(lines, name, histogram, "")

@@ -18,6 +18,7 @@ highlight   session, region, columns (optional)
 rollback    session
 sql         session, region (optional)
 history     session
+suggest     session, limit (optional)
 close       session
 ========== =====================================================
 """
@@ -48,6 +49,7 @@ COMMANDS: dict[str, tuple[str, ...]] = {
     "rollback": ("session",),
     "sql": ("session",),
     "history": ("session",),
+    "suggest": ("session",),
     "close": ("session",),
 }
 

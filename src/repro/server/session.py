@@ -64,6 +64,12 @@ class SessionManager:
         self._lock = threading.RLock()
         self._themes_lock = threading.Lock()
         self._reserved: set[str] = set()
+        self._trace_recorder = None
+
+    def set_trace_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.guide.trace.TraceRecorder` to every
+        session opened from now on (``None`` stops recording)."""
+        self._trace_recorder = recorder
 
     @property
     def engine(self) -> Blaeu:
@@ -160,6 +166,8 @@ class SessionManager:
             self._reserved.add(session_id)
         try:
             explorer = self._engine.explore(table)
+            if self._trace_recorder is not None:
+                self._trace_recorder.attach(explorer, session_id)
             theme = request.arg("theme")
             if isinstance(theme, int):
                 data_map = explorer.open_theme(theme)
@@ -250,6 +258,27 @@ class SessionManager:
             }
         )
 
+    def _handle_suggest(self, request: Request) -> Response:
+        session = self._require(request)
+        limit = request.arg("limit", 5)
+        if not isinstance(limit, int) or limit < 1:
+            raise ValueError("'limit' must be a positive integer")
+        suggestions = session.explorer.suggest(limit=limit)
+        return Response(
+            {
+                "session": session.session_id,
+                "suggestions": [
+                    {
+                        "action": s.action,
+                        "target": s.target,
+                        "score": round(s.score, 6),
+                        "reason": s.reason,
+                    }
+                    for s in suggestions
+                ],
+            }
+        )
+
     def _handle_close(self, request: Request) -> Response:
         session_id = str(request.arg("session"))
         with self._lock:
@@ -287,6 +316,20 @@ class SessionManager:
         if session is None:
             return False
         return session.explorer.needs_refine
+
+    def peek(self, session_id: str) -> Explorer | None:
+        """The session's explorer, or ``None`` when absent — lock-free.
+
+        The prefetch planner's read path: it never takes the session
+        lock (a speculation must not delay interactive commands), so
+        the state it reads may be one navigation behind.  That is fine —
+        stale plans are discarded by the scheduler's generation check,
+        and the builds they would have enqueued still land under valid
+        cache keys.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+        return session.explorer if session is not None else None
 
     def refine_session(self, session_id: str) -> bool:
         """Upgrade a session's current map to exact counts.

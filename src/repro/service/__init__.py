@@ -36,6 +36,7 @@ from repro.server.session import Session, SessionManager
 from repro.service.app import (
     BlaeuService,
     CacheConfig,
+    GuideConfig,
     PoolConfig,
     ServiceConfig,
     TraceConfig,
@@ -56,6 +57,7 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "ErrorResponse",
+    "GuideConfig",
     "HashRing",
     "LRUCache",
     "Metrics",

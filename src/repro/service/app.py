@@ -37,6 +37,7 @@ from urllib.parse import urlencode
 
 from repro.core.engine import Blaeu
 from repro.core.pipeline import MapBuildError
+from repro.guide.prefetch import PrefetchScheduler, plan_session, plan_table
 from repro.obs.metrics import Metrics, escape_label_value, reset_metrics
 from repro.obs.trace import (
     Tracer,
@@ -68,6 +69,7 @@ from repro.store.artifacts import DEFAULT_MAX_BYTES, ArtifactCache
 __all__ = [
     "BlaeuService",
     "CacheConfig",
+    "GuideConfig",
     "PoolConfig",
     "ServiceConfig",
     "TraceConfig",
@@ -186,12 +188,36 @@ class PoolConfig:
 
 
 @dataclass(frozen=True)
+class GuideConfig:
+    """Guided exploration: suggestion depth and speculative prefetch.
+
+    ``prefetch`` is opt-in: when on, every served map/theme response
+    plans the top-``top_n`` suggested next actions and builds them as
+    background pool jobs into the shared cache (at most
+    ``prefetch_jobs`` at a time, only on idle workers, cancelled when
+    the user navigates elsewhere).  Suggestions themselves are always
+    available — the ``/v1/.../suggestions`` endpoint and the
+    ``suggest`` command work with prefetch off.
+    """
+
+    top_n: int = 3
+    prefetch: bool = False
+    prefetch_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.top_n < 1:
+            raise ValueError("guide top_n must be at least 1")
+        if self.prefetch_jobs < 1:
+            raise ValueError("guide prefetch_jobs must be at least 1")
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the serving layer (the engine has its own config).
 
-    The canonical surface is the nested groups — ``cache``, ``trace``
-    and ``pool`` — each overridable through ``BLAEU_*`` environment
-    variables (explicit arguments > environment > defaults):
+    The canonical surface is the nested groups — ``cache``, ``trace``,
+    ``pool`` and ``guide`` — each overridable through ``BLAEU_*``
+    environment variables (explicit arguments > environment > defaults):
 
     ==========================  =====================================
     variable                    nested knob
@@ -207,6 +233,9 @@ class ServiceConfig:
     ``BLAEU_THREADS``           ``pool.threads``
     ``BLAEU_MAX_PENDING``       ``pool.max_pending``
     ``BLAEU_WORKERS``           ``pool.processes``
+    ``BLAEU_GUIDE_TOP_N``       ``guide.top_n``
+    ``BLAEU_GUIDE_PREFETCH``    ``guide.prefetch``
+    ``BLAEU_GUIDE_PREFETCH_JOBS`` ``guide.prefetch_jobs``
     ==========================  =====================================
 
     The pre-redesign flat kwargs (``cache_size``, ``cache_ttl``,
@@ -223,6 +252,7 @@ class ServiceConfig:
     cache: CacheConfig | None = None
     trace: TraceConfig | None = None
     pool: PoolConfig | None = None
+    guide: GuideConfig | None = None
     # Legacy flat aliases; ``None`` means "not given" and defers to the
     # nested group, the environment, then the default.
     cache_size: int | None = None
@@ -265,11 +295,17 @@ class ServiceConfig:
             ),
             processes=_pick(_env_int("BLAEU_WORKERS"), 1),
         )
+        guide = self.guide or GuideConfig(
+            top_n=_pick(_env_int("BLAEU_GUIDE_TOP_N"), 3),
+            prefetch=_pick(_env_bool("BLAEU_GUIDE_PREFETCH"), False),
+            prefetch_jobs=_pick(_env_int("BLAEU_GUIDE_PREFETCH_JOBS"), 1),
+        )
         # Materialize both surfaces: nested groups for new callers,
         # resolved flat aliases for pre-redesign ones.
         object.__setattr__(self, "cache", cache)
         object.__setattr__(self, "trace", trace)
         object.__setattr__(self, "pool", pool)
+        object.__setattr__(self, "guide", guide)
         object.__setattr__(self, "cache_size", cache.size)
         object.__setattr__(self, "cache_ttl", cache.ttl)
         object.__setattr__(self, "workers", pool.threads)
@@ -338,6 +374,17 @@ class BlaeuService:
             workers=self._config.workers,
             max_pending=self._config.max_pending,
         )
+        #: The speculative-prefetch scheduler (``None`` unless enabled):
+        #: after served map/theme responses it plans the top suggested
+        #: next actions and warms the shared cache through idle pool
+        #: slots.
+        self._prefetcher: PrefetchScheduler | None = None
+        if self._config.guide.prefetch:
+            self._prefetcher = PrefetchScheduler(
+                self._pool,
+                top_n=self._config.guide.top_n,
+                jobs=self._config.guide.prefetch_jobs,
+            )
         self._http = HttpServer(
             self._route,
             host=self._config.host,
@@ -359,6 +406,11 @@ class BlaeuService:
     def manager(self) -> SessionManager:
         """The session manager (shared with in-process callers)."""
         return self._manager
+
+    @property
+    def engine(self) -> Blaeu:
+        """The engine this service fronts."""
+        return self._engine
 
     @property
     def cache(self) -> object:
@@ -391,6 +443,11 @@ class BlaeuService:
         return self._pool
 
     @property
+    def prefetcher(self) -> PrefetchScheduler | None:
+        """The speculative-prefetch scheduler (``None`` when disabled)."""
+        return self._prefetcher
+
+    @property
     def port(self) -> int:
         """The bound port (after :meth:`start`)."""
         return self._http.port
@@ -413,6 +470,8 @@ class BlaeuService:
         """Graceful shutdown: stop accepting, drain workers."""
         self._stopping = True
         await self._http.stop()
+        if self._prefetcher is not None:
+            await self._prefetcher.aclose()
         for task in list(self._refine_tasks):
             task.cancel()
         if self._refine_tasks:
@@ -585,7 +644,12 @@ class BlaeuService:
         multi-worker router key on).
         """
         parts = path[len("/v1/tables/") :].split("/")
-        if len(parts) != 2 or parts[1] not in ("map", "graph", "themes"):
+        if len(parts) != 2 or parts[1] not in (
+            "map",
+            "graph",
+            "themes",
+            "suggestions",
+        ):
             return "/v1/tables/<unknown>", json_response(
                 {
                     "ok": False,
@@ -614,6 +678,8 @@ class BlaeuService:
             )
         if resource == "graph":
             handler = self._handle_graph
+        elif resource == "suggestions":
+            handler = self._handle_suggestions
         else:
             handler = self._handle_map
         try:
@@ -623,6 +689,8 @@ class BlaeuService:
                 {"ok": False, "error": str(error), "code": "pool_saturated"},
                 503,
             )
+        if resource == "map" and response.status == 200:
+            self._speculate_table(table, request)
         return route, response
 
     def _resolve_table(self, ref: str) -> str | None:
@@ -641,36 +709,15 @@ class BlaeuService:
         set (a bare table defaults to its first theme); ``?k=`` forces
         the cluster count.  Runs on the worker pool.
         """
-        theme_values = request.query.get("theme", [])
-        column_values = request.query.get("columns", [])
-        k_values = request.query.get("k", [])
-        k: int | None = None
-        if k_values:
-            try:
-                k = int(k_values[0])
-            except ValueError:
-                raise HttpError(
-                    400, f"k must be an integer, got {k_values[0]!r}"
-                ) from None
-        if column_values:
-            columns = tuple(
-                name.strip()
-                for name in column_values[0].split(",")
-                if name.strip()
-            )
-            if not columns:
-                raise HttpError(400, "columns must name at least one column")
-        else:
+        columns, theme, k = self._map_request_params(table, request)
+        if columns is None:
             themes = self._engine.themes(table)
-            ref: str | int = 0
-            if theme_values:
-                word = theme_values[0]
-                ref = int(word) if word.isdigit() else word
+            ref: str | int = theme if theme is not None else 0
             try:
-                theme = (
+                resolved = (
                     themes[ref] if isinstance(ref, int) else themes.theme(ref)
                 )
-                columns = tuple(theme.columns)
+                columns = tuple(resolved.columns)
             except (KeyError, IndexError):
                 return json_response(
                     {
@@ -707,6 +754,158 @@ class BlaeuService:
                 "columns": list(columns),
                 "map": data_map.to_dict(),
             }
+        )
+
+    def _map_request_params(
+        self, table: str, request: HttpRequest
+    ) -> tuple[tuple[str, ...] | None, str | int | None, int | None]:
+        """Parse the shared ``?theme=/?columns=/?k=`` map-request triple.
+
+        Returns ``(columns, theme, k)`` with ``columns=None`` when the
+        request defers to a theme (``theme=None`` then means "the
+        table's first theme").  Raises :class:`HttpError` on malformed
+        values; existence of the theme is checked by the handler that
+        resolves it.
+        """
+        theme_values = request.query.get("theme", [])
+        column_values = request.query.get("columns", [])
+        k_values = request.query.get("k", [])
+        k: int | None = None
+        if k_values:
+            try:
+                k = int(k_values[0])
+            except ValueError:
+                raise HttpError(
+                    400, f"k must be an integer, got {k_values[0]!r}"
+                ) from None
+        columns: tuple[str, ...] | None = None
+        if column_values:
+            columns = tuple(
+                name.strip()
+                for name in column_values[0].split(",")
+                if name.strip()
+            )
+            if not columns:
+                raise HttpError(400, "columns must name at least one column")
+        theme: str | int | None = None
+        if theme_values:
+            word = theme_values[0]
+            theme = int(word) if word.isdigit() else word
+        return columns, theme, k
+
+    def _handle_suggestions(
+        self, table: str, request: HttpRequest
+    ) -> HttpResponse:
+        """``GET /v1/tables/{table}/suggestions`` — ranked next actions.
+
+        Without ``?theme=``/``?columns=``: which theme to open first.
+        With them: the suggested zooms / projections / re-clusterings
+        of that map (built through the shared cache — a warm hit when
+        the map was served before).  ``?limit=`` bounds the list.
+        Deterministic for a fixed table/config/state, whatever the
+        cache holds.  Runs on the worker pool.
+        """
+        from repro.guide.recommend import initial_suggestions, score_state
+        from repro.table.predicates import Everything
+
+        columns, theme, k = self._map_request_params(table, request)
+        limit = self._config.guide.top_n
+        limit_values = request.query.get("limit", [])
+        if limit_values:
+            try:
+                limit = int(limit_values[0])
+            except ValueError:
+                raise HttpError(
+                    400,
+                    f"limit must be an integer, got {limit_values[0]!r}",
+                ) from None
+            if limit < 1:
+                raise HttpError(400, "limit must be at least 1")
+        themes = self._engine.themes(table)
+        if columns is None and theme is None:
+            suggestions = initial_suggestions(themes, limit=limit)
+        else:
+            if columns is None:
+                try:
+                    resolved = (
+                        themes[theme]
+                        if isinstance(theme, int)
+                        else themes.theme(str(theme))
+                    )
+                    columns = tuple(resolved.columns)
+                except (KeyError, IndexError):
+                    return json_response(
+                        {
+                            "ok": False,
+                            "error": f"no theme {theme!r} on table {table!r}",
+                            "code": "not_found",
+                        },
+                        404,
+                    )
+            try:
+                data_map = self._engine.map(table, columns, k=k)
+            except MapBuildError as error:
+                return json_response(
+                    {
+                        "ok": False,
+                        "error": str(error),
+                        "code": "map_build_invalid",
+                    },
+                    400,
+                )
+            except KeyError as error:
+                return json_response(
+                    {
+                        "ok": False,
+                        "error": str(error).strip("'\""),
+                        "code": "not_found",
+                    },
+                    404,
+                )
+            table_obj = self._engine.database.table(table)
+            suggestions = score_state(
+                table_obj,
+                self._engine.config,
+                themes,
+                data_map,
+                columns,
+                Everything(),
+                limit=limit,
+            )
+        return json_response(
+            {
+                "ok": True,
+                "table": table,
+                "suggestions": [
+                    {
+                        "action": s.action,
+                        "target": s.target,
+                        "score": round(s.score, 6),
+                        "reason": s.reason,
+                    }
+                    for s in suggestions
+                ],
+            }
+        )
+
+    def _speculate_table(self, table: str, request: HttpRequest) -> None:
+        """Warm the suggested follow-ups of a just-served table map."""
+        if self._prefetcher is None or self._stopping:
+            return
+        try:
+            columns, theme, k = self._map_request_params(table, request)
+        except HttpError:  # pragma: no cover - foreground answered 200
+            return
+        self._prefetcher.speculate(
+            f"table:{table}",
+            plan_table(
+                self._engine,
+                table,
+                columns,
+                theme,
+                k,
+                self._config.guide.top_n,
+            ),
         )
 
     def _handle_graph(self, table: str, request: HttpRequest) -> HttpResponse:
@@ -788,14 +987,21 @@ class BlaeuService:
     def _handle_metrics(self, request: HttpRequest) -> HttpResponse:
         cache = self.cache_stats()
         pool = self._pool.stats()
+        tier_stats = getattr(self._engine.map_cache, "tier_stats", None)
         if cache is not None:
             self._metrics.set_gauge("blaeu_cache_entries", cache.size)
-            self._metrics.set_gauge("blaeu_cache_hits_total", cache.hits)
-            self._metrics.set_gauge("blaeu_cache_misses_total", cache.misses)
+            if not callable(tier_stats):
+                # A tiered cache reports hits/misses as per-tier labeled
+                # counters (blaeu_cache_hits_total{tier="l1"|"l2"});
+                # emitting the legacy unlabeled gauges under the same
+                # names would render two TYPE lines for one metric.
+                self._metrics.set_gauge("blaeu_cache_hits_total", cache.hits)
+                self._metrics.set_gauge(
+                    "blaeu_cache_misses_total", cache.misses
+                )
             self._metrics.set_gauge(
                 "blaeu_cache_evictions_total", cache.evictions
             )
-        tier_stats = getattr(self._engine.map_cache, "tier_stats", None)
         if callable(tier_stats):
             tiers = tier_stats()
             self._metrics.set_gauge(
@@ -814,6 +1020,14 @@ class BlaeuService:
         self._metrics.set_gauge("blaeu_pool_completed_total", pool.completed)
         self._metrics.set_gauge("blaeu_pool_failed_total", pool.failed)
         self._metrics.set_gauge("blaeu_pool_rejected_total", pool.rejected)
+        self._metrics.set_gauge(
+            "blaeu_pool_background_in_flight", pool.background_in_flight
+        )
+        if self._prefetcher is not None:
+            guide = self._prefetcher.stats()
+            self._metrics.set_gauge(
+                "blaeu_guide_prefetch_in_flight", guide["in_flight"]
+            )
         self._metrics.set_gauge(
             "blaeu_sessions_active", len(self._manager.session_ids())
         )
@@ -901,8 +1115,27 @@ class BlaeuService:
         session_id = str(payload.get("session", ""))
         if status != "exact" and session_id:
             self._schedule_refine(session_id)
+        if session_id:
+            self._speculate_session(session_id)
         payload["counts_status"] = status
         payload["refining"] = session_id in self._refining
+
+    def _speculate_session(self, session_id: str) -> None:
+        """Warm the suggested follow-ups of a session's new state.
+
+        Every map-bearing response means the session just navigated, so
+        this both cancels the previous speculation for the session
+        (``speculate`` bumps the scope's generation) and plans from the
+        fresh state.
+        """
+        if self._prefetcher is None or self._stopping:
+            return
+        self._prefetcher.speculate(
+            f"session:{session_id}",
+            plan_session(
+                self._manager, session_id, self._config.guide.top_n
+            ),
+        )
 
     def _schedule_refine(self, session_id: str) -> None:
         """Queue one background exact-count pass for a session."""

@@ -241,12 +241,24 @@ class TieredCache:
         return self._disk
 
     def get(self, key: Hashable) -> object | None:
-        """L1 lookup, falling through to L2 with promotion."""
+        """L1 lookup, falling through to L2 with promotion.
+
+        Every lookup attributes its outcome to the tier that answered:
+        ``blaeu_cache_hits_total{tier="l1"|"l2"}`` (and the matching
+        ``misses`` series) make prefetch effectiveness visible per
+        layer, and ``blaeu_cache_promotions_total`` counts L2 → L1
+        promotions.
+        """
+        metrics = get_metrics()
         value = self._memory.get(key)
         if value is not None:
             with self._lock:
                 self._memory_hits += 1
+            metrics.increment_labeled(
+                "blaeu_cache_hits_total", {"tier": "l1"}
+            )
             return value
+        metrics.increment_labeled("blaeu_cache_misses_total", {"tier": "l1"})
         if self._disk is not None:
             value = self._disk.get(key)
             if value is not None:
@@ -254,9 +266,16 @@ class TieredCache:
                 with self._lock:
                     self._disk_hits += 1
                     self._promotions += 1
-                get_metrics().increment("blaeu_artifact_cache_hits_total")
+                metrics.increment_labeled(
+                    "blaeu_cache_hits_total", {"tier": "l2"}
+                )
+                metrics.increment("blaeu_cache_promotions_total")
+                metrics.increment("blaeu_artifact_cache_hits_total")
                 return value
-            get_metrics().increment("blaeu_artifact_cache_misses_total")
+            metrics.increment_labeled(
+                "blaeu_cache_misses_total", {"tier": "l2"}
+            )
+            metrics.increment("blaeu_artifact_cache_misses_total")
         with self._lock:
             self._misses += 1
         return None

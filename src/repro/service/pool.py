@@ -38,6 +38,9 @@ class PoolStats:
     completed: int
     failed: int
     rejected: int
+    background_in_flight: int = 0
+    background_completed: int = 0
+    background_rejected: int = 0
 
 
 class WorkerPool:
@@ -67,17 +70,39 @@ class WorkerPool:
         self._completed = 0
         self._failed = 0
         self._rejected = 0
+        self._background_in_flight = 0
+        self._background_completed = 0
+        self._background_rejected = 0
         self._closed = False
 
-    async def run(self, fn: Callable[..., T], *args: Any) -> T:
+    async def run(
+        self, fn: Callable[..., T], *args: Any, background: bool = False
+    ) -> T:
         """Run ``fn(*args)`` on a worker thread; await its result.
 
         Raises :class:`PoolSaturatedError` when the admission bound is
         reached and ``RuntimeError`` after :meth:`shutdown`.
+
+        ``background=True`` marks the job *speculative*: it is admitted
+        only onto an **idle** worker thread (``in_flight < workers``),
+        so background work never queues ahead of — or behind, or at all
+        with — foreground requests.  A foreground submission arriving
+        while every thread is busy with background jobs still waits only
+        for a thread to free, exactly as it would behind foreground
+        work; what speculation can never do is consume the *admission*
+        headroom between ``workers`` and ``max_pending`` that foreground
+        bursts rely on.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is shut down")
+            if background and self._in_flight >= self._workers:
+                self._background_rejected += 1
+                raise PoolSaturatedError(
+                    f"no idle worker for background job "
+                    f"({self._in_flight} jobs in flight, "
+                    f"{self._workers} workers)"
+                )
             if self._in_flight >= self._max_pending:
                 self._rejected += 1
                 raise PoolSaturatedError(
@@ -95,16 +120,23 @@ class WorkerPool:
             except RuntimeError as error:
                 raise RuntimeError("worker pool is shut down") from error
             self._in_flight += 1
+            if background:
+                self._background_in_flight += 1
         try:
             result = await asyncio.wrap_future(future)
         except BaseException:
             with self._lock:
                 self._in_flight -= 1
                 self._failed += 1
+                if background:
+                    self._background_in_flight -= 1
             raise
         with self._lock:
             self._in_flight -= 1
             self._completed += 1
+            if background:
+                self._background_in_flight -= 1
+                self._background_completed += 1
         return result
 
     def stats(self) -> PoolStats:
@@ -117,6 +149,9 @@ class WorkerPool:
                 completed=self._completed,
                 failed=self._failed,
                 rejected=self._rejected,
+                background_in_flight=self._background_in_flight,
+                background_completed=self._background_completed,
+                background_rejected=self._background_rejected,
             )
 
     def shutdown(self, wait: bool = True) -> None:

@@ -93,6 +93,47 @@ class TestRegionInsights:
         )
         assert strict.numeric == ()
 
+    def test_empty_region_yields_empty_report(self, contrasted):
+        report = region_insights(contrasted, Comparison("x", ">", 1e9))
+        assert report.n_inside == 0
+        assert report.numeric == ()
+        assert report.categories == ()
+
+    def test_single_row_region_yields_empty_report(self, contrasted):
+        # One inside row has no variance: no contrast is statistically
+        # meaningful, and the report must come back empty, not crash.
+        xs = sorted(contrasted.column("x").values)
+        report = region_insights(contrasted, Comparison("x", ">", xs[-2]))
+        assert report.n_inside == 1
+        assert report.numeric == ()
+        assert report.categories == ()
+
+    def test_region_covering_everything_yields_empty_report(self, contrasted):
+        # n_outside == 0: there is nothing to contrast against.
+        report = region_insights(contrasted, Comparison("x", ">", -1e9))
+        assert report.n_outside == 0
+        assert report.numeric == ()
+        assert report.categories == ()
+
+    def test_no_infinite_lift_for_region_exclusive_label(self, rng):
+        # A label that only ever occurs inside the region would have
+        # overall share outside of... well, lift = inside/overall is
+        # finite, but a label with overall probability ~0 must never
+        # produce an infinite or NaN lift.
+        n = 100
+        inside = np.arange(n) < 30
+        label = np.where(inside, "only_in", "other")
+        table = Table(
+            "t",
+            [
+                NumericColumn("z", np.where(inside, 1.0, 0.0)),
+                CategoricalColumn.from_labels("tag", list(label)),
+            ],
+        )
+        report = region_insights(table, Comparison("z", ">", 0.5))
+        for insight in report.categories:
+            assert np.isfinite(insight.lift)
+
     def test_missing_values_tolerated(self, rng):
         x = rng.normal(0, 1, 100)
         x[:30] = np.nan

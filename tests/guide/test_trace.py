@@ -1,0 +1,159 @@
+"""Unit tests for navigation-trace recording and replay."""
+
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.engine import Blaeu
+from repro.datasets.synthetic import mixed_blobs
+from repro.guide.trace import (
+    ACTIONS,
+    NavigationTrace,
+    TraceRecorder,
+    TraceStep,
+    replay_trace,
+)
+
+
+@pytest.fixture
+def engine():
+    engine = Blaeu(BlaeuConfig(map_k_values=(2, 3), seed=5))
+    engine.register(mixed_blobs(n_rows=300, k=2, seed=61).table)
+    return engine
+
+
+def navigate(explorer):
+    """A short scripted session: open, zoom, rollback, project by columns."""
+    data_map = explorer.open_theme(0)
+    explorer.zoom(data_map.leaves()[0].region_id)
+    explorer.rollback()
+    explorer.project_columns(("x0", "x1"))
+
+
+class TestTraceStep:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown trace action"):
+            TraceStep(session="s1", action="fly", target="", fingerprint="f")
+
+    def test_accepts_every_observer_action(self):
+        for action in ACTIONS:
+            TraceStep(session="s1", action=action, target="t", fingerprint="f")
+
+
+class TestRecorder:
+    def test_records_completed_actions_in_order(self, engine):
+        recorder = TraceRecorder()
+        explorer = engine.explore("mixed_blobs")
+        recorder.attach(explorer, "s1")
+        navigate(explorer)
+        trace = recorder.trace()
+        assert [s.action for s in trace] == [
+            "open_theme", "zoom", "rollback", "project_columns",
+        ]
+        assert trace.steps[0].target == explorer.themes()[0].name
+        assert trace.steps[3].target == "x0,x1"
+        fingerprint = explorer.table.fingerprint()
+        assert all(s.fingerprint == fingerprint for s in trace)
+
+    def test_detach_stops_recording(self, engine):
+        recorder = TraceRecorder()
+        explorer = engine.explore("mixed_blobs")
+        detach = recorder.attach(explorer, "s1")
+        data_map = explorer.open_theme(0)
+        detach()
+        explorer.zoom(data_map.leaves()[0].region_id)
+        assert len(recorder) == 1
+
+    def test_failed_actions_not_recorded(self, engine):
+        recorder = TraceRecorder()
+        explorer = engine.explore("mixed_blobs")
+        recorder.attach(explorer, "s1")
+        with pytest.raises(KeyError):
+            explorer.open_theme("no such theme")
+        assert len(recorder) == 0
+
+    def test_multiple_sessions_interleave(self, engine):
+        recorder = TraceRecorder()
+        first = engine.explore("mixed_blobs")
+        second = engine.explore("mixed_blobs")
+        recorder.attach(first, "s1")
+        recorder.attach(second, "s2")
+        first_map = first.open_theme(0)
+        second.open_theme(1)
+        first.zoom(first_map.leaves()[0].region_id)
+        trace = recorder.trace()
+        assert trace.sessions() == ("s1", "s2")
+        assert [s.action for s in trace.for_session("s1")] == [
+            "open_theme", "zoom",
+        ]
+        assert len(trace.for_session("s2")) == 1
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_steps(self, engine, tmp_path):
+        recorder = TraceRecorder()
+        explorer = engine.explore("mixed_blobs")
+        recorder.attach(explorer, "s1")
+        navigate(explorer)
+        path = recorder.trace().save(tmp_path / "trace.jsonl")
+        assert NavigationTrace.load(path) == recorder.trace()
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = NavigationTrace(steps=()).save(tmp_path / "empty.jsonl")
+        assert len(NavigationTrace.load(path)) == 0
+
+
+class TestReplay:
+    def test_replay_reproduces_history(self, engine):
+        recorder = TraceRecorder()
+        original = engine.explore("mixed_blobs")
+        recorder.attach(original, "s1")
+        navigate(original)
+
+        replayed = engine.explore("mixed_blobs")
+        applied = replay_trace(replayed, recorder.trace())
+        assert applied == 4
+        assert replayed.history() == original.history()
+        assert replayed.state.columns == original.state.columns
+
+    def test_replay_filters_by_session(self, engine):
+        recorder = TraceRecorder()
+        first = engine.explore("mixed_blobs")
+        second = engine.explore("mixed_blobs")
+        recorder.attach(first, "s1")
+        recorder.attach(second, "s2")
+        first.open_theme(0)
+        second.open_theme(1)
+
+        replayed = engine.explore("mixed_blobs")
+        applied = replay_trace(replayed, recorder.trace(), session="s2")
+        assert applied == 1
+        assert replayed.state.columns == second.state.columns
+
+    def test_replay_refuses_wrong_fingerprint(self, engine):
+        trace = NavigationTrace(
+            steps=(
+                TraceStep(
+                    session="s1",
+                    action="open_theme",
+                    target="whatever",
+                    fingerprint="not-this-table",
+                ),
+            )
+        )
+        explorer = engine.explore("mixed_blobs")
+        with pytest.raises(ValueError, match="fingerprint"):
+            replay_trace(explorer, trace)
+
+    def test_on_step_hook_sees_each_applied_step(self, engine):
+        recorder = TraceRecorder()
+        original = engine.explore("mixed_blobs")
+        recorder.attach(original, "s1")
+        navigate(original)
+
+        seen = []
+        replay_trace(
+            engine.explore("mixed_blobs"),
+            recorder.trace(),
+            on_step=lambda step: seen.append(step.action),
+        )
+        assert seen == ["open_theme", "zoom", "rollback", "project_columns"]

@@ -65,6 +65,40 @@ class TestNamedInstruments:
         assert "blaeu_store_scans_total 3" in text
         assert "blaeu_pool_in_flight 2" in text
 
+    def test_labeled_counter_series_share_one_type_line(self):
+        metrics = Metrics()
+        metrics.increment_labeled("blaeu_cache_hits_total", {"tier": "l1"}, 2)
+        metrics.increment_labeled("blaeu_cache_hits_total", {"tier": "l2"})
+        assert (
+            metrics.labeled_counter("blaeu_cache_hits_total", {"tier": "l1"})
+            == 2
+        )
+        assert (
+            metrics.labeled_counter("blaeu_cache_hits_total", {"tier": "l2"})
+            == 1
+        )
+        assert (
+            metrics.labeled_counter("blaeu_cache_hits_total", {"tier": "l3"})
+            == 0
+        )
+        text = metrics.render()
+        assert text.count("# TYPE blaeu_cache_hits_total counter") == 1
+        assert 'blaeu_cache_hits_total{tier="l1"} 2' in text
+        assert 'blaeu_cache_hits_total{tier="l2"} 1' in text
+
+    def test_labeled_counter_rejects_bad_labels(self):
+        metrics = Metrics()
+        with pytest.raises(ValueError):
+            metrics.increment_labeled("blaeu_cache_hits_total", {})
+        with pytest.raises(ValueError):
+            metrics.increment_labeled(
+                "blaeu_cache_hits_total", {"bad-label": "x"}
+            )
+        with pytest.raises(ValueError):
+            metrics.increment_labeled(
+                "blaeu_cache_hits_total", {"tier": 'l1"}\ninjected'}
+            )
+
 
 class TestGlobalRegistry:
     def test_reset_installs_a_fresh_global(self):

@@ -93,6 +93,85 @@ class TestAdmissionControl:
             WorkerPool(workers=4, max_pending=2)
 
 
+class TestBackgroundAdmission:
+    def test_background_runs_on_idle_worker(self):
+        pool = WorkerPool(workers=1, max_pending=2)
+
+        async def main():
+            assert await pool.run(lambda: 7, background=True) == 7
+
+        run(main())
+        stats = pool.stats()
+        assert stats.background_completed == 1
+        assert stats.background_in_flight == 0
+        pool.shutdown()
+
+    def test_background_rejected_when_no_idle_worker(self):
+        # Foreground admission tolerates a queue up to max_pending;
+        # background must not — it is admitted onto idle threads only.
+        pool = WorkerPool(workers=1, max_pending=4)
+        release = threading.Event()
+
+        async def main():
+            blocker = asyncio.ensure_future(pool.run(release.wait))
+            await asyncio.sleep(0.05)  # the only worker is now busy
+            with pytest.raises(PoolSaturatedError, match="no idle worker"):
+                await pool.run(lambda: None, background=True)
+            # A foreground job still fits inside max_pending.
+            foreground = asyncio.ensure_future(pool.run(lambda: 3))
+            release.set()
+            assert await foreground == 3
+            await blocker
+
+        run(main())
+        stats = pool.stats()
+        assert stats.background_rejected == 1
+        assert stats.background_completed == 0
+        assert stats.completed == 2
+        pool.shutdown()
+
+    def test_background_leaves_no_slot_behind_on_failure(self):
+        pool = WorkerPool(workers=1, max_pending=2)
+
+        async def main():
+            with pytest.raises(ZeroDivisionError):
+                await pool.run(lambda: 1 / 0, background=True)
+            # The slot must be free again for foreground work.
+            assert await pool.run(lambda: 1) == 1
+
+        run(main())
+        stats = pool.stats()
+        assert stats.in_flight == 0
+        assert stats.background_in_flight == 0
+        assert stats.failed == 1
+        pool.shutdown()
+
+    def test_background_rejection_does_not_consume_admission(self):
+        # A burst of rejected background offers must not eat into the
+        # pending budget foreground requests rely on.
+        pool = WorkerPool(workers=1, max_pending=2)
+        release = threading.Event()
+
+        async def main():
+            blocker = asyncio.ensure_future(pool.run(release.wait))
+            await asyncio.sleep(0.05)
+            for _ in range(10):
+                with pytest.raises(PoolSaturatedError):
+                    await pool.run(lambda: None, background=True)
+            # Exactly one more foreground job fits (max_pending=2).
+            foreground = asyncio.ensure_future(pool.run(lambda: None))
+            await asyncio.sleep(0.05)
+            release.set()
+            await asyncio.gather(blocker, foreground)
+
+        run(main())
+        stats = pool.stats()
+        assert stats.background_rejected == 10
+        assert stats.completed == 2
+        assert stats.in_flight == 0
+        pool.shutdown()
+
+
 class TestShutdown:
     def test_shutdown_refuses_new_work(self):
         pool = WorkerPool(workers=1, max_pending=2)

@@ -75,6 +75,43 @@ class TestWrites:
         assert len(cache.disk) == 0
 
 
+class TestTierMetrics:
+    def test_hits_and_misses_split_by_tier_label(self, tmp_path):
+        from repro.obs.metrics import reset_metrics
+
+        metrics = reset_metrics()
+        cache = _tiered(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.get("k")  # L1 hit
+        cache.memory.clear()
+        cache.get("k")  # L1 miss -> L2 hit + promotion
+        cache.get("absent")  # miss in both tiers
+
+        hits = "blaeu_cache_hits_total"
+        misses = "blaeu_cache_misses_total"
+        assert metrics.labeled_counter(hits, {"tier": "l1"}) == 1
+        assert metrics.labeled_counter(hits, {"tier": "l2"}) == 1
+        assert metrics.labeled_counter(misses, {"tier": "l1"}) == 2
+        assert metrics.labeled_counter(misses, {"tier": "l2"}) == 1
+        assert metrics.counter("blaeu_cache_promotions_total") == 1
+        reset_metrics()
+
+    def test_render_emits_one_type_line_per_family(self, tmp_path):
+        from repro.obs.metrics import reset_metrics
+
+        metrics = reset_metrics()
+        cache = _tiered(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.memory.clear()
+        cache.get("k")
+        text = metrics.render()
+        assert text.count("# TYPE blaeu_cache_hits_total counter") == 1
+        assert 'blaeu_cache_hits_total{tier="l1"} 1' in text
+        assert 'blaeu_cache_hits_total{tier="l2"} 1' in text
+        reset_metrics()
+
+
 class TestStatsShape:
     def test_stats_stays_l1_shaped_for_duck_typed_callers(self, tmp_path):
         # /healthz reads .stats() off whatever cache the engine holds;
