@@ -24,6 +24,13 @@ Five suites cover the layers the ROADMAP cares about:
   ranking latency, and a recorded navigation trace replayed with and
   without the speculative prefetcher (warm-hit-rate lift, foreground
   p50 non-regression).
+* ``chaos`` — wraps ``benchmarks/bench_chaos.py``: the ``--workers 2``
+  fleet under a deterministic fault cocktail (disk IO errors/latency,
+  torn writes, worker kills) vs the same fleet clean.  The clean wall
+  time gates against the baseline; availability, p99 under faults,
+  retry counts, and map bit-identity travel as artifacts (the script
+  asserts the < 1% error budget, deadline compliance, and structural
+  identity itself).
 * ``store`` — the out-of-core layer (:mod:`repro.store`): chunked CSV
   ingest throughput, cold/warm pushdown scans, and the persisted
   top-k cascade sample vs a full priority redraw.
@@ -61,6 +68,7 @@ from repro.cluster.silhouette import SharedSilhouette, monte_carlo_silhouette
 
 __all__ = [
     "SUITES",
+    "run_chaos",
     "run_clustering",
     "run_graph",
     "run_guide",
@@ -603,6 +611,57 @@ def run_scale(smoke: bool) -> list[BenchResult]:
 
 
 # ----------------------------------------------------------------------
+# chaos suite
+# ----------------------------------------------------------------------
+
+
+def run_chaos(smoke: bool) -> list[BenchResult]:
+    """The resilience suite: the worker fleet under injected faults.
+
+    Only the *clean* replay's wall time gates against the baseline —
+    the chaos replay's timing is fault-schedule noise by construction.
+    Availability, deadline compliance, retry/fault counters, and map
+    bit-identity are asserted inside the script and travel here as
+    ungated artifacts.
+    """
+    script = _benchmarks_dir() / "bench_chaos.py"
+    spec = importlib.util.spec_from_file_location("repro_bench_chaos", script)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    record = module.run_benchmark(smoke=smoke)
+    return [
+        BenchResult(
+            name="chaos_resilience",
+            params={
+                "n_tables": record["n_tables"],
+                "n_rows": record["n_rows"],
+                "rounds": record["rounds"],
+                "n_requests": record["n_requests"],
+                "deadline_seconds": record["deadline_seconds"],
+            },
+            metrics={
+                "clean_wall_seconds": float(record["clean_wall_seconds"]),
+                "chaos_wall_seconds": float(record["chaos_wall_seconds"]),
+                "clean_p99_seconds": float(record["clean_p99_seconds"]),
+                "chaos_p99_seconds": float(record["chaos_p99_seconds"]),
+                "availability": float(record["availability"]),
+                "chaos_error_rate": float(record["chaos_error_rate"]),
+                "chaos_degraded": float(record["chaos_degraded"]),
+                "deadline_violations": float(
+                    record["chaos_deadline_violations"]
+                ),
+                "proxy_retries": float(record["proxy_retries"]),
+                "faults_injected": float(record["faults_injected"]),
+                "maps_identical": float(record["maps_identical"]),
+            },
+            gated=("clean_wall_seconds",),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
 # store suite
 # ----------------------------------------------------------------------
 
@@ -938,6 +997,7 @@ def run_graph(smoke: bool) -> list[BenchResult]:
 
 #: suite name → runner.  ``run_suite`` and the CLI dispatch through this.
 SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
+    "chaos": run_chaos,
     "clustering": run_clustering,
     "graph": run_graph,
     "guide": run_guide,

@@ -52,6 +52,7 @@ Commands inside the session::
 
 from __future__ import annotations
 
+import os
 import shlex
 import sys
 from typing import Callable, Iterable, TextIO
@@ -609,6 +610,30 @@ def serve_main(argv: list[str]) -> None:
         default=1,
         help="maximum concurrent speculative builds (default %(default)s)",
     )
+    parser.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request time budget; requests past it get a "
+        "504 (clients can override per request with X-Blaeu-Deadline; "
+        "default: no deadline)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds to let in-flight requests finish on shutdown or "
+        "worker restart (default 5)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="JSON",
+        help='fault-injection spec ({"seed": N, "faults": [...]} JSON) '
+        "exported as BLAEU_FAULTS to every worker — chaos testing only",
+    )
     args = parser.parse_args(argv)
     if args.demo and args.data:
         parser.error("give either CSV files or --demo, not both")
@@ -620,6 +645,26 @@ def serve_main(argv: list[str]) -> None:
         parser.error("provide CSV files or --demo <name>")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+
+    # Resilience knobs travel as environment variables: the service
+    # config folds them in (single-worker mode) and supervisor workers
+    # inherit them (multi-worker mode) — one spelling for both.
+    if args.request_deadline is not None:
+        if args.request_deadline <= 0:
+            parser.error("--request-deadline must be positive")
+        os.environ["BLAEU_REQUEST_DEADLINE"] = str(args.request_deadline)
+    if args.drain_timeout is not None:
+        if args.drain_timeout < 0:
+            parser.error("--drain-timeout must be non-negative")
+        os.environ["BLAEU_DRAIN_TIMEOUT"] = str(args.drain_timeout)
+    if args.faults is not None:
+        from repro.resilience.faults import FAULTS_ENV, parse_faults
+
+        try:
+            parse_faults(args.faults)
+        except ValueError as error:
+            parser.error(f"--faults: {error}")
+        os.environ[FAULTS_ENV] = args.faults
 
     if args.workers > 1:
         # Pre-fork mode: N single-process services behind a routing
@@ -654,11 +699,15 @@ def serve_main(argv: list[str]) -> None:
         worker_argv += ["--guide-prefetch-jobs", str(args.guide_prefetch_jobs)]
         worker_argv += engine_argv
         try:
+            supervisor_kwargs = {}
+            if args.drain_timeout is not None:
+                supervisor_kwargs["drain_timeout"] = args.drain_timeout
             supervisor = Supervisor(
                 worker_argv,
                 n_workers=args.workers,
                 host=args.host,
                 port=args.port,
+                **supervisor_kwargs,
             )
         except ValueError as error:  # pragma: no cover - guarded above
             parser.error(str(error))

@@ -19,6 +19,8 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from repro.resilience.deadline import checkpoint
+
 __all__ = ["resolve_jobs", "map_in_order"]
 
 T = TypeVar("T")
@@ -61,12 +63,22 @@ def map_in_order(
     """
     workers = resolve_jobs(n_jobs, n_items=len(items))
     if workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for item in items:
+            # Per-item deadline checkpoint: CLARA draws and k-selection
+            # candidates abort between items, never mid-kernel.
+            checkpoint("parallel.item")
+            results.append(fn(item))
+        return results
     contexts = [contextvars.copy_context() for _ in items]
+
+    def checked(item: T) -> R:
+        checkpoint("parallel.item")
+        return fn(item)
 
     def run(pair: tuple[contextvars.Context, T]) -> R:
         context, item = pair
-        return context.run(fn, item)
+        return context.run(checked, item)
 
     with ThreadPoolExecutor(max_workers=workers) as executor:
         return list(executor.map(run, zip(contexts, items)))

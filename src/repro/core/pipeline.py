@@ -72,6 +72,8 @@ from repro.core.preprocess import FeatureSpace, preprocess
 from repro.obs.metrics import get_metrics
 from repro.obs.profile import profile_block
 from repro.obs.trace import get_tracer, note
+from repro.resilience.deadline import checkpoint
+from repro.resilience.faults import fault_point
 from repro.table.predicates import And, Comparison, Everything, Predicate
 from repro.table.sampling import uniform_sample
 from repro.table.table import Table
@@ -292,6 +294,12 @@ class MapPipeline:
         """
         if name in self._local:
             return self._local[name]
+        # Cooperative deadline checkpoint + chaos hook: an expired
+        # request aborts here, between stages, instead of computing a
+        # result nobody is waiting for.  A cached or completed stage is
+        # never torn — the abort happens before compute starts.
+        checkpoint("stage." + name)
+        fault_point("stage." + name)
         with get_tracer().span("stage." + name) as span:
             started = time.perf_counter()
             if self._cache is not None:
@@ -997,6 +1005,7 @@ def _left_router(tree: DecisionTree, selection: Table):
     if internal:
         needed = tuple(sorted({node.column or "" for node in internal}))
         for start, stop, chunk in iter_chunks(columns=needed):
+            checkpoint("count.chunk")
             local = np.arange(stop - start, dtype=np.intp)
             for node in internal:
                 column = chunk.column(node.column or "")

@@ -44,6 +44,7 @@ from repro.graph.codes import (
 )
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.resilience.deadline import checkpoint
 from repro.stats.batched import StreamingPairwiseNMI, pairwise_nmi_matrix
 from repro.stats.correlation import pairwise_correlation_matrix
 from repro.table.column import NumericColumn
@@ -362,6 +363,7 @@ class GraphBuilder:
                 )
                 chunks = 0
                 for chunk in iter_code_chunks(table, names, entries):
+                    checkpoint("graph.nmi.chunk")
                     streaming.update(chunk)
                     chunks += 1
                 if span.enabled:

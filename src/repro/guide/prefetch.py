@@ -40,6 +40,11 @@ from repro.guide.recommend import (
 )
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.resilience.deadline import (
+    DeadlineExceeded,
+    clear_deadline,
+    deadline_scope,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import Blaeu
@@ -215,17 +220,33 @@ class PrefetchScheduler:
     jobs:
         Maximum concurrent speculative builds (a semaphore, on top of
         the pool's own idle-thread admission).
+    deadline:
+        Per-job budget in seconds for each speculative plan or build.
+        Speculations never inherit the foreground request's deadline
+        (``asyncio`` tasks copy the spawning context, so without care a
+        background build would ride — and then outlive — the request's
+        budget); instead each pool job gets its own short deadline so a
+        pathological build releases its pool thread at the next stage
+        checkpoint instead of holding it indefinitely.  ``None``
+        disables the budget.
     """
 
     def __init__(
-        self, pool: "WorkerPool", top_n: int = 3, jobs: int = 1
+        self,
+        pool: "WorkerPool",
+        top_n: int = 3,
+        jobs: int = 1,
+        deadline: float | None = 30.0,
     ) -> None:
         if top_n < 1:
             raise ValueError("top_n must be at least 1")
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive when set")
         self._pool = pool
         self._top_n = top_n
+        self._deadline = deadline
         self._semaphore = asyncio.Semaphore(jobs)
         self._generations: dict[str, int] = {}
         self._tasks: set[asyncio.Task] = set()
@@ -235,6 +256,7 @@ class PrefetchScheduler:
         self._cancelled = 0
         self._rejected = 0
         self._errors = 0
+        self._deadline_exceeded = 0
 
     # ------------------------------------------------------------------
     # Control surface
@@ -288,6 +310,7 @@ class PrefetchScheduler:
             "cancelled": self._cancelled,
             "rejected": self._rejected,
             "errors": self._errors,
+            "deadline_exceeded": self._deadline_exceeded,
             "in_flight": len(self._tasks),
         }
 
@@ -308,6 +331,11 @@ class PrefetchScheduler:
         generation: int,
         planner: Callable[[], list[PrefetchAction]],
     ) -> None:
+        # This task was created from a request handler, so it carries a
+        # *copy* of the request's context — including any request
+        # deadline, which may already be spent by the time speculation
+        # runs.  Background work budgets itself per job instead.
+        clear_deadline()
         metrics = get_metrics()
         with get_tracer().span("guide.plan") as span:
             if span.enabled:
@@ -360,12 +388,24 @@ class PrefetchScheduler:
                 metrics.increment("blaeu_guide_prefetch_cancelled_total")
                 return None
             try:
-                result = await self._pool.run(fn, background=True)
+                # Each job gets its own short deadline: ``pool.run``
+                # copies the current context onto the worker thread, so
+                # the stage checkpoints inside the build see it and the
+                # pool slot is released at the next stage boundary.
+                with deadline_scope(self._deadline):
+                    result = await self._pool.run(fn, background=True)
             except PoolSaturatedError:
                 await asyncio.sleep(_BACKOFF_SECONDS)
                 continue
             except asyncio.CancelledError:
                 raise
+            except DeadlineExceeded:
+                # A speculative build outliving its budget is a
+                # cancellation, not a failure: the pool thread was
+                # reclaimed, which is exactly the invariant we bought.
+                self._deadline_exceeded += 1
+                metrics.increment("blaeu_guide_prefetch_deadline_total")
+                return None
             except RuntimeError as error:
                 if "shut down" in str(error):
                     # Pool shut down underneath us: service is stopping.

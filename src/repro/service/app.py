@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import functools
 import json
 import os
 import signal
@@ -45,6 +46,17 @@ from repro.obs.trace import (
     configure_tracing,
     format_fields,
 )
+from repro.resilience.breaker import STATE_CODES, CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    clear_deadline,
+    current_deadline,
+    deadline_scope,
+    reset_deadline,
+    set_deadline,
+)
+from repro.resilience.faults import fault_point
 from repro.server.protocol import (
     COMMANDS,
     ErrorResponse,
@@ -71,6 +83,7 @@ __all__ = [
     "CacheConfig",
     "GuideConfig",
     "PoolConfig",
+    "ResilienceConfig",
     "ServiceConfig",
     "TraceConfig",
 ]
@@ -212,6 +225,45 @@ class GuideConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Deadlines, degradation and the L2 circuit breaker.
+
+    ``request_deadline=None`` means requests carry no default budget —
+    only an explicit ``X-Blaeu-Deadline`` header installs one.  The
+    header, when present, always wins (clamped to ``max_deadline``).
+
+    ``degrade_when_busy`` lets map requests fall back to
+    ``count_mode="approximate"`` when every pool thread is busy or the
+    request's remaining budget is short — a fast degraded answer
+    instead of an exact one that would queue past its deadline.
+    """
+
+    request_deadline: float | None = None
+    max_deadline: float = 300.0
+    drain_timeout: float = 5.0
+    degrade_when_busy: bool = True
+    degrade_remaining: float = 1.0
+    background_deadline: float = 30.0
+    breaker_failures: int = 3
+    breaker_recovery: float = 5.0
+    breaker_latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ValueError("request_deadline must be positive (or None)")
+        if self.max_deadline <= 0:
+            raise ValueError("max_deadline must be positive")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+        if self.background_deadline <= 0:
+            raise ValueError("background_deadline must be positive")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be at least 1")
+        if self.breaker_recovery <= 0:
+            raise ValueError("breaker_recovery must be positive")
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the serving layer (the engine has its own config).
 
@@ -236,6 +288,13 @@ class ServiceConfig:
     ``BLAEU_GUIDE_TOP_N``       ``guide.top_n``
     ``BLAEU_GUIDE_PREFETCH``    ``guide.prefetch``
     ``BLAEU_GUIDE_PREFETCH_JOBS`` ``guide.prefetch_jobs``
+    ``BLAEU_REQUEST_DEADLINE``  ``resilience.request_deadline``
+    ``BLAEU_DRAIN_TIMEOUT``     ``resilience.drain_timeout``
+    ``BLAEU_DEGRADE_WHEN_BUSY`` ``resilience.degrade_when_busy``
+    ``BLAEU_BACKGROUND_DEADLINE`` ``resilience.background_deadline``
+    ``BLAEU_BREAKER_FAILURES``  ``resilience.breaker_failures``
+    ``BLAEU_BREAKER_RECOVERY``  ``resilience.breaker_recovery``
+    ``BLAEU_BREAKER_LATENCY``   ``resilience.breaker_latency``
     ==========================  =====================================
 
     The pre-redesign flat kwargs (``cache_size``, ``cache_ttl``,
@@ -253,6 +312,7 @@ class ServiceConfig:
     trace: TraceConfig | None = None
     pool: PoolConfig | None = None
     guide: GuideConfig | None = None
+    resilience: ResilienceConfig | None = None
     # Legacy flat aliases; ``None`` means "not given" and defers to the
     # nested group, the environment, then the default.
     cache_size: int | None = None
@@ -300,12 +360,26 @@ class ServiceConfig:
             prefetch=_pick(_env_bool("BLAEU_GUIDE_PREFETCH"), False),
             prefetch_jobs=_pick(_env_int("BLAEU_GUIDE_PREFETCH_JOBS"), 1),
         )
+        resilience = self.resilience or ResilienceConfig(
+            request_deadline=_env_float("BLAEU_REQUEST_DEADLINE"),
+            drain_timeout=_pick(_env_float("BLAEU_DRAIN_TIMEOUT"), 5.0),
+            degrade_when_busy=_pick(
+                _env_bool("BLAEU_DEGRADE_WHEN_BUSY"), True
+            ),
+            background_deadline=_pick(
+                _env_float("BLAEU_BACKGROUND_DEADLINE"), 30.0
+            ),
+            breaker_failures=_pick(_env_int("BLAEU_BREAKER_FAILURES"), 3),
+            breaker_recovery=_pick(_env_float("BLAEU_BREAKER_RECOVERY"), 5.0),
+            breaker_latency=_env_float("BLAEU_BREAKER_LATENCY"),
+        )
         # Materialize both surfaces: nested groups for new callers,
         # resolved flat aliases for pre-redesign ones.
         object.__setattr__(self, "cache", cache)
         object.__setattr__(self, "trace", trace)
         object.__setattr__(self, "pool", pool)
         object.__setattr__(self, "guide", guide)
+        object.__setattr__(self, "resilience", resilience)
         object.__setattr__(self, "cache_size", cache.size)
         object.__setattr__(self, "cache_ttl", cache.ttl)
         object.__setattr__(self, "workers", pool.threads)
@@ -333,18 +407,28 @@ class BlaeuService:
     ) -> None:
         self._config = config or ServiceConfig()
         self._engine = engine
+        #: Circuit breaker guarding the L2 disk tier (None without one).
+        self._breaker: CircuitBreaker | None = None
         if engine.map_cache is None:
             cache_config = self._config.cache
+            resilience = self._config.resilience
             memory = LRUCache(
                 max_size=cache_config.size, ttl=cache_config.ttl
             )
             if cache_config.dir:
+                self._breaker = CircuitBreaker(
+                    name="l2",
+                    failure_threshold=resilience.breaker_failures,
+                    recovery_time=resilience.breaker_recovery,
+                    latency_threshold=resilience.breaker_latency,
+                )
                 engine.set_map_cache(
                     TieredCache(
                         memory,
                         ArtifactCache(
                             cache_config.dir,
                             max_bytes=cache_config.disk_bytes,
+                            breaker=self._breaker,
                         ),
                     )
                 )
@@ -384,6 +468,7 @@ class BlaeuService:
                 self._pool,
                 top_n=self._config.guide.top_n,
                 jobs=self._config.guide.prefetch_jobs,
+                deadline=self._config.resilience.background_deadline,
             )
         self._http = HttpServer(
             self._route,
@@ -467,8 +552,14 @@ class BlaeuService:
         self._started_at = time.monotonic()
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain workers."""
+        """Graceful shutdown: stop accepting, drain, then tear down.
+
+        In-flight requests get ``resilience.drain_timeout`` seconds to
+        finish before their connections are cancelled — a SIGTERM from
+        the supervisor no longer severs responses mid-flight.
+        """
         self._stopping = True
+        await self._http.drain(self._config.resilience.drain_timeout)
         await self._http.stop()
         if self._prefetcher is not None:
             await self._prefetcher.aclose()
@@ -520,11 +611,49 @@ class BlaeuService:
     # Routing
     # ------------------------------------------------------------------
 
+    def _request_deadline(self, request: HttpRequest) -> Deadline | None:
+        """The request's budget: header wins, config default otherwise."""
+        resilience = self._config.resilience
+        header = request.headers.get("x-blaeu-deadline")
+        budget = resilience.request_deadline
+        if header is not None:
+            try:
+                budget = float(header)
+            except ValueError:
+                raise HttpError(
+                    400, f"X-Blaeu-Deadline must be seconds, got {header!r}"
+                ) from None
+            if budget <= 0:
+                raise HttpError(400, "X-Blaeu-Deadline must be positive")
+            budget = min(budget, resilience.max_deadline)
+        if budget is None:
+            return None
+        return Deadline.after(budget)
+
     async def _route(self, request: HttpRequest) -> HttpResponse:
         started = time.perf_counter()
+        # Chaos hook: lets the fault harness kill or wedge this worker
+        # mid-request (health endpoints stay clean so probes and the
+        # bench's metric scrapes don't consume the fault budget).
+        if request.path not in ("/healthz", "/metrics"):
+            fault_point("worker.request")
         with self._tracer.span("http.request") as span, collect_notes() as notes:
+            token = None
             try:
+                token = set_deadline(self._request_deadline(request))
                 route, response = await self._dispatch(request)
+            except DeadlineExceeded as error:
+                self._metrics.increment(
+                    "blaeu_resilience_deadline_exceeded_total"
+                )
+                route, response = escape_label_value(request.path), json_response(
+                    {
+                        "ok": False,
+                        "error": str(error),
+                        "code": "deadline_exceeded",
+                    },
+                    504,
+                )
             except HttpError as error:
                 # Count request-level failures (e.g. malformed JSON
                 # bodies) too — otherwise abusive traffic is invisible
@@ -537,7 +666,11 @@ class BlaeuService:
                         "code": error.code,
                     },
                     error.status,
+                    headers=error.headers,
                 )
+            finally:
+                if token is not None:
+                    reset_deadline(token)
             if span.enabled:
                 span.set("method", request.method)
                 span.set("route", route)
@@ -680,6 +813,14 @@ class BlaeuService:
             handler = self._handle_graph
         elif resource == "suggestions":
             handler = self._handle_suggestions
+        elif self._should_degrade():
+            # Every thread is busy (or the budget is nearly spent):
+            # serve approximate counts now rather than queue an exact
+            # build past the deadline.
+            self._metrics.increment("blaeu_resilience_degraded_total")
+            handler = functools.partial(
+                self._handle_map, count_mode="approximate"
+            )
         else:
             handler = self._handle_map
         try:
@@ -688,10 +829,25 @@ class BlaeuService:
             return route, json_response(
                 {"ok": False, "error": str(error), "code": "pool_saturated"},
                 503,
+                headers={"Retry-After": "1"},
             )
         if resource == "map" and response.status == 200:
             self._speculate_table(table, request)
         return route, response
+
+    def _should_degrade(self) -> bool:
+        """Serve a degraded (approximate-count) map for this request?"""
+        resilience = self._config.resilience
+        if not resilience.degrade_when_busy:
+            return False
+        deadline = current_deadline()
+        if (
+            deadline is not None
+            and deadline.remaining() < resilience.degrade_remaining
+        ):
+            return True
+        stats = self._pool.stats()
+        return stats.in_flight >= stats.workers
 
     def _resolve_table(self, ref: str) -> str | None:
         """A table name from a name or content-fingerprint reference."""
@@ -702,12 +858,19 @@ class BlaeuService:
                 return str(record["name"])
         return None
 
-    def _handle_map(self, table: str, request: HttpRequest) -> HttpResponse:
+    def _handle_map(
+        self,
+        table: str,
+        request: HttpRequest,
+        count_mode: str | None = None,
+    ) -> HttpResponse:
         """``GET /v1/tables/{table}/map`` — a stateless one-shot map.
 
         ``?theme=<index|name>`` or ``?columns=a,b,c`` choose the column
         set (a bare table defaults to its first theme); ``?k=`` forces
-        the cluster count.  Runs on the worker pool.
+        the cluster count.  ``count_mode`` is the degradation override
+        (load shedding serves ``"approximate"``).  Runs on the worker
+        pool.
         """
         columns, theme, k = self._map_request_params(table, request)
         if columns is None:
@@ -728,7 +891,9 @@ class BlaeuService:
                     404,
                 )
         try:
-            data_map = self._engine.map(table, columns, k=k)
+            data_map = self._engine.map(
+                table, columns, k=k, count_mode=count_mode
+            )
         except MapBuildError as error:
             return json_response(
                 {
@@ -747,14 +912,15 @@ class BlaeuService:
                 },
                 404,
             )
-        return json_response(
-            {
-                "ok": True,
-                "table": table,
-                "columns": list(columns),
-                "map": data_map.to_dict(),
-            }
-        )
+        payload: dict[str, object] = {
+            "ok": True,
+            "table": table,
+            "columns": list(columns),
+            "map": data_map.to_dict(),
+        }
+        if count_mode is not None:
+            payload["degraded"] = True
+        return json_response(payload)
 
     def _map_request_params(
         self, table: str, request: HttpRequest
@@ -944,8 +1110,8 @@ class BlaeuService:
         cache = self.cache_stats()
         pool = self._pool.stats()
         payload: dict[str, object] = {
-            "ok": True,
-            "status": "healthy",
+            "ok": not self._stopping,
+            "status": "draining" if self._stopping else "healthy",
             "uptime_seconds": round(uptime, 3),
             "tables": len(self._engine.tables()),
             "sessions": len(self._manager.session_ids()),
@@ -1023,6 +1189,14 @@ class BlaeuService:
         self._metrics.set_gauge(
             "blaeu_pool_background_in_flight", pool.background_in_flight
         )
+        self._metrics.set_gauge(
+            "blaeu_resilience_pool_deadline_shed_total", pool.deadline_shed
+        )
+        if self._breaker is not None:
+            self._metrics.set_gauge(
+                "blaeu_resilience_breaker_state",
+                STATE_CODES[self._breaker.state],
+            )
         if self._prefetcher is not None:
             guide = self._prefetcher.stats()
             self._metrics.set_gauge(
@@ -1079,6 +1253,7 @@ class BlaeuService:
             return json_response(
                 {"ok": False, "error": str(error), "code": "pool_saturated"},
                 503,
+                headers={"Retry-After": "1"},
             )
         if isinstance(result, Response):
             payload: dict[str, object] = {"ok": True, **result.payload}
@@ -1162,18 +1337,31 @@ class BlaeuService:
         background pass.
         """
         clean = False
+        # The task context was copied from the originating request, so
+        # drop its deadline — the foreground budget must not cancel a
+        # pass that outlives the response.  Each pool submission instead
+        # runs under its own background budget so a wedged refinement
+        # can never pin a worker thread indefinitely.
+        clear_deadline()
+        background_budget = self._config.resilience.background_deadline
         with self._tracer.span("refine.session") as span:
             if span.enabled:
                 span.set("session", session_id)
             try:
                 while True:
                     try:
-                        refined = await self._pool.run(
-                            self._manager.refine_session, session_id
-                        )
+                        with deadline_scope(background_budget):
+                            refined = await self._pool.run(
+                                self._manager.refine_session, session_id
+                            )
                     except PoolSaturatedError:
                         await asyncio.sleep(0.05)
                         continue
+                    except DeadlineExceeded:
+                        self._metrics.increment(
+                            "blaeu_resilience_background_deadline_total"
+                        )
+                        return
                     except RuntimeError as error:
                         if "worker pool is shut down" in str(error):
                             return  # service stopping; nothing to record

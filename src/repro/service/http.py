@@ -46,8 +46,10 @@ REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Status → default machine-readable error code (every error body the
@@ -58,8 +60,10 @@ ERROR_CODES = {
     405: "method_not_allowed",
     408: "request_timeout",
     413: "payload_too_large",
+    429: "throttled",
     500: "internal",
     503: "unavailable",
+    504: "deadline_exceeded",
 }
 
 
@@ -71,11 +75,18 @@ class HttpError(Exception):
     even when the raising site only knows the status.
     """
 
-    def __init__(self, status: int, message: str, code: str | None = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: str | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.code = code or ERROR_CODES.get(status, "error")
+        self.headers = headers or {}
 
 
 @dataclass(frozen=True)
@@ -126,11 +137,13 @@ class HttpResponse:
 
 
 def json_response(
-    payload: dict[str, object], status: int = 200
+    payload: dict[str, object],
+    status: int = 200,
+    headers: dict[str, str] | None = None,
 ) -> HttpResponse:
     """A JSON response from a payload dictionary."""
     body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
-    return HttpResponse(status=status, body=body)
+    return HttpResponse(status=status, body=body, headers=headers or {})
 
 
 def redirect_response(location: str, status: int = 307) -> HttpResponse:
@@ -184,6 +197,7 @@ class HttpServer:
         self._read_timeout = read_timeout
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task[None]] = set()
+        self._active_requests = 0
 
     @property
     def host(self) -> str:
@@ -209,6 +223,31 @@ class HttpServer:
         if self._server is None:
             raise RuntimeError("server not started")
         await self._server.serve_forever()
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently inside the handler (not idle keep-alives)."""
+        return self._active_requests
+
+    async def drain(self, timeout: float) -> bool:
+        """Stop accepting and wait for in-flight *requests* to finish.
+
+        Idle keep-alive connections do not count — only requests inside
+        the handler.  Returns True when the server drained cleanly
+        within ``timeout``, False when requests were still running (the
+        caller will cancel them via :meth:`stop`).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + max(timeout, 0.0)
+        while self._active_requests > 0:
+            if loop.time() >= give_up:
+                return False
+            await asyncio.sleep(0.02)
+        return True
 
     async def stop(self) -> None:
         """Stop accepting, cancel open connections, wait for them."""
@@ -259,7 +298,11 @@ class HttpServer:
                     != "close"
                 )
                 try:
-                    response = await self._handler(request)
+                    self._active_requests += 1
+                    try:
+                        response = await self._handler(request)
+                    finally:
+                        self._active_requests -= 1
                 except HttpError as error:
                     response = json_response(
                         {
@@ -268,6 +311,7 @@ class HttpServer:
                             "code": error.code,
                         },
                         error.status,
+                        headers=error.headers,
                     )
                 except asyncio.CancelledError:
                     raise

@@ -19,6 +19,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
+from repro.resilience.deadline import DeadlineExceeded, current_deadline
+
 __all__ = ["PoolSaturatedError", "PoolStats", "WorkerPool"]
 
 T = TypeVar("T")
@@ -41,6 +43,7 @@ class PoolStats:
     background_in_flight: int = 0
     background_completed: int = 0
     background_rejected: int = 0
+    deadline_shed: int = 0
 
 
 class WorkerPool:
@@ -73,6 +76,7 @@ class WorkerPool:
         self._background_in_flight = 0
         self._background_completed = 0
         self._background_rejected = 0
+        self._deadline_shed = 0
         self._closed = False
 
     async def run(
@@ -93,6 +97,22 @@ class WorkerPool:
         headroom between ``workers`` and ``max_pending`` that foreground
         bursts rely on.
         """
+        # Shed before queueing: a request whose deadline already passed
+        # (or would pass while it waits behind a full complement of
+        # running jobs) gains nothing from a pool slot.  Background jobs
+        # are exempt — they install their own deadline on the worker
+        # thread and must not be judged by an inherited foreground one.
+        if not background:
+            deadline = current_deadline()
+            if deadline is not None and deadline.expired():
+                with self._lock:
+                    self._deadline_shed += 1
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.budget:.3f}s expired before "
+                    "the job reached the pool",
+                    stage="pool.admit",
+                    budget=deadline.budget,
+                )
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is shut down")
@@ -152,6 +172,7 @@ class WorkerPool:
                 background_in_flight=self._background_in_flight,
                 background_completed=self._background_completed,
                 background_rejected=self._background_rejected,
+                deadline_shed=self._deadline_shed,
             )
 
     def shutdown(self, wait: bool = True) -> None:

@@ -80,13 +80,28 @@ class HashRing:
 
     def owner(self, key: str) -> int:
         """The slot owning ``key`` (clockwise successor on the ring)."""
+        return self.owners(key, 1)[0]
+
+    def owners(self, key: str, count: int) -> list[int]:
+        """Up to ``count`` distinct slots for ``key``, preference order.
+
+        The first entry is the owner; the rest are the clockwise
+        successors — the failover targets a proxy tries when the owner
+        is down.  Walking the ring (instead of re-hashing) keeps the
+        fallback assignment as stable as the primary one.
+        """
         if not self._points:
             raise LookupError("hash ring has no slots")
         point = _point(f"key:{key}")
         index = bisect.bisect_right(self._points, point)
-        if index == len(self._points):
-            index = 0
-        return self._owners[self._points[index]]
+        preference: list[int] = []
+        for step in range(len(self._points)):
+            slot = self._owners[self._points[(index + step) % len(self._points)]]
+            if slot not in preference:
+                preference.append(slot)
+                if len(preference) >= count:
+                    break
+        return preference
 
     def __len__(self) -> int:
         return len(self._slots)

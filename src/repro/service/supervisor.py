@@ -35,6 +35,7 @@ import asyncio
 import contextlib
 import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -44,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from urllib.parse import urlencode
 
+from repro.resilience.retry import RetryBudget, jittered_backoff
 from repro.service.http import (
     HttpError,
     HttpRequest,
@@ -75,6 +77,13 @@ class WorkerProcess:
     generation: int = 0
     restarts: int = 0
     port_file: Path = field(default=Path("."))
+    #: Set while the slot is being drained for a graceful restart; the
+    #: proxy refuses to route to a draining slot (failover handles it).
+    draining: bool = False
+    #: Requests currently proxied to this worker.
+    in_flight: int = 0
+    #: Consecutive failed health probes (reset on success).
+    health_fails: int = 0
 
     @property
     def alive(self) -> bool:
@@ -155,6 +164,19 @@ class Supervisor:
         Where port files live; a temp directory by default.
     spawn_timeout:
         Seconds to wait for a worker to announce its port.
+    drain_timeout:
+        Seconds a draining slot may finish in-flight requests before a
+        graceful restart terminates it.
+    health_interval / health_timeout / health_fail_threshold:
+        Active health checks: every ``health_interval`` seconds each
+        worker gets a ``/healthz`` probe bounded by ``health_timeout``;
+        ``health_fail_threshold`` consecutive failures mark a
+        hung-but-alive worker (process up, socket wedged) for a
+        hard respawn.
+    retry_ratio:
+        Retry-budget deposit per first attempt (see
+        :class:`~repro.resilience.retry.RetryBudget`) — retries are
+        capped at roughly this fraction of live traffic.
     """
 
     def __init__(
@@ -166,6 +188,11 @@ class Supervisor:
         read_timeout: float = 30.0,
         state_dir: str | Path | None = None,
         spawn_timeout: float = 60.0,
+        drain_timeout: float = 5.0,
+        health_interval: float = 1.0,
+        health_timeout: float = 2.0,
+        health_fail_threshold: int = 2,
+        retry_ratio: float = 0.2,
     ) -> None:
         if n_workers < 2:
             raise ValueError("a supervisor needs at least 2 workers")
@@ -192,6 +219,20 @@ class Supervisor:
         self._monitor_task: asyncio.Task | None = None
         self._stopping = False
         self._started_at: float | None = None
+        self._drain_timeout = drain_timeout
+        self._health_interval = health_interval
+        self._health_timeout = health_timeout
+        self._health_fail_threshold = health_fail_threshold
+        self._retry_budget = RetryBudget(ratio=retry_ratio, burst=10.0)
+        # Seeded jitter: retry timing is reproducible run over run (the
+        # chaos bench depends on it), while still decorrelating retries
+        # within a run.
+        self._retry_rng = random.Random(0xB1AE)
+        self._retries = 0
+        self._retry_successes = 0
+        self._failovers = 0
+        self._retry_exhausted = 0
+        self._unhealthy_restarts = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -275,15 +316,26 @@ class Supervisor:
     async def restart(self, slot: int) -> None:
         """Gracefully restart one worker (warm restart via the disk tier).
 
-        The old process gets SIGTERM (drains in-flight work), the
-        replacement reoccupies the same slot — so the ring still sends
-        it the same tables, whose artifacts it now finds on disk.
+        The slot is first marked *draining*: the proxy stops routing to
+        it (idempotent requests fail over on the ring) while in-flight
+        requests get up to ``drain_timeout`` seconds to finish.  Only
+        then does the old process get SIGTERM — under which the worker
+        itself drains — and the replacement reoccupies the same slot,
+        so the ring still sends it the same tables, whose artifacts it
+        now finds on disk.
         """
         worker = self._worker(slot)
-        self._terminate(worker)
-        worker.restarts += 1
-        self._spawn(worker)
-        await self._await_port(worker)
+        worker.draining = True
+        try:
+            give_up = time.monotonic() + self._drain_timeout
+            while worker.in_flight > 0 and time.monotonic() < give_up:
+                await asyncio.sleep(0.05)
+            self._terminate(worker)
+            worker.restarts += 1
+            self._spawn(worker)
+            await self._await_port(worker)
+        finally:
+            worker.draining = False
 
     # ------------------------------------------------------------------
     # Worker management
@@ -358,17 +410,94 @@ class Supervisor:
         worker.process = None
         worker.port = None
 
+    def _kill(self, worker: WorkerProcess) -> None:
+        """Hard-stop a hung worker (SIGTERM would never be serviced)."""
+        process = worker.process
+        if process is not None and process.poll() is None:
+            with contextlib.suppress(OSError):
+                process.kill()
+            with contextlib.suppress(subprocess.TimeoutExpired):
+                process.wait(timeout=10)
+        worker.process = None
+        worker.port = None
+
     async def _monitor(self) -> None:
-        """Respawn dead workers into their slots (ring stays stable)."""
+        """Respawn dead workers into their slots (ring stays stable).
+
+        Besides watching for process exit, the monitor actively probes
+        each worker's ``/healthz`` every ``health_interval`` seconds: a
+        worker whose process is up but whose socket is wedged (hung
+        event loop, stopped process) fails probes, and after
+        ``health_fail_threshold`` consecutive failures is killed and
+        respawned — liveness is "answers requests", not "has a pid".
+        """
+        last_probe = time.monotonic()
         while True:
             await asyncio.sleep(0.25)
-            for worker in self._workers:
-                if self._stopping or worker.alive or worker.process is None:
-                    continue
+            dead = [
+                worker
+                for worker in self._workers
+                if not (
+                    self._stopping
+                    or worker.draining
+                    or worker.alive
+                    or worker.process is None
+                )
+            ]
+            # Spawn every dead slot before awaiting any port: when a
+            # fault takes several workers at once, serial respawns
+            # would leave the later slots down for the sum of all the
+            # earlier boots.
+            for worker in dead:
                 worker.restarts += 1
                 self._spawn(worker)
+
+            async def _absorb(worker: WorkerProcess) -> None:
                 with contextlib.suppress(SupervisorError):
                     await self._await_port(worker)
+
+            if dead:
+                await asyncio.gather(*(_absorb(worker) for worker in dead))
+            now = time.monotonic()
+            if now - last_probe >= self._health_interval:
+                last_probe = now
+                await self._probe_health()
+
+    async def _probe_health(self) -> None:
+        for worker in self._workers:
+            if (
+                self._stopping
+                or worker.draining
+                or not worker.alive
+                or worker.port is None
+            ):
+                continue
+            try:
+                response = await asyncio.wait_for(
+                    self._request_worker(worker, "GET", "/healthz"),
+                    timeout=self._health_timeout,
+                )
+                ok = response.status == 200
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ):
+                ok = False
+            if ok:
+                worker.health_fails = 0
+                continue
+            worker.health_fails += 1
+            if worker.health_fails < self._health_fail_threshold:
+                continue
+            self._unhealthy_restarts += 1
+            worker.health_fails = 0
+            worker.restarts += 1
+            self._kill(worker)
+            self._spawn(worker)
+            with contextlib.suppress(SupervisorError):
+                await self._await_port(worker)
 
     # ------------------------------------------------------------------
     # Routing
@@ -425,25 +554,31 @@ class Supervisor:
                     "restarts": worker.restarts,
                 }
             )
-        slot = self._slot_for(request, path)
-        return await self._forward(slot, request)
+        return await self._forward_resilient(
+            self._slots_for(request, path), request
+        )
 
     def _slot_for(self, request: HttpRequest, path: str) -> int:
         """The worker slot owning this request's content identity."""
+        return self._slots_for(request, path)[0]
+
+    def _slots_for(self, request: HttpRequest, path: str) -> list[int]:
+        """Preference-ordered slots: the owner, then its ring successor
+        (the failover target for idempotent requests)."""
         if path.startswith("/v1/tables/"):
             ref = path[len("/v1/tables/") :].split("/", 1)[0]
-            return self._ring.owner(f"table:{self._fingerprint(ref)}")
+            return self._ring.owners(f"table:{self._fingerprint(ref)}", 2)
         body: dict[str, object] = {}
         if request.body:
             with contextlib.suppress(HttpError):
                 body = request.json()
         session = body.get("session")
         if isinstance(session, str) and session:
-            return self._ring.owner(f"session:{session}")
+            return self._ring.owners(f"session:{session}", 2)
         table = body.get("table")
         if isinstance(table, str) and table:
-            return self._ring.owner(f"table:{self._fingerprint(table)}")
-        return self._ring.owner(f"path:{path}")
+            return self._ring.owners(f"table:{self._fingerprint(table)}", 2)
+        return self._ring.owners(f"path:{path}", 2)
 
     def _fingerprint(self, ref: str) -> str:
         """Resolve a table name to its content fingerprint (best effort).
@@ -480,6 +615,153 @@ class Supervisor:
     # Proxying
     # ------------------------------------------------------------------
 
+    async def _forward_resilient(
+        self, slots: list[int], request: HttpRequest
+    ) -> HttpResponse:
+        """Forward with retry + failover for idempotent requests.
+
+        The owner slot is tried first.  When the exchange fails at the
+        transport level (worker died mid-request, connection refused),
+        an idempotent request — GET/HEAD; these either hit caches or
+        recompute deterministically — is retried once against the owner
+        (it may have respawned) with jittered backoff, then failed over
+        to the ring's next slot.  Non-idempotent requests (sticky
+        session commands) are never replayed; the client gets a 503
+        with ``Retry-After``.
+
+        A retry *budget* (token bucket fed by first attempts) caps
+        retry volume at a fraction of live traffic so a fleet-wide
+        outage degrades to fast 503s instead of a retry storm.
+        """
+        deadline_header = request.headers.get("x-blaeu-deadline")
+        give_up: float | None = None
+        if deadline_header is not None:
+            with contextlib.suppress(ValueError):
+                give_up = time.monotonic() + float(deadline_header)
+        idempotent = request.method in ("GET", "HEAD")
+        # Four attempts ride out a double failure (both candidate slots
+        # lost mid-exchange in the same window): the later attempts land
+        # on respawned processes.  Non-idempotent requests get exactly
+        # one delivery.
+        max_attempts = 4 if idempotent else 1
+        self._retry_budget.record_request()
+        last_error: Exception | None = None
+        tried: list[int] = []
+        for attempt in range(max_attempts):
+            # Routability is re-evaluated per attempt: a slot that died
+            # mid-loop is skipped, and a slot the monitor just respawned
+            # becomes eligible again.  Known-dead slots never consume
+            # the retry budget — only genuine mid-request failures do.
+            # When every candidate is down at once, wait for the monitor
+            # to respawn one (a worker boot, not an outage, is the
+            # common cause) instead of failing fast against dead ports.
+            await self._await_any_up(slots, give_up)
+            slot = self._choose_slot(slots, tried)
+            tried.append(slot)
+            if attempt > 0:
+                # A retry against a port nobody listens on costs the
+                # fleet nothing, so connection-refused failures don't
+                # charge the budget; only mid-exchange failures (the
+                # worker took the request and died) do — those are the
+                # ones a storm would amplify.
+                charged = not isinstance(last_error, ConnectionRefusedError)
+                if charged and not self._retry_budget.try_spend():
+                    self._retry_exhausted += 1
+                    break
+                delay = jittered_backoff(
+                    attempt - 1, base=0.05, rng=self._retry_rng
+                )
+                if give_up is not None and (
+                    time.monotonic() + delay >= give_up
+                ):
+                    break
+                await asyncio.sleep(delay)
+                self._retries += 1
+                if slot != slots[0]:
+                    self._failovers += 1
+            try:
+                response = await self._forward(slot, request)
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ) as error:
+                if os.environ.get("BLAEU_PROXY_DEBUG"):
+                    print(
+                        f"proxy-debug t={time.monotonic():.3f} "
+                        f"target={self._target(request)} attempt={attempt} "
+                        f"slot={slot} tried={tried} err={error!r} workers="
+                        f"{[(w.slot, w.port, w.alive) for w in self._workers]}",
+                        file=sys.stderr,
+                    )
+                last_error = error
+                continue
+            if attempt > 0:
+                self._retry_successes += 1
+            return response
+        if give_up is not None and time.monotonic() >= give_up:
+            raise HttpError(
+                504,
+                f"deadline exhausted retrying a failed worker: {last_error}",
+                "deadline_exceeded",
+            )
+        raise HttpError(
+            503,
+            f"worker unavailable: {last_error}",
+            "unavailable",
+            headers={"Retry-After": "1"},
+        )
+
+    def _routable(self, slot: int) -> bool:
+        """Whether a slot is believed able to answer right now."""
+        worker = self._workers[slot]
+        return (
+            not worker.draining and worker.port is not None and worker.alive
+        )
+
+    def _booting(self, slot: int) -> bool:
+        """Whether a slot is alive but still announcing its port."""
+        worker = self._workers[slot]
+        return not worker.draining and worker.port is None and worker.alive
+
+    def _choose_slot(self, preference: list[int], tried: list[int]) -> int:
+        """The next slot to try: routable first, then booting, untried
+        before retried.
+
+        A booting slot (respawned process, port not yet announced)
+        outranks a dead one — :meth:`_forward` waits out the boot, so
+        the request lands slow instead of failing fast.  The raw
+        preference order is the last resort when the whole candidate
+        set is down.
+        """
+        routable = [slot for slot in preference if self._routable(slot)]
+        booting = [slot for slot in preference if self._booting(slot)]
+        pool = (routable + booting) or preference
+        for slot in pool:
+            if slot not in tried:
+                return slot
+        return pool[0]
+
+    async def _await_any_up(
+        self, preference: list[int], give_up: float | None
+    ) -> None:
+        """Wait until some candidate slot is routable or booting.
+
+        Bounded by the request deadline and by ``spawn_timeout`` (the
+        time a respawn is entitled to) — on expiry the caller proceeds
+        and takes the connection error.
+        """
+        cap = time.monotonic() + self._spawn_timeout
+        if give_up is not None:
+            cap = min(cap, give_up)
+        while time.monotonic() < cap:
+            if any(
+                self._routable(slot) or self._booting(slot)
+                for slot in preference
+            ):
+                return
+            await asyncio.sleep(0.05)
+
     async def _forward(
         self, slot: int, request: HttpRequest
     ) -> HttpResponse:
@@ -487,15 +769,24 @@ class Supervisor:
             await self._refresh_catalog()
             slot = self._slot_for(request, request.path.rstrip("/") or "/")
         worker = self._worker(slot)
+        if worker.draining:
+            raise ConnectionError(f"worker {slot} is draining")
         if worker.port is None:
-            await self._await_port(worker)
-        response = await self._request_worker(
-            worker,
-            request.method,
-            self._target(request),
-            headers=request.headers,
-            body=request.body,
-        )
+            try:
+                await self._await_port(worker)
+            except SupervisorError as error:
+                raise ConnectionError(str(error)) from error
+        worker.in_flight += 1
+        try:
+            response = await self._request_worker(
+                worker,
+                request.method,
+                self._target(request),
+                headers=request.headers,
+                body=request.body,
+            )
+        finally:
+            worker.in_flight -= 1
         response.headers["X-Blaeu-Worker"] = str(slot)
         return response
 
@@ -645,6 +936,24 @@ class Supervisor:
         )
         extra.append("# TYPE blaeu_supervisor_workers gauge")
         extra.append(f"blaeu_supervisor_workers {self._n_workers}")
+        for name, value in (
+            ("blaeu_resilience_proxy_retries_total", self._retries),
+            (
+                "blaeu_resilience_proxy_retry_successes_total",
+                self._retry_successes,
+            ),
+            ("blaeu_resilience_proxy_failovers_total", self._failovers),
+            (
+                "blaeu_resilience_proxy_retry_exhausted_total",
+                self._retry_exhausted,
+            ),
+            (
+                "blaeu_resilience_unhealthy_restarts_total",
+                self._unhealthy_restarts,
+            ),
+        ):
+            extra.append(f"# TYPE {name} counter")
+            extra.append(f"{name} {value}")
         return text_response(merge_metrics(bodies, extra))
 
     async def _handle_traces(self, request: HttpRequest) -> HttpResponse:
@@ -689,6 +998,7 @@ class Supervisor:
                         ),
                         "generation": worker.generation,
                         "restarts": worker.restarts,
+                        "draining": worker.draining,
                     }
                     for worker in self._workers
                 ],

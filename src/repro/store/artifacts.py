@@ -46,6 +46,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import corrupt_bytes, fault_point
 from repro.store.codec import ArtifactCorruptError, CodecError, decode, encode
 
 try:  # pragma: no cover - platform probe
@@ -97,6 +99,12 @@ class ArtifactCache:
         Size budget; writers evict LRU entries beyond it.
     clock:
         Injectable time source (tests).
+    breaker:
+        Optional circuit breaker guarding the disk.  Consecutive IO
+        errors (or slow reads, when the breaker has a latency
+        threshold) trip it open, after which ``get``/``put``
+        short-circuit to a miss — the tiered cache above serves L1 or
+        recomputes instead of hammering a sick disk.
     """
 
     def __init__(
@@ -104,12 +112,14 @@ class ArtifactCache:
         root: str | Path,
         max_bytes: int = DEFAULT_MAX_BYTES,
         clock: Callable[[], float] = time.time,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
         self._root = Path(root)
         self._max_bytes = int(max_bytes)
         self._clock = clock
+        self._breaker = breaker
         self._mutex = threading.Lock()  # guards the counters only
         self._hits = 0
         self._misses = 0
@@ -158,16 +168,25 @@ class ArtifactCache:
 
     def get(self, key: object) -> object | None:
         """The decoded artifact, or ``None`` (absent or quarantined)."""
+        if self._breaker is not None and not self._breaker.allow():
+            self._bump("_misses")
+            return None
         name = _key_hash(key)
         path = self._object_path(name)
+        started = time.monotonic()
         try:
+            fault_point("store.artifact.read")
             blob = path.read_bytes()
         except FileNotFoundError:
+            # Absence is a normal miss, not a disk fault.
+            self._record_breaker(ok=True, started=started)
             self._bump("_misses")
             return None
         except OSError:
+            self._record_breaker(ok=False, started=started)
             self._bump("_misses")
             return None
+        self._record_breaker(ok=True, started=started)
         try:
             value = decode(blob)
         except (ArtifactCorruptError, CodecError, ValueError) as error:
@@ -185,15 +204,25 @@ class ArtifactCache:
         fragile than the memory tier it backs — the caller (the tiered
         cache) treats ``False`` as "memory-only entry".
         """
+        if self._breaker is not None and not self._breaker.allow():
+            self._bump("_write_errors")
+            return False
         try:
             blob = encode(value)
         except CodecError:
             self._bump("_write_errors")
             return False
+        # A "torn" fault truncates the published bytes: the atomic
+        # rename still happens, but the payload fails its checksum on
+        # read and lands in quarantine — exactly the damage class the
+        # codec exists to catch.
+        blob = corrupt_bytes("store.artifact.write", blob)
         name = _key_hash(key)
         path = self._object_path(name)
         tmp = self._root / "tmp" / f"{name}.{os.getpid()}.{threading.get_ident()}"
+        started = time.monotonic()
         try:
+            fault_point("store.artifact.write")
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
                 handle.write(blob)
@@ -202,10 +231,12 @@ class ArtifactCache:
             with self.lock(key):
                 os.replace(tmp, path)
         except OSError:
+            self._record_breaker(ok=False, started=started)
             self._bump("_write_errors")
             with contextlib.suppress(OSError):
                 tmp.unlink()
             return False
+        self._record_breaker(ok=True, started=started)
         self._bump("_writes")
         self._record(name, key, len(blob))
         return True
@@ -248,6 +279,14 @@ class ArtifactCache:
     def _object_path(self, name: str) -> Path:
         return self._root / "objects" / name[:2] / f"{name}{_SUFFIX}"
 
+    def _record_breaker(self, *, ok: bool, started: float) -> None:
+        if self._breaker is None:
+            return
+        if ok:
+            self._breaker.record_success(time.monotonic() - started)
+        else:
+            self._breaker.record_failure()
+
     def _bump(self, counter: str) -> None:
         with self._mutex:
             setattr(self, counter, getattr(self, counter) + 1)
@@ -283,18 +322,20 @@ class ArtifactCache:
         return index if isinstance(index, dict) else {}
 
     def _write_index(self, index: dict[str, dict[str, object]]) -> None:
+        fault_point("store.artifact.index")
+        payload = json.dumps(index, sort_keys=True, separators=(",", ":"))
+        blob = corrupt_bytes("store.artifact.index", payload.encode("utf-8"))
         tmp = self._root / "tmp" / f"index.{os.getpid()}.{threading.get_ident()}"
-        tmp.write_text(
-            json.dumps(index, sort_keys=True, separators=(",", ":")),
-            encoding="utf-8",
-        )
+        tmp.write_bytes(blob)
         os.replace(tmp, self._root / "index.json")
 
     def _record(self, name: str, key: object, nbytes: int) -> None:
         """Index a fresh write, then shed LRU entries beyond the budget."""
         now = self._clock()
         evicted: list[str] = []
-        with self._index_lock():
+        # The index is a rebuildable accessory: an IO failure updating
+        # it must not fail the put whose object file already published.
+        with contextlib.suppress(OSError), self._index_lock():
             index = self._read_index()
             entry = index.get(name, {})
             index[name] = {
@@ -339,7 +380,7 @@ class ArtifactCache:
         target = self._root / "quarantine" / f"{name}{_SUFFIX}"
         with contextlib.suppress(OSError):
             os.replace(path, target)
-        with self._index_lock():
+        with contextlib.suppress(OSError), self._index_lock():
             index = self._read_index()
             if index.pop(name, None) is not None:
                 self._write_index(index)

@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.resilience.deadline import checkpoint
+from repro.resilience.faults import fault_point
 
 from repro.store.format import (
     CODES_DTYPE,
@@ -316,6 +318,11 @@ class StoredTable:
             raise ValueError(f"chunk_rows must be positive, got {step}")
         metrics = get_metrics()
         for start in range(0, self.n_rows, step):
+            # Per-chunk deadline checkpoint + chaos hook: scans over
+            # millions of rows abort within one chunk of an expired
+            # budget, and the fault harness can fail or slow each read.
+            checkpoint("store.chunk")
+            fault_point("store.read")
             stop = min(start + step, self.n_rows)
             chunk_columns = [
                 self._read_column_chunk(name, start, stop) for name in names

@@ -2,6 +2,7 @@
 
 import asyncio
 import threading
+import time
 
 import pytest
 
@@ -272,3 +273,63 @@ class TestSchedulerWarmsSharedCache:
         before = builder.stats()["map_cache_hits"]
         explorer.zoom(suggestions[0].target)
         assert builder.stats()["map_cache_hits"] == before + 1
+
+
+class TestSchedulerDeadline:
+    def test_overrunning_builds_are_counted_not_raised(self):
+        from repro.resilience.deadline import checkpoint
+
+        pool = WorkerPool(workers=2, max_pending=4)
+        done = []
+
+        def overruns():
+            # The scheduler's per-job budget (1µs here) is spent by the
+            # time the build's first checkpoint runs.
+            time.sleep(0.01)
+            checkpoint("prefetch.test")
+            done.append(True)
+
+        async def main():
+            scheduler = PrefetchScheduler(
+                pool, top_n=1, jobs=1, deadline=0.000001
+            )
+            scheduler.speculate("t", actions_of(overruns))
+            await scheduler.drain()
+            return scheduler.stats()
+
+        stats = run(main())
+        pool.shutdown()
+        assert done == []
+        assert stats["deadline_exceeded"] == 1
+        assert stats["completed"] == 0
+        assert pool.stats().in_flight == 0  # the slot was released
+
+    def test_roomy_budget_lets_builds_finish(self):
+        from repro.resilience.deadline import checkpoint
+
+        pool = WorkerPool(workers=2, max_pending=4)
+        done = []
+
+        async def main():
+            scheduler = PrefetchScheduler(
+                pool, top_n=1, jobs=1, deadline=30.0
+            )
+            scheduler.speculate(
+                "t",
+                actions_of(
+                    lambda: (checkpoint("prefetch.test"), done.append(True))
+                ),
+            )
+            await scheduler.drain()
+            return scheduler.stats()
+
+        stats = run(main())
+        pool.shutdown()
+        assert done == [True]
+        assert stats["deadline_exceeded"] == 0
+
+    def test_rejects_nonpositive_deadline(self):
+        pool = WorkerPool(workers=1, max_pending=2)
+        with pytest.raises(ValueError, match="deadline"):
+            PrefetchScheduler(pool, deadline=0.0)
+        pool.shutdown()

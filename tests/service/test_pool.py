@@ -197,3 +197,68 @@ class TestShutdown:
 
         run(main())
         assert finished == [True]
+
+
+class TestDeadlineShedding:
+    def test_expired_deadline_sheds_before_queueing(self):
+        from repro.resilience.deadline import (
+            Deadline,
+            DeadlineExceeded,
+            reset_deadline,
+            set_deadline,
+        )
+
+        pool = WorkerPool(workers=1, max_pending=2)
+        ran = []
+
+        async def main():
+            # expires_at=0.0 is always in the past on the monotonic
+            # clock: admission must shed without burning a worker slot.
+            token = set_deadline(Deadline(expires_at=0.0, budget=0.25))
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await pool.run(lambda: ran.append(True))
+            finally:
+                reset_deadline(token)
+
+        run(main())
+        stats = pool.stats()
+        assert ran == []
+        assert stats.deadline_shed == 1
+        assert stats.completed == 0
+        pool.shutdown()
+
+    def test_deadline_rides_into_the_worker_thread(self):
+        from repro.resilience.deadline import current_deadline, deadline_scope
+
+        pool = WorkerPool(workers=1, max_pending=2)
+
+        async def main():
+            with deadline_scope(30.0):
+                return await pool.run(current_deadline)
+
+        seen = run(main())
+        pool.shutdown()
+        assert seen is not None and seen.budget == 30.0
+
+    def test_background_jobs_are_exempt_from_the_request_budget(self):
+        from repro.resilience.deadline import (
+            Deadline,
+            reset_deadline,
+            set_deadline,
+        )
+
+        pool = WorkerPool(workers=2, max_pending=4)
+
+        async def main():
+            # Speculative work installs its own budget on the worker;
+            # the caller's spent deadline must not shed it at admission.
+            token = set_deadline(Deadline(expires_at=0.0, budget=0.25))
+            try:
+                return await pool.run(lambda: "ran", background=True)
+            finally:
+                reset_deadline(token)
+
+        assert run(main()) == "ran"
+        assert pool.stats().deadline_shed == 0
+        pool.shutdown()

@@ -58,6 +58,29 @@ class TestHashRing:
         ring.remove(5)  # idempotent
         assert ring.slots == (0, 1)
 
+    def test_owners_lists_distinct_failover_targets_in_order(self):
+        ring = HashRing(range(4))
+        for key in _keys(100):
+            preference = ring.owners(key, 2)
+            assert preference[0] == ring.owner(key)
+            assert len(preference) == 2
+            assert len(set(preference)) == 2
+
+    def test_owners_failover_is_stable_under_unrelated_churn(self):
+        # The proxy's fallback slot must not reshuffle when some other
+        # slot leaves the ring — only keys owned by the leaver move.
+        keys = _keys(300)
+        ring = HashRing(range(4))
+        before = {key: ring.owners(key, 2) for key in keys}
+        ring.remove(3)
+        for key in keys:
+            if 3 not in before[key]:
+                assert ring.owners(key, 2) == before[key]
+
+    def test_owners_clamps_at_the_fleet_size(self):
+        ring = HashRing(range(2))
+        assert sorted(ring.owners("k", 5)) == [0, 1]
+
     def test_empty_ring_refuses_to_route(self):
         ring = HashRing([])
         with pytest.raises(LookupError):

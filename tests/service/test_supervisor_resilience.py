@@ -1,0 +1,209 @@
+"""Chaos tests: the supervisor fleet under injected worker faults.
+
+Both tests boot the real ``python -m repro serve --workers 2`` stack
+with a ``BLAEU_FAULTS`` cocktail armed in the environment — the same
+deterministic injectors the chaos benchmark uses — and assert the
+client-visible contract: requests keep succeeding while workers are
+killed or wedged underneath them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+CSV = """name,x,y,group
+a,1.0,2.0,red
+b,1.1,2.1,red
+c,1.2,1.9,red
+d,8.0,9.0,blue
+e,8.1,9.2,blue
+f,7.9,8.8,blue
+g,1.05,2.05,red
+h,8.05,9.05,blue
+i,1.15,1.95,red
+j,7.95,9.1,blue
+k,1.08,2.02,red
+l,8.02,8.95,blue
+"""
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "points.csv"
+    path.write_text(CSV)
+    return path
+
+
+def _serve(csv_path: Path, faults: dict) -> subprocess.Popen:
+    env = {
+        **os.environ,
+        "PYTHONPATH": SRC,
+        "BLAEU_FAULTS": json.dumps(faults),
+    }
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--threads",
+            "2",
+            "--cache-size",
+            "16",
+            str(csv_path),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+
+
+def _port_of(process: subprocess.Popen) -> int:
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+    assert match, f"unexpected banner: {line!r}"
+    return int(match.group(1))
+
+
+def _await_healthy(base: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as r:
+                if json.loads(r.read())["ok"]:
+                    return
+        except OSError:
+            time.sleep(0.2)
+    raise AssertionError("fleet never became healthy")
+
+
+def _teardown(process: subprocess.Popen) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=15)
+    except subprocess.TimeoutExpired:  # pragma: no cover
+        process.kill()
+        process.wait(timeout=15)
+
+
+def _metric(text: str, name: str) -> float:
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(name) and " " in line:
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def test_worker_kill_mid_request_is_absorbed_by_retries(csv_path):
+    # Every worker process os._exit(137)s in the middle of its third
+    # routed request — and because respawned processes re-arm the
+    # injector, the kills keep rolling.  The client must never notice:
+    # the proxy retries the idempotent GET against the respawned worker
+    # (or fails over to the ring's other slot).
+    process = _serve(
+        csv_path,
+        {
+            "seed": 11,
+            "faults": [
+                {"site": "worker.request", "mode": "kill", "after": 2, "count": 1}
+            ],
+        },
+    )
+    try:
+        base = f"http://127.0.0.1:{_port_of(process)}"
+        _await_healthy(base)
+
+        for index in range(10):
+            with urllib.request.urlopen(
+                f"{base}/v1/tables/points/map?k={2 + index % 2}", timeout=120
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload["ok"] is True, f"request {index} failed"
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+            metrics = response.read().decode()
+        assert _metric(metrics, "blaeu_resilience_proxy_retries_total") > 0
+        assert (
+            _metric(metrics, "blaeu_resilience_proxy_retry_successes_total")
+            > 0
+        )
+    finally:
+        _teardown(process)
+
+
+def test_hung_worker_is_respawned_by_health_probes(csv_path):
+    # ``hang`` parks the worker's event loop for an hour mid-request: the
+    # process stays alive, so only the supervisor's active /healthz
+    # probes (1s interval, 2 strikes) can notice and respawn it.
+    process = _serve(
+        csv_path,
+        {
+            "seed": 12,
+            "faults": [
+                {
+                    "site": "worker.request",
+                    "mode": "hang",
+                    "after": 1,
+                    "count": 1,
+                    "seconds": 3600,
+                }
+            ],
+        },
+    )
+    try:
+        base = f"http://127.0.0.1:{_port_of(process)}"
+        _await_healthy(base)
+
+        # First routed request is clean; the second wedges its worker.
+        with urllib.request.urlopen(
+            f"{base}/v1/tables/points/map?k=2", timeout=60
+        ) as response:
+            assert json.loads(response.read())["ok"] is True
+        with pytest.raises((urllib.error.URLError, socket.timeout, OSError)):
+            urllib.request.urlopen(
+                f"{base}/v1/tables/points/map?k=2", timeout=3
+            ).read()
+
+        # The probes must detect the wedged-but-alive process and put a
+        # fresh worker in its slot; traffic then flows again.
+        deadline = time.monotonic() + 60.0
+        recovered = False
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    f"{base}/v1/tables/points/map?k=3", timeout=15
+                ) as response:
+                    if json.loads(response.read())["ok"]:
+                        recovered = True
+                        break
+            except OSError:
+                time.sleep(0.5)
+        assert recovered, "fleet never recovered from the hung worker"
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+            metrics = response.read().decode()
+        assert (
+            _metric(metrics, "blaeu_resilience_unhealthy_restarts_total") >= 1
+        )
+    finally:
+        _teardown(process)
