@@ -815,6 +815,61 @@ def run_store(smoke: bool) -> list[BenchResult]:
 
 
 # ----------------------------------------------------------------------
+# partition suite
+# ----------------------------------------------------------------------
+
+
+def run_partition(smoke: bool) -> list[BenchResult]:
+    """The partitioned-store suite: zone-map pruning and parallel scans.
+
+    Wraps ``benchmarks/bench_partition_scan.py``.  The pruned scan and
+    the serial broad scan gate against the baseline; the parallel scan's
+    timing is CPU-count noise on small hosts and travels ungated, as do
+    the prune fraction and bit-identity flags (the script itself asserts
+    the >= 50% prune floor, bit-identity everywhere, and the >= 2x
+    ``scan_jobs=4`` floor on >= 4-CPU hosts).
+    """
+    script = _benchmarks_dir() / "bench_partition_scan.py"
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_partition_scan", script
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    record = module.run_benchmark(smoke=smoke)
+    return [
+        BenchResult(
+            name="partition_scan",
+            params={
+                "n_rows": record["n_rows"],
+                "n_partitions": record["n_partitions"],
+                "chunk_rows": record["chunk_rows"],
+                "appended_rows": record["appended_rows"],
+                "host_cpus": record["host_cpus"],
+            },
+            metrics={
+                "build_seconds": float(record["build_seconds"]),
+                "pruned_scan_seconds": float(record["pruned_scan_seconds"]),
+                "unpruned_scan_seconds": float(
+                    record["unpruned_scan_seconds"]
+                ),
+                "prune_fraction": float(record["prune_fraction"]),
+                "serial_scan_seconds": float(record["serial_scan_seconds"]),
+                "parallel_scan_seconds": float(
+                    record["parallel_scan_seconds"]
+                ),
+                "parallel_speedup": float(record["parallel_speedup"]),
+                "append_seconds": float(record["append_seconds"]),
+                "pruning_identical": float(record["pruning_identical"]),
+                "parallel_identical": float(record["parallel_identical"]),
+            },
+            gated=("pruned_scan_seconds", "serial_scan_seconds"),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
 # graph suite
 # ----------------------------------------------------------------------
 
@@ -1002,6 +1057,7 @@ SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "graph": run_graph,
     "guide": run_guide,
     "mapping": run_mapping,
+    "partition": run_partition,
     "scale": run_scale,
     "service": run_service,
     "store": run_store,

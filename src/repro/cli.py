@@ -12,7 +12,10 @@ Run with::
     python -m repro <data.csv|store-dir> [more …]
     python -m repro --demo hollywood|countries|lofar
     python -m repro ingest <data.csv> <store-dir> [--name N] \
-        [--chunk-rows R] [--delimiter D] [--priority-seed S]
+        [--chunk-rows R] [--delimiter D] [--priority-seed S] \
+        [--partition-rows N] [--scan-jobs N] [--append]
+    python -m repro store repartition <store-dir> \
+        [--partition-rows N] [--scan-jobs N]
     python -m repro serve [--host H] [--port P] [--cache-size N] \
         [--cache-ttl S] [--workers N] [--threads T] [--cache-dir DIR] \
         [--trace] [--access-log] \
@@ -69,6 +72,7 @@ __all__ = [
     "ingest_main",
     "main",
     "serve_main",
+    "store_main",
     "trace_main",
 ]
 
@@ -149,7 +153,14 @@ class BlaeuShell:
             table = self._engine.database.table(name)
             marker = "*" if name == self._table_name else " "
             residency = getattr(table, "residency", "memory")
-            suffix = " [store]" if residency == "store" else ""
+            suffix = ""
+            if residency == "store":
+                n_partitions = len(getattr(table, "partitions", ()))
+                skipped = getattr(table, "partitions_skipped", 0)
+                suffix = f" [store, {n_partitions} partitions"
+                if skipped:
+                    suffix += f", {skipped} pruned"
+                suffix += "]"
             self._print(
                 f" {marker} {name}: {table.n_rows} rows x "
                 f"{table.n_columns} columns{suffix}"
@@ -403,22 +414,118 @@ def ingest_main(argv: list[str]) -> None:
         help="seed of the persisted multi-scale sampling priorities "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--partition-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per zone-mapped partition (default: the format "
+        "default; with --append, the store's current granularity)",
+    )
+    parser.add_argument(
+        "--scan-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the zone-map pass (0 = all cores; "
+        "default: serial)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append the CSV's rows to an existing store at OUT instead "
+        "of creating one (columns must match; the manifest records the "
+        "previous fingerprint and bumps its version)",
+    )
     args = parser.parse_args(argv)
     try:
-        table = ingest_csv(
-            args.csv,
-            args.out,
-            name=args.name,
-            delimiter=args.delimiter,
-            chunk_rows=args.chunk_rows,
-            priority_seed=args.priority_seed,
-        )
+        if args.append:
+            from repro.store.ingest import append_csv
+
+            table = append_csv(
+                args.csv,
+                args.out,
+                delimiter=args.delimiter,
+                chunk_rows=args.chunk_rows,
+                partition_rows=args.partition_rows,
+                scan_jobs=args.scan_jobs,
+            )
+        else:
+            from repro.store.format import DEFAULT_PARTITION_ROWS
+
+            table = ingest_csv(
+                args.csv,
+                args.out,
+                name=args.name,
+                delimiter=args.delimiter,
+                chunk_rows=args.chunk_rows,
+                priority_seed=args.priority_seed,
+                partition_rows=args.partition_rows or DEFAULT_PARTITION_ROWS,
+                scan_jobs=args.scan_jobs,
+            )
     except (OSError, ValueError) as error:
         raise SystemExit(f"ingest failed: {error}") from None
+    verb = "appended; now" if args.append else "ingested"
     print(
-        f"ingested {table.n_rows} rows x {table.n_columns} columns "
-        f"into {args.out} (table {table.name!r}, "
+        f"{verb} {table.n_rows} rows x {table.n_columns} columns "
+        f"in {args.out} (table {table.name!r}, "
+        f"{len(table.partitions)} partitions, "
         f"fingerprint {table.fingerprint()[:12]}…)"
+    )
+
+
+def store_main(argv: list[str]) -> None:
+    """The ``store`` subcommand: maintenance of store directories."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="blaeu store",
+        description="Maintenance commands for columnar store directories.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    repart = sub.add_parser(
+        "repartition",
+        help="rebuild a store's partitions and zone maps (manifest "
+        "only; data files are untouched)",
+        description=(
+            "Derive fresh range partitions with per-column zone maps "
+            "from a store's column files and rewrite its manifest. "
+            "Adds zone maps to stores written before partitioning "
+            "existed, or changes the range size of current ones."
+        ),
+    )
+    repart.add_argument("store", help="store directory (holds manifest.json)")
+    repart.add_argument(
+        "--partition-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per partition (default: keep the store's current "
+        "granularity, or the format default when it has none)",
+    )
+    repart.add_argument(
+        "--scan-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the zone-map pass (0 = all cores; "
+        "default: serial)",
+    )
+    args = parser.parse_args(argv)
+    from repro.store.partitions import repartition
+
+    try:
+        manifest = repartition(
+            args.store,
+            partition_rows=args.partition_rows,
+            scan_jobs=args.scan_jobs,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repartition failed: {error}") from None
+    print(
+        f"repartitioned {args.store}: {manifest.n_rows} rows in "
+        f"{len(manifest.partitions)} partitions "
+        f"(table {manifest.table!r})"
     )
 
 
@@ -611,6 +718,15 @@ def serve_main(argv: list[str]) -> None:
         help="maximum concurrent speculative builds (default %(default)s)",
     )
     parser.add_argument(
+        "--scan-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per store scan (0 = all cores; exported "
+        "as BLAEU_SCAN_JOBS so every service worker's store-backed "
+        "tables fan chunked scans out; default: serial)",
+    )
+    parser.add_argument(
         "--request-deadline",
         type=float,
         default=None,
@@ -649,6 +765,10 @@ def serve_main(argv: list[str]) -> None:
     # Resilience knobs travel as environment variables: the service
     # config folds them in (single-worker mode) and supervisor workers
     # inherit them (multi-worker mode) — one spelling for both.
+    if args.scan_jobs is not None:
+        if args.scan_jobs < 0:
+            parser.error("--scan-jobs must be >= 0")
+        os.environ["BLAEU_SCAN_JOBS"] = str(args.scan_jobs)
     if args.request_deadline is not None:
         if args.request_deadline <= 0:
             parser.error("--request-deadline must be positive")
@@ -868,6 +988,9 @@ def main(argv: list[str] | None = None) -> None:
         return
     if argv and argv[0] == "ingest":
         ingest_main(argv[1:])
+        return
+    if argv and argv[0] == "store":
+        store_main(argv[1:])
         return
     if argv and argv[0] == "trace":
         trace_main(argv[1:])

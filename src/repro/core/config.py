@@ -51,6 +51,13 @@ class BlaeuConfig:
         or 1 runs serially, 0 uses every core, any other value that many
         workers.  Results are bit-identical across settings (each draw
         owns a spawned child RNG).
+    scan_jobs:
+        Process-level parallelism of chunked store scans (exact region
+        counts, predicate masks, highlights, whole-table NMI): ``None``
+        or 1 runs serially, 0 uses every core, any other value that many
+        worker processes.  Partition partials merge in partition order,
+        so results are bit-identical across settings.  In-memory tables
+        ignore it.
     map_k_values:
         Candidate cluster counts for data maps.
     theme_k_values:
@@ -110,6 +117,7 @@ class BlaeuConfig:
     clara_draws: int = 5
     clara_sample_size: int | None = None
     clara_jobs: int | None = None
+    scan_jobs: int | None = None
     map_k_values: tuple[int, ...] = (2, 3, 4, 5, 6)
     theme_k_values: tuple[int, ...] | None = None
     silhouette_subsamples: int = 8
@@ -141,6 +149,8 @@ class BlaeuConfig:
             raise ValueError("clara_jobs must be None, 0 (all cores) or >= 1")
         if self.graph_jobs is not None and self.graph_jobs < 0:
             raise ValueError("graph_jobs must be None, 0 (all cores) or >= 1")
+        if self.scan_jobs is not None and self.scan_jobs < 0:
+            raise ValueError("scan_jobs must be None, 0 (all cores) or >= 1")
         if self.graph_bin_sample_size < 2:
             raise ValueError("graph_bin_sample_size must be at least 2")
         if self.silhouette_exact_threshold < 0:

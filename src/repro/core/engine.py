@@ -98,8 +98,15 @@ class Blaeu:
 
         The rows stay on disk (:mod:`repro.store`); exploration samples
         and scans them in chunks instead of materializing the table.
+        ``config.scan_jobs`` (when set) fans those scans over worker
+        processes; otherwise ``BLAEU_SCAN_JOBS`` applies.
         """
-        table = self._database.load_store(path, name=name)
+        if self._config.scan_jobs is not None:
+            table = self._database.load_store(
+                path, name=name, scan_jobs=self._config.scan_jobs
+            )
+        else:
+            table = self._database.load_store(path, name=name)
         self._theme_cache.pop(table.name, None)
         return table
 

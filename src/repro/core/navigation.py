@@ -405,26 +405,62 @@ class Explorer:
                 category_codes[name] = np.zeros(
                     len(categories[name]), dtype=np.int64
                 )
-        for start, stop, chunk in table.iter_chunks(columns=inspect):
-            matched = np.flatnonzero(mask[start:stop])
-            if matched.size == 0:
-                continue
-            chunk_columns = {name: chunk.column(name) for name in inspect}
-            for name, column in chunk_columns.items():
-                if isinstance(column, NumericColumn):
-                    numeric_parts[name].append(column.take(matched))
-                elif isinstance(column, CategoricalColumn):
-                    codes = column.codes[matched]
-                    category_codes[name] += np.bincount(
-                        codes[codes >= 0], minlength=len(column.categories)
+        partitions = getattr(table, "partitions", ())
+        scan_jobs = getattr(table, "scan_jobs", None)
+        if scan_jobs not in (None, 1) and len(partitions) > 1:
+            # Partition-parallel accumulation: numeric matches
+            # concatenate and code counts sum in partition order, and
+            # each worker over-collects up to the preview cap so the
+            # first ``preview_cap`` matches overall are always present
+            # — all three merges reproduce the serial loop exactly.
+            from repro.store.parallel import (
+                highlight_task,
+                run_partition_tasks,
+            )
+
+            results = run_partition_tasks(
+                highlight_task,
+                [
+                    (
+                        str(table.root),
+                        inspect,
+                        mask[partition.start : partition.stop],
+                        partition.start,
+                        partition.stop,
+                        table.chunk_rows,
+                        preview_cap,
                     )
-            for local in matched[: max(preview_cap - len(preview), 0)]:
-                preview.append(
-                    {
-                        name: column.value_at(int(local))
-                        for name, column in chunk_columns.items()
-                    }
-                )
+                    for partition in partitions
+                ],
+                scan_jobs,
+            )
+            for (parts, code_counts, rows), _, _ in results:
+                for name, chunks in parts.items():
+                    numeric_parts[name].extend(chunks)
+                for name, counts in code_counts.items():
+                    category_codes[name] += counts
+                preview.extend(rows[: max(preview_cap - len(preview), 0)])
+        else:
+            for start, stop, chunk in table.iter_chunks(columns=inspect):
+                matched = np.flatnonzero(mask[start:stop])
+                if matched.size == 0:
+                    continue
+                chunk_columns = {name: chunk.column(name) for name in inspect}
+                for name, column in chunk_columns.items():
+                    if isinstance(column, NumericColumn):
+                        numeric_parts[name].append(column.take(matched))
+                    elif isinstance(column, CategoricalColumn):
+                        codes = column.codes[matched]
+                        category_codes[name] += np.bincount(
+                            codes[codes >= 0], minlength=len(column.categories)
+                        )
+                for local in matched[: max(preview_cap - len(preview), 0)]:
+                    preview.append(
+                        {
+                            name: column.value_at(int(local))
+                            for name, column in chunk_columns.items()
+                        }
+                    )
 
         numeric_summaries = {
             name: _numeric_summary(

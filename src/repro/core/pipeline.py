@@ -1004,12 +1004,43 @@ def _left_router(tree: DecisionTree, selection: Table):
     }
     if internal:
         needed = tuple(sorted({node.column or "" for node in internal}))
-        for start, stop, chunk in iter_chunks(columns=needed):
-            checkpoint("count.chunk")
-            local = np.arange(stop - start, dtype=np.intp)
-            for node in internal:
-                column = chunk.column(node.column or "")
-                masks[id(node)][start:stop] = _left_mask(node, column, local)
+        partitions = getattr(selection, "partitions", ())
+        scan_jobs = getattr(selection, "scan_jobs", None)
+        if scan_jobs not in (None, 1) and len(partitions) > 1:
+            # Partition-parallel routing: each worker routes its row
+            # range through the same tree (walk order fixes the
+            # node <-> segment correspondence) and the segments are
+            # stitched back positionally — bit-identical to the serial
+            # chunk loop below at any worker count.
+            from repro.store.parallel import router_task, run_partition_tasks
+
+            results = run_partition_tasks(
+                router_task,
+                [
+                    (
+                        str(selection.root),
+                        tree.root,
+                        needed,
+                        partition.start,
+                        partition.stop,
+                        selection.chunk_rows,
+                    )
+                    for partition in partitions
+                ],
+                scan_jobs,
+            )
+            for partition, (segments, _, _) in zip(partitions, results):
+                for node, segment in zip(internal, segments):
+                    masks[id(node)][partition.start : partition.stop] = segment
+        else:
+            for start, stop, chunk in iter_chunks(columns=needed):
+                checkpoint("count.chunk")
+                local = np.arange(stop - start, dtype=np.intp)
+                for node in internal:
+                    column = chunk.column(node.column or "")
+                    masks[id(node)][start:stop] = _left_mask(
+                        node, column, local
+                    )
     return lambda node: masks[id(node)]
 
 

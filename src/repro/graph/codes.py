@@ -192,16 +192,21 @@ def iter_code_chunks(
     names: Sequence[str],
     entries: dict[str, CodeEntry],
     chunk_rows: int | None = None,
+    start: int = 0,
+    stop: int | None = None,
 ) -> Iterator[np.ndarray]:
     """Yield ``(n_columns, chunk)`` code matrices from a chunked scan.
 
     The streaming complement of :func:`gather_codes`: a store-backed
     table's whole-table graph build feeds these chunks into
     :class:`~repro.stats.batched.StreamingPairwiseNMI`, keeping resident
-    memory at one chunk of the named columns.
+    memory at one chunk of the named columns.  ``start``/``stop`` bound
+    the scan to one partition's rows for the process-parallel build.
     """
     names = tuple(names)
-    for _, _, chunk in table.iter_chunks(columns=names, chunk_rows=chunk_rows):
+    for _, _, chunk in table.iter_chunks(
+        columns=names, chunk_rows=chunk_rows, start=start, stop=stop
+    ):
         matrix = np.empty((len(names), chunk.n_rows), dtype=np.int32)
         for index, name in enumerate(names):
             matrix[index] = _column_codes(chunk.column(name), entries[name])

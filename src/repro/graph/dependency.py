@@ -358,14 +358,47 @@ class GraphBuilder:
                     cache=self._code_cache,
                 )
             with tracer.span("graph.nmi") as span:
-                streaming = StreamingPairwiseNMI(
-                    names, [entries[name].n_codes for name in names]
-                )
+                n_codes = [entries[name].n_codes for name in names]
+                streaming = StreamingPairwiseNMI(names, n_codes)
                 chunks = 0
-                for chunk in iter_code_chunks(table, names, entries):
-                    checkpoint("graph.nmi.chunk")
-                    streaming.update(chunk)
-                    chunks += 1
+                partitions = getattr(table, "partitions", ())
+                if (
+                    getattr(table, "scan_jobs", None) not in (None, 1)
+                    and len(partitions) > 1
+                ):
+                    # Partition-parallel accumulation: contingency
+                    # counts are elementwise sums, so merging the
+                    # per-partition accumulators in partition order is
+                    # bit-identical to the serial chunk loop below.
+                    from repro.store.parallel import (
+                        nmi_task,
+                        run_partition_tasks,
+                    )
+
+                    results = run_partition_tasks(
+                        nmi_task,
+                        [
+                            (
+                                str(table.root),
+                                names,
+                                n_codes,
+                                entries,
+                                partition.start,
+                                partition.stop,
+                                table.chunk_rows,
+                            )
+                            for partition in partitions
+                        ],
+                        table.scan_jobs,
+                    )
+                    for counts, _, read_chunks in results:
+                        streaming.merge_counts(counts)
+                        chunks += read_chunks
+                else:
+                    for chunk in iter_code_chunks(table, names, entries):
+                        checkpoint("graph.nmi.chunk")
+                        streaming.update(chunk)
+                        chunks += 1
                 if span.enabled:
                     span.set("streaming", True)
                     span.set("chunks", chunks)

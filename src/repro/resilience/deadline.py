@@ -49,6 +49,22 @@ class DeadlineExceeded(RuntimeError):
         self.stage = stage
         self.budget = budget
 
+    def __reduce__(self):
+        # Default exception pickling drops keyword-only attributes; a
+        # deadline abort raised inside a partition worker process must
+        # reach the parent with its stage and budget intact (the
+        # service's 504 Retry-After hint reads them).
+        return (
+            _rebuild_deadline_exceeded,
+            (str(self), self.stage, self.budget),
+        )
+
+
+def _rebuild_deadline_exceeded(
+    message: str, stage: str, budget: float | None
+) -> "DeadlineExceeded":
+    return DeadlineExceeded(message, stage=stage, budget=budget)
+
 
 @dataclass(frozen=True)
 class Deadline:

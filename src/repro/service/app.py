@@ -297,6 +297,12 @@ class ServiceConfig:
     ``BLAEU_BREAKER_LATENCY``   ``resilience.breaker_latency``
     ==========================  =====================================
 
+    ``BLAEU_SCAN_JOBS`` is read one layer below the service: every
+    store-backed table opened without an explicit ``scan_jobs`` (the
+    engine default) takes its process-parallel scan width from it, so
+    ``blaeu serve --scan-jobs N`` reaches all workers through their
+    inherited environment.
+
     The pre-redesign flat kwargs (``cache_size``, ``cache_ttl``,
     ``workers`` — *threads*, ``max_pending``, ``trace_enabled``,
     ``trace_buffer_size``, ``slow_op_threshold``, ``access_log``) keep

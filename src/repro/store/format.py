@@ -26,6 +26,20 @@ and no row-group framing.  The manifest carries everything else:
 ``priority_seed``
     Seed of the persisted :class:`~repro.table.sampling.SampleCascade`
     priorities, making nested zoom samples identical across processes.
+``partitions``
+    Contiguous row ranges over the column files, each carrying a *zone
+    map* — per-column min/max over present values plus a null count —
+    so scans can prove a partition cannot match a predicate and skip
+    its IO entirely (the row-group design of Parquet/Hillview, kept
+    logical: partitions share the single per-column files, so the
+    format version and mmap story are unchanged).  Manifests written
+    before partitioning load as one implicit partition with no zones.
+``version`` / ``previous_fingerprint``
+    Ingest lineage: ``version`` counts the ingests that produced the
+    store (1 for a fresh ingest, +1 per append) and
+    ``previous_fingerprint`` records the content hash the latest append
+    extended, so cache owners can tell an append apart from unrelated
+    data.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "CODES_DTYPE",
     "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_PARTITION_ROWS",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
@@ -56,9 +71,14 @@ __all__ = [
     "PRIORITY_FILE",
     "VALUES_DTYPE",
     "ColumnMeta",
+    "ColumnZone",
+    "PartitionMeta",
     "StoreManifest",
     "StreamingFingerprint",
+    "categorical_zone",
     "iter_file_chunks",
+    "numeric_zone",
+    "partition_spans",
     "write_store",
 ]
 
@@ -66,6 +86,12 @@ FORMAT_NAME = "blaeu.store"
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 PRIORITY_FILE = "priority.bin"
+
+#: Default rows per range partition (16 ingestion chunks at the default
+#: chunk size): large enough that zone maps stay a rounding error of the
+#: manifest, small enough that a selective predicate can skip most of a
+#: 100M-row table.
+DEFAULT_PARTITION_ROWS = 1_048_576
 
 VALUES_DTYPE = "<f8"
 CODES_DTYPE = "<i4"
@@ -116,6 +142,118 @@ class ColumnMeta:
 
 
 @dataclass(frozen=True)
+class ColumnZone:
+    """One column's summary over one partition's rows.
+
+    ``min``/``max`` span the *present* values of a numeric column and
+    are ``None`` for categorical columns (codes carry no order) and for
+    partitions with no present value at all.  ``null_count`` counts the
+    missing cells — enough to prove ``IS NULL`` (and, at
+    ``null_count == rows``, any value predicate) empty.
+    """
+
+    null_count: int
+    min: float | None = None
+    max: float | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {"null_count": self.null_count}
+        if self.min is not None:
+            payload["min"] = self.min
+            payload["max"] = self.max
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ColumnZone":
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        return cls(
+            null_count=int(payload["null_count"]),  # type: ignore[arg-type]
+            min=None if minimum is None else float(minimum),  # type: ignore[arg-type]
+            max=None if maximum is None else float(maximum),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class PartitionMeta:
+    """One contiguous row range of the store, with its zone maps.
+
+    Partitions are *logical*: they index into the same per-column files
+    (rows ``[start, stop)``), so repartitioning rewrites only the
+    manifest.  ``zones`` maps column names to :class:`ColumnZone`; an
+    empty mapping (the implicit partition of a pre-partitioning store)
+    is never pruned.
+    """
+
+    start: int
+    stop: int
+    zones: dict[str, ColumnZone] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(
+                f"invalid partition range [{self.start}, {self.stop})"
+            )
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "start": self.start,
+            "stop": self.stop,
+            "zones": {
+                name: zone.to_dict() for name, zone in self.zones.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "PartitionMeta":
+        zones = payload.get("zones") or {}
+        return cls(
+            start=int(payload["start"]),  # type: ignore[arg-type]
+            stop=int(payload["stop"]),  # type: ignore[arg-type]
+            zones={
+                str(name): ColumnZone.from_dict(zone)
+                for name, zone in zones.items()  # type: ignore[union-attr]
+            },
+        )
+
+
+def partition_spans(
+    n_rows: int, partition_rows: int, start: int = 0
+) -> list[tuple[int, int]]:
+    """The ``[start, stop)`` ranges tiling ``[start, n_rows)``."""
+    if partition_rows < 1:
+        raise ValueError(
+            f"partition_rows must be positive, got {partition_rows}"
+        )
+    return [
+        (lo, min(lo + partition_rows, n_rows))
+        for lo in range(start, n_rows, partition_rows)
+    ]
+
+
+def numeric_zone(values: np.ndarray, mask: np.ndarray) -> ColumnZone:
+    """The zone map of one numeric partition slice (mask authoritative)."""
+    null_count = int(np.count_nonzero(mask))
+    present = values[~np.asarray(mask, dtype=bool)]
+    if present.size == 0:
+        return ColumnZone(null_count=null_count)
+    return ColumnZone(
+        null_count=null_count,
+        min=float(present.min()),
+        max=float(present.max()),
+    )
+
+
+def categorical_zone(codes: np.ndarray) -> ColumnZone:
+    """The zone map of one categorical partition slice (codes < 0 = null)."""
+    return ColumnZone(null_count=int(np.count_nonzero(codes < 0)))
+
+
+@dataclass(frozen=True)
 class StoreManifest:
     """The store's schema + provenance document (``manifest.json``)."""
 
@@ -127,6 +265,9 @@ class StoreManifest:
     priority_seed: int = 0
     priority_file: str = PRIORITY_FILE
     format_version: int = FORMAT_VERSION
+    partitions: tuple[PartitionMeta, ...] = ()
+    version: int = 1
+    previous_fingerprint: str | None = None
 
     def __post_init__(self) -> None:
         if not self.table:
@@ -140,6 +281,35 @@ class StoreManifest:
         names = [meta.name for meta in self.columns]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate column names in manifest: {names}")
+        if self.version < 1:
+            raise ValueError("manifest version must be >= 1")
+        if self.partitions:
+            cursor = 0
+            for partition in self.partitions:
+                if partition.start != cursor:
+                    raise ValueError(
+                        "partitions must tile the row range contiguously; "
+                        f"expected start {cursor}, got {partition.start}"
+                    )
+                cursor = partition.stop
+            if cursor != self.n_rows:
+                raise ValueError(
+                    f"partitions cover {cursor} rows of {self.n_rows}"
+                )
+
+    def effective_partitions(self) -> tuple[PartitionMeta, ...]:
+        """The partition list, or the implicit whole-table partition.
+
+        Backward compatibility contract: a manifest without a
+        ``partitions`` section behaves as one zone-less partition
+        spanning every row — nothing is ever pruned, nothing needs a
+        migration.
+        """
+        if self.partitions:
+            return self.partitions
+        if self.n_rows == 0:
+            return ()
+        return (PartitionMeta(start=0, stop=self.n_rows),)
 
     def column(self, name: str) -> ColumnMeta:
         """The metadata of the column called ``name``."""
@@ -152,7 +322,7 @@ class StoreManifest:
         )
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "format": FORMAT_NAME,
             "format_version": self.format_version,
             "table": self.table,
@@ -162,7 +332,15 @@ class StoreManifest:
             "priority_seed": self.priority_seed,
             "priority_file": self.priority_file,
             "columns": [meta.to_dict() for meta in self.columns],
+            "version": self.version,
         }
+        if self.partitions:
+            payload["partitions"] = [
+                partition.to_dict() for partition in self.partitions
+            ]
+        if self.previous_fingerprint is not None:
+            payload["previous_fingerprint"] = self.previous_fingerprint
+        return payload
 
     def save(self, root: str | Path) -> Path:
         """Write ``manifest.json`` atomically (tmp file + rename)."""
@@ -208,6 +386,16 @@ class StoreManifest:
             priority_seed=int(payload.get("priority_seed", 0)),
             priority_file=str(payload.get("priority_file", PRIORITY_FILE)),
             format_version=version,
+            partitions=tuple(
+                PartitionMeta.from_dict(entry)
+                for entry in payload.get("partitions", ())
+            ),
+            version=int(payload.get("version", 1)),
+            previous_fingerprint=(
+                str(payload["previous_fingerprint"])
+                if payload.get("previous_fingerprint") is not None
+                else None
+            ),
         )
 
 
@@ -319,6 +507,7 @@ def write_store(
     root: str | Path,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     priority_seed: int = 0,
+    partition_rows: int = DEFAULT_PARTITION_ROWS,
 ) -> StoreManifest:
     """Materialize an in-memory :class:`Table` as a store directory.
 
@@ -326,13 +515,16 @@ def write_store(
     memory (tests, benchmarks, migrating a registered table out of RAM).
     The manifest fingerprint is the table's own
     :meth:`~repro.table.table.Table.fingerprint`, so the store-backed
-    twin shares cache identity with its source.
+    twin shares cache identity with its source.  ``partition_rows``
+    sets the range-partition size whose zone maps scans prune with.
     """
     if chunk_rows < 1:
         raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
     root = Path(root)
     (root / "columns").mkdir(parents=True, exist_ok=True)
 
+    spans = partition_spans(table.n_rows, partition_rows)
+    zones: list[dict[str, ColumnZone]] = [{} for _ in spans]
     metas: list[ColumnMeta] = []
     for position, column in enumerate(table.columns):
         stem = column_file_stem(position)
@@ -353,6 +545,11 @@ def write_store(
                     },
                 )
             )
+            for index, (start, stop) in enumerate(spans):
+                zones[index][column.name] = numeric_zone(
+                    column.values[start:stop],
+                    column.missing_mask[start:stop],
+                )
         elif isinstance(column, CategoricalColumn):
             np.ascontiguousarray(column.codes, dtype=CODES_DTYPE).tofile(
                 root / f"{stem}.codes.bin"
@@ -375,6 +572,10 @@ def write_store(
                     },
                 )
             )
+            for index, (start, stop) in enumerate(spans):
+                zones[index][column.name] = categorical_zone(
+                    column.codes[start:stop]
+                )
         else:  # pragma: no cover - Column has exactly two concrete kinds
             raise TypeError(f"unsupported column type {type(column).__name__}")
 
@@ -386,6 +587,10 @@ def write_store(
         fingerprint=table.fingerprint(),
         columns=tuple(metas),
         priority_seed=priority_seed,
+        partitions=tuple(
+            PartitionMeta(start=start, stop=stop, zones=zone)
+            for (start, stop), zone in zip(spans, zones)
+        ),
     )
     manifest.save(root)
     return manifest

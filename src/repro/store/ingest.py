@@ -36,6 +36,7 @@ from repro.obs.trace import get_tracer
 from repro.store.format import (
     CODES_DTYPE,
     DEFAULT_CHUNK_ROWS,
+    DEFAULT_PARTITION_ROWS,
     KIND_CATEGORICAL,
     KIND_NUMERIC,
     MASK_DTYPE,
@@ -51,22 +52,35 @@ from repro.table.column import MISSING_TOKENS, ColumnKind, _parse_float
 from repro.table.csv_io import CsvChunkReader
 from repro.table.schema import FLAG_VALUES
 
-__all__ = ["ingest_csv"]
+__all__ = ["append_csv", "ingest_csv"]
 
 #: Spill framing protocol (pickle keeps the replay loop at C speed).
 _SPILL_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 class _CategoricalBuilder:
-    """Streams cells into a codes file + incremental dictionary."""
+    """Streams cells into a codes file + incremental dictionary.
 
-    def __init__(self, tmp_dir: Path, position: int) -> None:
+    ``seed_categories`` pre-loads the dictionary so appended chunks keep
+    the codes of an existing store's categories and only extend the
+    dictionary with genuinely new labels, in first-appearance order —
+    exactly what a fresh ingest of the concatenated data would produce.
+    """
+
+    def __init__(
+        self,
+        tmp_dir: Path,
+        position: int,
+        seed_categories: Sequence[str] = (),
+    ) -> None:
         self.codes_path = tmp_dir / f"c{position:05d}.codes.bin"
         self.mask_path = tmp_dir / f"c{position:05d}.cat-mask.bin"
         self._codes = self.codes_path.open("wb")
         self._mask = self.mask_path.open("wb")
-        self.categories: list[str] = []
-        self._index: dict[str, int] = {}
+        self.categories: list[str] = list(seed_categories)
+        self._index: dict[str, int] = {
+            label: code for code, label in enumerate(self.categories)
+        }
 
     def feed(self, cells: Sequence[str]) -> None:
         codes = np.empty(len(cells), dtype=CODES_DTYPE)
@@ -96,7 +110,12 @@ class _ColumnBuilder:
     categorical.  ``forced`` pins the kind up front (no spill needed)."""
 
     def __init__(
-        self, name: str, position: int, tmp_dir: Path, forced: ColumnKind | None
+        self,
+        name: str,
+        position: int,
+        tmp_dir: Path,
+        forced: ColumnKind | None,
+        seed_categories: Sequence[str] = (),
     ) -> None:
         self.name = name
         self.position = position
@@ -112,7 +131,9 @@ class _ColumnBuilder:
         self.mask_path = tmp_dir / f"c{position:05d}.num-mask.bin"
         self.spill_path = tmp_dir / f"c{position:05d}.spill.pkl"
         if forced is ColumnKind.CATEGORICAL:
-            self._categorical = _CategoricalBuilder(tmp_dir, position)
+            self._categorical = _CategoricalBuilder(
+                tmp_dir, position, seed_categories
+            )
         else:
             self._values = self.values_path.open("wb")
             self._mask = self.mask_path.open("wb")
@@ -244,6 +265,8 @@ def ingest_csv(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     priority_seed: int = 0,
     kinds: Mapping[str, ColumnKind] | None = None,
+    partition_rows: int = DEFAULT_PARTITION_ROWS,
+    scan_jobs: int | None = None,
 ) -> StoredTable:
     """Ingest a CSV into a new store directory; returns the opened table.
 
@@ -265,6 +288,11 @@ def ingest_csv(
     kinds:
         Optional per-column kind overrides (skips inference, and the
         spill that inference needs).
+    partition_rows:
+        Rows per zone-mapped partition recorded in the manifest.
+    scan_jobs:
+        Worker processes for the finalize-time zone pass (``None``/1
+        serial, 0 every core).
     """
     out_dir = Path(out_dir)
     if (out_dir / "manifest.json").exists():
@@ -307,7 +335,14 @@ def ingest_csv(
             for builder in builders:
                 builder.finalize()
             manifest = _finalize_store(
-                out_dir, resolved_name, n_rows, chunk_rows, priority_seed, builders
+                out_dir,
+                resolved_name,
+                n_rows,
+                chunk_rows,
+                priority_seed,
+                builders,
+                partition_rows=partition_rows,
+                scan_jobs=scan_jobs,
             )
             if span.enabled:
                 span.set("table", resolved_name)
@@ -332,6 +367,238 @@ def ingest_csv(
     return StoredTable(out_dir, manifest=manifest)
 
 
+def append_csv(
+    source: str | Path | IO[str],
+    store_dir: str | Path,
+    delimiter: str = ",",
+    chunk_rows: int | None = None,
+    partition_rows: int | None = None,
+    scan_jobs: int | None = None,
+) -> StoredTable:
+    """Append a CSV's rows to an existing store, in place.
+
+    The CSV header must match the store's columns exactly (same names,
+    same order); each column keeps its manifest kind — appended cells
+    that do not fit a numeric column become missing, and categorical
+    columns extend their dictionary with new labels in first-appearance
+    order.  When the appended data is kind-compatible, the resulting
+    store is byte-identical to a fresh ingest of the concatenated CSV:
+    same files, same category order, same content fingerprint.
+
+    The manifest is the commit point.  Data files grow first ("ab"
+    appends), the priority permutation and fingerprint are recomputed
+    over the full length, fresh zone-mapped partitions are built for the
+    appended range only (existing partitions and their zones are kept
+    verbatim), and only then is the manifest rewritten — with
+    ``version`` bumped and ``previous_fingerprint`` recording the
+    lineage.  Any failure before that point rolls the files back to
+    their original sizes, so a crashed append leaves the store exactly
+    as it was.
+
+    Parameters
+    ----------
+    source:
+        CSV path or open text file-like (header row included).
+    store_dir:
+        Existing store directory to grow.
+    chunk_rows:
+        Records per ingestion chunk; defaults to the store's own
+        ``chunk_rows``.
+    partition_rows:
+        Rows per new partition; defaults to the store's current
+        granularity (or the format default when it has none).
+    scan_jobs:
+        Worker processes for the zone pass over the appended range.
+    """
+    import json
+
+    from repro.store.partitions import build_partitions
+
+    store_dir = Path(store_dir)
+    manifest = StoreManifest.load(store_dir)
+    read_rows = chunk_rows or manifest.chunk_rows
+    if partition_rows is None:
+        partition_rows = (
+            max(partition.rows for partition in manifest.partitions)
+            if manifest.partitions
+            else DEFAULT_PARTITION_ROWS
+        )
+    if hasattr(source, "read"):
+        handle: IO[str] = source  # type: ignore[assignment]
+        close = False
+    else:
+        handle = Path(source).open(newline="", encoding="utf-8")  # type: ignore[arg-type]
+        close = True
+
+    tmp_dir = store_dir / "append.tmp"
+    tmp_dir.mkdir(parents=True, exist_ok=True)
+    builders: list[_ColumnBuilder] = []
+    try:
+        with get_tracer().span("store.append") as span:
+            reader = CsvChunkReader(
+                handle,
+                delimiter=delimiter,
+                chunk_rows=read_rows,
+                name=manifest.table,
+            )
+            expected = tuple(meta.name for meta in manifest.columns)
+            if tuple(reader.header) != expected:
+                raise ValueError(
+                    f"append header {tuple(reader.header)!r} does not match "
+                    f"store columns {expected!r}"
+                )
+            builders = [
+                _ColumnBuilder(
+                    meta.name,
+                    position,
+                    tmp_dir,
+                    ColumnKind(meta.kind),
+                    seed_categories=(
+                        json.loads(
+                            (store_dir / meta.files["categories"]).read_text(
+                                encoding="utf-8"
+                            )
+                        )
+                        if meta.kind == KIND_CATEGORICAL
+                        else ()
+                    ),
+                )
+                for position, meta in enumerate(manifest.columns)
+            ]
+            appended = 0
+            for chunk in reader:
+                appended += len(chunk[0])
+                for builder, cells in zip(builders, chunk):
+                    builder.feed(cells)
+            for builder in builders:
+                builder.finalize()
+            if appended == 0:
+                return StoredTable(store_dir, manifest=manifest)
+            manifest = _apply_append(
+                store_dir,
+                manifest,
+                builders,
+                appended,
+                partition_rows,
+                scan_jobs,
+                build_partitions,
+            )
+            if span.enabled:
+                span.set("table", manifest.table)
+                span.set("appended_rows", appended)
+                span.set("rows", manifest.n_rows)
+            get_metrics().increment("blaeu_store_appends_total")
+    except BaseException:
+        for builder in builders:
+            builder.abort()
+        raise
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        if close:
+            handle.close()
+    return StoredTable(store_dir, manifest=manifest)
+
+
+def _apply_append(
+    store_dir: Path,
+    manifest: StoreManifest,
+    builders: list[_ColumnBuilder],
+    appended: int,
+    partition_rows: int,
+    scan_jobs: int | None,
+    build_partitions,
+) -> StoreManifest:
+    """Grow the store's files by the builders' output, then commit.
+
+    Everything before ``manifest.save`` is undoable: original file sizes
+    and category dictionaries are recorded up front, and any failure
+    truncates the data files back and restores the priorities, leaving
+    the on-disk store identical to its pre-append state.
+    """
+    import dataclasses
+    import json
+
+    old_rows = manifest.n_rows
+    new_rows = old_rows + appended
+    sizes: dict[Path, int] = {}
+    category_texts: dict[Path, str] = {}
+    for meta in manifest.columns:
+        for role in ("values", "codes", "mask"):
+            if role in meta.files:
+                path = store_dir / meta.files[role]
+                sizes[path] = path.stat().st_size
+        if meta.kind == KIND_CATEGORICAL:
+            path = store_dir / meta.files["categories"]
+            category_texts[path] = path.read_text(encoding="utf-8")
+    try:
+        fingerprint = StreamingFingerprint(new_rows, manifest.chunk_rows)
+        for builder, meta in zip(builders, manifest.columns):
+            if builder.kind != meta.kind:
+                raise ValueError(
+                    f"column {meta.name!r}: appended kind {builder.kind!r} "
+                    f"does not match store kind {meta.kind!r}"
+                )
+            if meta.kind == KIND_NUMERIC:
+                _append_file(builder.values_path, store_dir / meta.files["values"])
+                _append_file(builder.mask_path, store_dir / meta.files["mask"])
+                fingerprint.add_numeric(
+                    meta.name,
+                    store_dir / meta.files["values"],
+                    store_dir / meta.files["mask"],
+                )
+            else:
+                categorical = builder._categorical
+                assert categorical is not None
+                _append_file(categorical.codes_path, store_dir / meta.files["codes"])
+                _append_file(categorical.mask_path, store_dir / meta.files["mask"])
+                categories = tuple(categorical.categories)
+                (store_dir / meta.files["categories"]).write_text(
+                    json.dumps(list(categories)), encoding="utf-8"
+                )
+                fingerprint.add_categorical(
+                    meta.name,
+                    store_dir / meta.files["codes"],
+                    store_dir / meta.files["mask"],
+                    categories,
+                )
+        write_priorities(store_dir, new_rows, manifest.priority_seed)
+        fresh = build_partitions(
+            store_dir,
+            manifest.columns,
+            new_rows,
+            manifest.chunk_rows,
+            partition_rows,
+            start=old_rows,
+            scan_jobs=scan_jobs,
+        )
+        partitions = (
+            manifest.partitions + fresh if manifest.partitions else ()
+        )
+        updated = dataclasses.replace(
+            manifest,
+            n_rows=new_rows,
+            fingerprint=fingerprint.hexdigest(),
+            partitions=partitions,
+            version=manifest.version + 1,
+            previous_fingerprint=manifest.fingerprint,
+        )
+        updated.save(store_dir)
+        return updated
+    except BaseException:
+        for path, size in sizes.items():
+            with path.open("r+b") as handle:
+                handle.truncate(size)
+        for path, text in category_texts.items():
+            path.write_text(text, encoding="utf-8")
+        write_priorities(store_dir, old_rows, manifest.priority_seed)
+        raise
+
+
+def _append_file(tmp_path: Path, target: Path) -> None:
+    with tmp_path.open("rb") as src, target.open("ab") as dst:
+        shutil.copyfileobj(src, dst)
+
+
 def _finalize_store(
     out_dir: Path,
     table_name: str,
@@ -339,6 +606,8 @@ def _finalize_store(
     chunk_rows: int,
     priority_seed: int,
     builders: list[_ColumnBuilder],
+    partition_rows: int = DEFAULT_PARTITION_ROWS,
+    scan_jobs: int | None = None,
 ) -> StoreManifest:
     """Move finished column files into place, fingerprint, write manifest."""
     import json
@@ -394,6 +663,20 @@ def _finalize_store(
                 )
             )
     write_priorities(out_dir, n_rows, priority_seed)
+    # Zone maps come from a second, bounded pass over the just-written
+    # column files (the CSV itself is still read exactly once): the
+    # final kind of a tentative column is only known here, after any
+    # promotion or demotion.
+    from repro.store.partitions import build_partitions
+
+    partitions = build_partitions(
+        out_dir,
+        tuple(metas),
+        n_rows,
+        chunk_rows,
+        partition_rows,
+        scan_jobs=scan_jobs,
+    )
     manifest = StoreManifest(
         table=table_name,
         n_rows=n_rows,
@@ -401,6 +684,7 @@ def _finalize_store(
         fingerprint=fingerprint.hexdigest(),
         columns=tuple(metas),
         priority_seed=priority_seed,
+        partitions=partitions,
     )
     manifest.save(out_dir)
     return manifest

@@ -1,0 +1,219 @@
+"""Process-parallel partition scans with deterministic merges.
+
+The store's scan paths — predicate masks, exact-count routing,
+highlight accumulation, streaming NMI, zone-map construction — all
+reduce per-partition partials with associative merges, so fanning
+partitions out over a ``ProcessPoolExecutor`` and re-assembling the
+results **in partition order** reproduces the serial scan bit for bit.
+Threads would not help here: chunk decoding and predicate evaluation
+hold the GIL for real Python time, unlike the GEMM-heavy clustering
+kernels that :mod:`repro.cluster.parallel` fans over threads.
+
+Resilience rides along explicitly.  The parent's
+:class:`~repro.resilience.deadline.Deadline` travels to workers as its
+absolute monotonic expiry (``CLOCK_MONOTONIC`` is system-wide on the
+platforms we run on), so per-chunk ``checkpoint`` calls inside a worker
+abort against the *request's* deadline, not a per-worker restart of the
+budget.  Fault injection needs no plumbing: ``BLAEU_FAULTS`` is an
+environment variable, which worker processes inherit, and every worker
+re-arms its injector from it — ``--faults`` chaos runs hit
+``store.read`` fault points inside workers exactly as they do serially.
+
+Workers are top-level functions taking one picklable task tuple; every
+worker returns ``(payload, data_reads, chunk_reads)`` so the parent can
+fold worker IO into its own ``data_reads`` budget counter and metrics.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.cluster.parallel import resolve_jobs
+from repro.resilience.deadline import (
+    Deadline,
+    checkpoint,
+    current_deadline,
+    set_deadline,
+)
+
+__all__ = [
+    "highlight_task",
+    "nmi_task",
+    "router_task",
+    "run_partition_tasks",
+    "scan_mask_task",
+    "zones_task",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _run_with_deadline(
+    worker: Callable[[T], R], task: T, expiry: tuple[float, float] | None
+) -> R:
+    """Worker-side shim: reinstall the parent's deadline, then run."""
+    if expiry is not None:
+        set_deadline(Deadline(expires_at=expiry[0], budget=expiry[1]))
+    return worker(task)
+
+
+def run_partition_tasks(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    scan_jobs: int | None,
+) -> list[R]:
+    """``[worker(task) for task in tasks]``, optionally across processes.
+
+    ``scan_jobs`` follows the repo's jobs convention (``None``/1 serial,
+    0 every core, otherwise that many workers, clamped to the task
+    count).  Results come back in task order whatever the completion
+    order, and the first worker exception propagates — including
+    :class:`~repro.resilience.deadline.DeadlineExceeded` and injected
+    faults, which pickle back to the parent with their type intact.
+    """
+    workers = resolve_jobs(scan_jobs, n_items=len(tasks))
+    if workers == 1 or len(tasks) <= 1:
+        results = []
+        for task in tasks:
+            checkpoint("store.partition")
+            results.append(worker(task))
+        return results
+    deadline = current_deadline()
+    expiry = (
+        (deadline.expires_at, deadline.budget) if deadline is not None else None
+    )
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        futures = [
+            executor.submit(_run_with_deadline, worker, task, expiry)
+            for task in tasks
+        ]
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# Workers (top-level, picklable; imports deferred to avoid cycles)
+# ----------------------------------------------------------------------
+
+
+def _open(root: str):
+    from repro.store.stored import StoredTable
+
+    return StoredTable(root, scan_jobs=None)
+
+
+def zones_task(task) -> dict:
+    """Zone maps of one partition range: ``(root, columns, start, stop,
+    chunk_rows)`` → ``{column: ColumnZone}``."""
+    from pathlib import Path
+
+    from repro.store.partitions import compute_zones
+
+    root, columns, start, stop, chunk_rows = task
+    return compute_zones(Path(root), columns, start, stop, chunk_rows)
+
+
+def scan_mask_task(task) -> tuple[np.ndarray, int, int]:
+    """Predicate mask of one partition range: ``(root, predicate, needed,
+    start, stop, chunk_rows)`` → ``(mask segment, data_reads, chunks)``."""
+    root, predicate, needed, start, stop, chunk_rows = task
+    table = _open(root)
+    out = np.empty(stop - start, dtype=bool)
+    chunks = 0
+    for lo, hi, chunk in table.iter_chunks(
+        columns=needed, chunk_rows=chunk_rows, start=start, stop=stop
+    ):
+        out[lo - start : hi - start] = predicate.mask(chunk)
+        chunks += 1
+    return out, table.data_reads, chunks
+
+
+def router_task(task) -> tuple[list[np.ndarray], int, int]:
+    """Tree-routing masks of one partition range: ``(root, tree_root,
+    needed, start, stop, chunk_rows)`` → one goes-left mask segment per
+    internal node, in :meth:`TreeNode.walk` order."""
+    from repro.tree.cart import _left_mask
+
+    root, tree_root, needed, start, stop, chunk_rows = task
+    table = _open(root)
+    internal = [node for node in tree_root.walk() if not node.is_leaf]
+    segments = [
+        np.zeros(stop - start, dtype=bool) for _ in internal
+    ]
+    chunks = 0
+    for lo, hi, chunk in table.iter_chunks(
+        columns=needed, chunk_rows=chunk_rows, start=start, stop=stop
+    ):
+        checkpoint("count.chunk")
+        local = np.arange(hi - lo, dtype=np.intp)
+        for segment, node in zip(segments, internal):
+            column = chunk.column(node.column or "")
+            segment[lo - start : hi - start] = _left_mask(node, column, local)
+        chunks += 1
+    return segments, table.data_reads, chunks
+
+
+def highlight_task(task):
+    """Highlight partials of one partition range: ``(root, inspect, mask
+    segment, start, stop, chunk_rows, preview_cap)`` → per-column numeric
+    matches, categorical code counts, and a bounded row preview."""
+    from repro.table.column import CategoricalColumn, NumericColumn
+
+    root, inspect, mask, start, stop, chunk_rows, preview_cap = task
+    table = _open(root)
+    numeric_parts: dict[str, list] = {}
+    category_codes: dict[str, np.ndarray] = {}
+    for name in inspect:
+        if table.kind(name).value == "numeric":
+            numeric_parts[name] = []
+        else:
+            category_codes[name] = np.zeros(
+                len(table.categories(name)), dtype=np.int64
+            )
+    preview: list[dict[str, object]] = []
+    for lo, hi, chunk in table.iter_chunks(
+        columns=inspect, chunk_rows=chunk_rows, start=start, stop=stop
+    ):
+        matched = np.flatnonzero(mask[lo - start : hi - start])
+        if matched.size == 0:
+            continue
+        chunk_columns = {name: chunk.column(name) for name in inspect}
+        for name, column in chunk_columns.items():
+            if isinstance(column, NumericColumn):
+                numeric_parts[name].append(column.take(matched))
+            elif isinstance(column, CategoricalColumn):
+                codes = column.codes[matched]
+                category_codes[name] += np.bincount(
+                    codes[codes >= 0], minlength=len(column.categories)
+                )
+        for local in matched[: max(preview_cap - len(preview), 0)]:
+            preview.append(
+                {
+                    name: column.value_at(int(local))
+                    for name, column in chunk_columns.items()
+                }
+            )
+    return (numeric_parts, category_codes, preview), table.data_reads, 0
+
+
+def nmi_task(task):
+    """Streaming-NMI contingencies of one partition range: ``(root, names,
+    n_codes, entries, start, stop, chunk_rows)`` → the accumulated
+    :class:`StreamingPairwiseNMI` count arrays."""
+    from repro.graph.codes import iter_code_chunks
+    from repro.stats.batched import StreamingPairwiseNMI
+
+    root, names, n_codes, entries, start, stop, chunk_rows = task
+    table = _open(root)
+    streaming = StreamingPairwiseNMI(names, n_codes)
+    chunks = 0
+    for matrix in iter_code_chunks(
+        table, names, entries, chunk_rows=chunk_rows, start=start, stop=stop
+    ):
+        checkpoint("graph.nmi.chunk")
+        streaming.update(matrix)
+        chunks += 1
+    return streaming.counts_state(), table.data_reads, chunks

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -49,6 +50,7 @@ from repro.store.format import (
     PRIORITY_DTYPE,
     VALUES_DTYPE,
     ColumnMeta,
+    PartitionMeta,
     StoreManifest,
     read_file_chunk,
 )
@@ -63,6 +65,20 @@ from repro.table.sampling import SampleCascade, uniform_sample
 from repro.table.table import Table
 
 __all__ = ["StoredTable"]
+
+#: Sentinel: "no explicit scan_jobs given; fall back to BLAEU_SCAN_JOBS".
+_SCAN_JOBS_ENV = object()
+
+
+def _env_scan_jobs() -> int | None:
+    """The ``BLAEU_SCAN_JOBS`` default (``None`` when unset/invalid)."""
+    raw = os.environ.get("BLAEU_SCAN_JOBS", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
 
 
 class _MappedNumericColumn(NumericColumn):
@@ -107,6 +123,12 @@ class StoredTable:
         Restrict to these columns, in order (projection view).
     name:
         Override the manifest's table name (like ``Table.rename``).
+    scan_jobs:
+        Worker processes for partitioned scans: ``None`` or 1 serial,
+        0 every core, otherwise that many.  Left unspecified, the
+        ``BLAEU_SCAN_JOBS`` environment variable decides (how the
+        service's workers pick the knob up).  Results are bit-identical
+        at any setting.
     """
 
     #: Catalog residency marker (in-memory tables report ``"memory"``).
@@ -118,8 +140,12 @@ class StoredTable:
         manifest: StoreManifest | None = None,
         columns: Sequence[str] | None = None,
         name: str | None = None,
+        scan_jobs: int | None = _SCAN_JOBS_ENV,  # type: ignore[assignment]
     ) -> None:
         self._root = Path(root)
+        self.scan_jobs = (
+            _env_scan_jobs() if scan_jobs is _SCAN_JOBS_ENV else scan_jobs
+        )
         self._manifest = (
             manifest if manifest is not None else StoreManifest.load(self._root)
         )
@@ -139,6 +165,7 @@ class StoredTable:
         self._categories: dict[str, tuple[str, ...]] = {}
         self._priorities: np.ndarray | None = None
         self._data_reads = 0
+        self._partitions_skipped = 0
         self._validate_files()
 
     # ------------------------------------------------------------------
@@ -189,6 +216,17 @@ class StoredTable:
         zero data IO.
         """
         return self._data_reads
+
+    @property
+    def partitions(self) -> tuple[PartitionMeta, ...]:
+        """The store's range partitions (implicit single range when the
+        manifest predates partitioning)."""
+        return self._manifest.effective_partitions()
+
+    @property
+    def partitions_skipped(self) -> int:
+        """Partitions this view's scans pruned via zone maps so far."""
+        return self._partitions_skipped
 
     def is_projection(self) -> bool:
         """Whether this view hides columns of the underlying store."""
@@ -279,6 +317,7 @@ class StoredTable:
             manifest=self._manifest,
             columns=self._order if self.is_projection() else None,
             name=name,
+            scan_jobs=self.scan_jobs,
         )
 
     def project(self, names: Sequence[str], name: str | None = None) -> "StoredTable":
@@ -288,6 +327,7 @@ class StoredTable:
             manifest=self._manifest,
             columns=tuple(names),
             name=name or self._name,
+            scan_jobs=self.scan_jobs,
         )
 
     def drop(self, names: Sequence[str], name: str | None = None) -> "StoredTable":
@@ -300,12 +340,16 @@ class StoredTable:
         self,
         columns: Sequence[str] | None = None,
         chunk_rows: int | None = None,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[tuple[int, int, Table]]:
         """Yield ``(start, stop, chunk)`` plain in-memory tables.
 
         Chunks are built with buffered reads (never mmap), so a full
         scan's resident memory is bounded by one chunk of the requested
         ``columns`` — the scan primitive every pushdown is built on.
+        ``start``/``stop`` bound the scan to a row range (how partition
+        workers scan just their slice); defaults cover the whole table.
         """
         names = tuple(columns) if columns is not None else self._order
         for column_name in names:
@@ -316,19 +360,55 @@ class StoredTable:
         step = chunk_rows or self._manifest.chunk_rows
         if step < 1:
             raise ValueError(f"chunk_rows must be positive, got {step}")
+        end = self.n_rows if stop is None else stop
+        if not 0 <= start <= end <= self.n_rows:
+            raise ValueError(
+                f"invalid scan range [{start}, {stop}) for {self.n_rows} rows"
+            )
         metrics = get_metrics()
-        for start in range(0, self.n_rows, step):
+        for lo in range(start, end, step):
             # Per-chunk deadline checkpoint + chaos hook: scans over
             # millions of rows abort within one chunk of an expired
             # budget, and the fault harness can fail or slow each read.
             checkpoint("store.chunk")
             fault_point("store.read")
-            stop = min(start + step, self.n_rows)
+            hi = min(lo + step, end)
             chunk_columns = [
-                self._read_column_chunk(name, start, stop) for name in names
+                self._read_column_chunk(name, lo, hi) for name in names
             ]
             metrics.increment("blaeu_store_chunk_reads_total")
-            yield start, stop, Table(self._name, chunk_columns)
+            yield lo, hi, Table(self._name, chunk_columns)
+
+    def prune_partitions(
+        self, predicate: Predicate
+    ) -> tuple[list[PartitionMeta], int]:
+        """The partitions a ``predicate`` scan must read, plus the skip
+        count.
+
+        Zone-map pruning: a partition is dropped only when its zones
+        *prove* the predicate empty over it, so scanning just the
+        survivors (and leaving skipped rows ``False``) reproduces the
+        full scan exactly.  Skips are counted on this view and on the
+        ``blaeu_store_partitions_skipped_total`` metric.
+        """
+        from repro.store.partitions import zone_proves_empty
+
+        kinds = {meta.name: meta.kind for meta in self._manifest.columns}
+        live: list[PartitionMeta] = []
+        skipped = 0
+        for partition in self.partitions:
+            if partition.rows and zone_proves_empty(
+                predicate, partition, kinds
+            ):
+                skipped += 1
+            else:
+                live.append(partition)
+        if skipped:
+            self._partitions_skipped += skipped
+            get_metrics().increment(
+                "blaeu_store_partitions_skipped_total", skipped
+            )
+        return live, skipped
 
     def scan_mask(
         self, predicate: Predicate, chunk_rows: int | None = None
@@ -336,27 +416,58 @@ class StoredTable:
         """Evaluate ``predicate`` over all rows as a chunked scan.
 
         Predicate pushdown: only the columns the predicate references
-        are read.  Returns a boolean mask of length ``n_rows``.
+        are read, only in the partitions whose zone maps cannot rule
+        the predicate out, fanned over ``scan_jobs`` worker processes.
+        Returns a boolean mask of length ``n_rows``, bit-identical at
+        every pruning/parallelism setting.
         """
         needed = tuple(sorted(predicate.columns()))
         if not needed:  # Everything (no predicate references any column)
             return predicate.mask(self)  # type: ignore[arg-type]
+        for column_name in needed:
+            if column_name not in self._order:
+                raise KeyError(
+                    f"table {self._name!r} has no column {column_name!r}"
+                )
+        from repro.store.parallel import run_partition_tasks, scan_mask_task
+
         with get_tracer().span("store.scan") as span:
             started = time.perf_counter()
             reads_before = self._data_reads
-            out = np.empty(self.n_rows, dtype=bool)
+            live, skipped = self.prune_partitions(predicate)
+            out = np.zeros(self.n_rows, dtype=bool)
+            step = chunk_rows or self._manifest.chunk_rows
+            results = run_partition_tasks(
+                scan_mask_task,
+                [
+                    (
+                        str(self._root),
+                        predicate,
+                        needed,
+                        partition.start,
+                        partition.stop,
+                        step,
+                    )
+                    for partition in live
+                ],
+                self.scan_jobs,
+            )
             chunks = 0
-            for start, stop, chunk in self.iter_chunks(
-                columns=needed, chunk_rows=chunk_rows
-            ):
-                out[start:stop] = predicate.mask(chunk)
-                chunks += 1
+            metrics = get_metrics()
+            for partition, (segment, reads, read_chunks) in zip(live, results):
+                out[partition.start : partition.stop] = segment
+                self._data_reads += reads
+                chunks += read_chunks
+            metrics.increment(
+                "blaeu_store_partitions_scanned_total", max(len(live), 0)
+            )
             if span.enabled:
                 span.set("rows", self.n_rows)
                 span.set("columns", len(needed))
                 span.set("chunks", chunks)
+                span.set("partitions", len(live))
+                span.set("partitions_skipped", skipped)
                 span.set("data_reads", self._data_reads - reads_before)
-            metrics = get_metrics()
             metrics.increment("blaeu_store_scans_total")
             metrics.observe(
                 "blaeu_store_scan_seconds", time.perf_counter() - started

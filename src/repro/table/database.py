@@ -24,6 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - layering guard (store sits above)
 
 __all__ = ["Database", "SelectProject"]
 
+#: "caller did not pass scan_jobs" — distinct from an explicit ``None``
+#: (which forces serial scans regardless of ``BLAEU_SCAN_JOBS``).
+_SCAN_JOBS_UNSET: int | None = object()  # type: ignore[assignment]
+
 
 @dataclass(frozen=True)
 class SelectProject:
@@ -93,16 +97,24 @@ class Database:
         return table
 
     def load_store(
-        self, path: str | Path, name: str | None = None
+        self,
+        path: str | Path,
+        name: str | None = None,
+        scan_jobs: int | None = _SCAN_JOBS_UNSET,
     ) -> "StoredTable":
         """Open a store directory and register it; returns the table.
 
         The table's rows stay on disk: queries against it run as chunked
-        scans and gathers (see :mod:`repro.store`).
+        scans and gathers (see :mod:`repro.store`).  ``scan_jobs`` fans
+        those scans over worker processes; unset, the table follows the
+        ``BLAEU_SCAN_JOBS`` environment variable.
         """
         from repro.store.stored import StoredTable
 
-        table = StoredTable(path, name=name)
+        if scan_jobs is _SCAN_JOBS_UNSET:
+            table = StoredTable(path, name=name)
+        else:
+            table = StoredTable(path, name=name, scan_jobs=scan_jobs)
         self.register(table)
         return table
 
@@ -137,6 +149,11 @@ class Database:
                 "n_columns": table.n_columns,
                 "fingerprint": table.fingerprint(),
                 "residency": getattr(table, "residency", "memory"),
+                **(
+                    {"n_partitions": len(table.partitions)}
+                    if hasattr(table, "partitions")
+                    else {}
+                ),
             }
             for table in self._tables.values()
         ]

@@ -62,7 +62,7 @@ class TestBuildEngineWithStores:
         sink = io.StringIO()
         shell = BlaeuShell(engine, out=sink)
         shell.handle("tables")
-        assert "[store]" in sink.getvalue()
+        assert "[store" in sink.getvalue()
 
     def test_shell_explores_store_backed_table(self, csv_path, tmp_path):
         out = tmp_path / "store"

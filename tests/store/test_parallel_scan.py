@@ -1,0 +1,196 @@
+"""Process-parallel scans must be invisible except in wall-clock time.
+
+Every fan-out path — predicate masks, exact count routing, highlights,
+whole-table streaming NMI — is compared bit-for-bit against its serial
+twin, and the resilience contracts (deadlines, injected faults) must
+surface identically whether the failing chunk runs in the parent or in
+a pool worker.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlaeuConfig
+from repro.core.navigation import Explorer
+from repro.core.pipeline import MapBuilder
+from repro.graph.dependency import build_dependency_graph
+from repro.resilience.deadline import DeadlineExceeded, deadline_scope
+from repro.resilience.faults import (
+    InjectedFault,
+    clear_faults,
+    install_faults,
+    parse_faults,
+)
+from repro.store import StoredTable, write_store
+from repro.store.parallel import run_partition_tasks
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.predicates import Between, Comparison, Or
+from repro.table.table import Table
+
+
+def _table(n=2000) -> Table:
+    rng = np.random.default_rng(7)
+    a = rng.normal(size=n)
+    a[100:140] = np.nan
+    b = rng.uniform(0, 100, size=n)
+    c = a * 0.5 + rng.normal(scale=0.3, size=n)
+    codes = rng.integers(0, 3, size=n).astype(np.int32)
+    return Table(
+        "fan",
+        [
+            NumericColumn("a", a),
+            NumericColumn("b", b),
+            NumericColumn("c", c),
+            CategoricalColumn("d", codes, ("x", "y", "z")),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fan") / "s"
+    write_store(_table(), root, chunk_rows=250, partition_rows=500)
+    return root
+
+
+class TestRunPartitionTasks:
+    def test_serial_and_parallel_agree(self, store_root):
+        tasks = [(i, i * 2) for i in range(4)]
+        serial = run_partition_tasks(_double, tasks, None)
+        parallel = run_partition_tasks(_double, tasks, 2)
+        assert serial == parallel == [0, 2, 4, 6]
+
+    def test_results_in_task_order(self, store_root):
+        tasks = list(range(8))
+        assert run_partition_tasks(_identity, tasks, 4) == tasks
+
+
+def _double(task):
+    return task[1]
+
+
+def _identity(task):
+    return task
+
+
+class TestBitIdentity:
+    def masks(self, store_root, predicate, jobs):
+        return StoredTable(store_root, scan_jobs=jobs).scan_mask(predicate)
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            Comparison("a", ">", 0.5),
+            Between("b", 24.0, 26.0),
+            Or((Comparison("a", "<", -2.0), Comparison("d", "==", "y"))),
+        ],
+        ids=["comparison", "between", "or-categorical"],
+    )
+    def test_scan_mask(self, store_root, predicate):
+        serial = self.masks(store_root, predicate, None)
+        np.testing.assert_array_equal(serial, self.masks(store_root, predicate, 2))
+        np.testing.assert_array_equal(serial, predicate.mask(_table()))
+
+    def test_exact_map_counts(self, store_root):
+        def counts(jobs):
+            table = StoredTable(store_root, scan_jobs=jobs)
+            data_map = MapBuilder().build(table, ("a", "b", "c", "d"), k=3)
+            assert data_map.counts_status == "exact"
+            return [region.n_rows for region in data_map.regions()]
+
+        assert counts(None) == counts(2)
+
+    def test_dependency_graph_weights(self, store_root):
+        def weights(jobs):
+            table = StoredTable(store_root, scan_jobs=jobs)
+            return build_dependency_graph(table, seed=42).weights
+
+        np.testing.assert_array_equal(weights(None), weights(2))
+
+    def test_highlight(self, store_root):
+        def highlight(jobs):
+            explorer = Explorer(StoredTable(store_root, scan_jobs=jobs))
+            explorer.open_columns(("a", "b"))
+            return explorer.highlight("r0", columns=("c", "d"))
+
+        assert highlight(None) == highlight(2)
+
+    def test_pruned_parallel_scan_still_identical(self, store_root):
+        predicate = Comparison("b", ">", 99.0)
+        table = StoredTable(store_root, scan_jobs=2)
+        mask = table.scan_mask(predicate)
+        np.testing.assert_array_equal(mask, predicate.mask(_table()))
+
+
+class TestScanJobsKnob:
+    def test_env_default(self, store_root, monkeypatch):
+        monkeypatch.setenv("BLAEU_SCAN_JOBS", "3")
+        assert StoredTable(store_root).scan_jobs == 3
+        assert StoredTable(store_root, scan_jobs=None).scan_jobs is None
+
+    def test_invalid_env_ignored(self, store_root, monkeypatch):
+        monkeypatch.setenv("BLAEU_SCAN_JOBS", "lots")
+        assert StoredTable(store_root).scan_jobs is None
+
+    def test_projection_inherits(self, store_root):
+        table = StoredTable(store_root, scan_jobs=2)
+        assert table.project(("a", "b")).scan_jobs == 2
+        assert table.rename("other").scan_jobs == 2
+
+    def test_config_validates(self):
+        with pytest.raises(ValueError, match="scan_jobs"):
+            BlaeuConfig(scan_jobs=-1)
+        assert BlaeuConfig(scan_jobs=4).scan_jobs == 4
+
+    def test_engine_passes_scan_jobs(self, store_root):
+        from repro.core.engine import Blaeu
+
+        engine = Blaeu(BlaeuConfig(scan_jobs=2))
+        table = engine.load_store(store_root)
+        assert table.scan_jobs == 2
+
+
+class TestResilienceInWorkers:
+    """Deadlines and faults behave identically under scan_jobs > 1."""
+
+    def test_deadline_exceeded_propagates_with_stage(self, store_root):
+        table = StoredTable(store_root, scan_jobs=2)
+        with deadline_scope(1e-9):
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                table.scan_mask(Comparison("a", ">", 0.0))
+        # The abort comes from a per-chunk checkpoint (parent or
+        # worker), and pickling preserves its structured attributes.
+        assert excinfo.value.stage in ("store.chunk", "store.partition")
+        assert excinfo.value.budget == pytest.approx(1e-9)
+
+    def test_injected_fault_propagates_from_worker(
+        self, store_root, monkeypatch
+    ):
+        spec = json.dumps(
+            {"seed": 1, "faults": [{"site": "store.read", "mode": "error"}]}
+        )
+        # Install in-process (fork inherits it) and in the environment
+        # (spawned workers re-arm lazily) — both roads lead to workers.
+        monkeypatch.setenv("BLAEU_FAULTS", spec)
+        install_faults(parse_faults(spec))
+        try:
+            table = StoredTable(store_root, scan_jobs=2)
+            with pytest.raises(InjectedFault):
+                table.scan_mask(Comparison("a", ">", 0.0))
+        finally:
+            clear_faults()
+
+    def test_serial_fault_behavior_unchanged(self, store_root, monkeypatch):
+        spec = json.dumps(
+            {"seed": 1, "faults": [{"site": "store.read", "mode": "error"}]}
+        )
+        monkeypatch.setenv("BLAEU_FAULTS", spec)
+        install_faults(parse_faults(spec))
+        try:
+            table = StoredTable(store_root, scan_jobs=None)
+            with pytest.raises(InjectedFault):
+                table.scan_mask(Comparison("a", ">", 0.0))
+        finally:
+            clear_faults()
